@@ -1,0 +1,210 @@
+(* Command-line front end for the N-sigma delay calibration flow.
+
+   Subcommands:
+     characterize  run Monte-Carlo cell characterisation into a library file
+     fit           fit the N-sigma model from a library and store coefficients
+     analyze       statistical STA of a circuit (built-in benchmark or
+                   Verilog-lite file) at the requested sigma levels
+     report        inspect a library file (cells, reference moments)
+
+   Examples:
+     nsigma characterize --vdd 0.6 --mc 2000 -o lib.lvf
+     nsigma fit --library lib.lvf -o model.coeffs
+     nsigma analyze --library lib.lvf --circuit c432 --sigma 3 --mc 500
+     nsigma analyze --library lib.lvf --verilog design.v *)
+
+module T = Nsigma_process.Technology
+module Cell = Nsigma_liberty.Cell
+module Library = Nsigma_liberty.Library
+module Ch = Nsigma_liberty.Characterize
+module Model = Nsigma.Model
+module Bm = Nsigma_netlist.Benchmarks
+module N = Nsigma_netlist.Netlist
+module V = Nsigma_netlist.Verilog_lite
+module Design = Nsigma_sta.Design
+module Engine = Nsigma_sta.Engine
+module Provider = Nsigma_sta.Provider
+module Path = Nsigma_sta.Path
+module Path_mc = Nsigma_sta.Path_mc
+module Moments = Nsigma_stats.Moments
+
+open Cmdliner
+
+let tech_of_vdd vdd = T.with_vdd T.default_28nm vdd
+
+let all_cells =
+  List.concat_map
+    (fun k -> List.map (fun s -> Cell.make k ~strength:s) Cell.standard_strengths)
+    Cell.all_kinds
+
+(* ---- common arguments ---- *)
+
+let vdd_arg =
+  let doc = "Supply voltage of the corner (V)." in
+  Arg.(value & opt float 0.6 & info [ "vdd" ] ~docv:"VOLTS" ~doc)
+
+let library_arg =
+  let doc = "Characterised library file (.lvf)." in
+  Arg.(required & opt (some string) None & info [ "library"; "l" ] ~docv:"FILE" ~doc)
+
+let mc_arg default =
+  let doc = "Monte-Carlo samples." in
+  Arg.(value & opt int default & info [ "mc" ] ~docv:"N" ~doc)
+
+(* ---- characterize ---- *)
+
+let characterize_cmd =
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output library file.")
+  in
+  let cells_arg =
+    let doc = "Comma-separated cell names (default: the whole library)." in
+    Arg.(value & opt (some string) None & info [ "cells" ] ~docv:"LIST" ~doc)
+  in
+  let run vdd mc output cells =
+    let tech = tech_of_vdd vdd in
+    let cells =
+      match cells with
+      | None -> all_cells
+      | Some list ->
+        String.split_on_char ',' list |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map Cell.of_name
+    in
+    Printf.printf "characterising %d cells at %.2f V with %d MC samples/point...\n%!"
+      (List.length cells) vdd mc;
+    let t0 = Unix.gettimeofday () in
+    let lib = Library.characterize_all ~n_mc:mc tech cells in
+    Library.save lib output;
+    Printf.printf "wrote %s in %.1fs\n" output (Unix.gettimeofday () -. t0)
+  in
+  let term = Term.(const run $ vdd_arg $ mc_arg 2000 $ output $ cells_arg) in
+  Cmd.v
+    (Cmd.info "characterize"
+       ~doc:"Monte-Carlo characterisation of the cell library (LVF-style moments).")
+    term
+
+(* ---- fit ---- *)
+
+let fit_cmd =
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output coefficients file.")
+  in
+  let run vdd library output =
+    let tech = tech_of_vdd vdd in
+    let lib = Library.load tech library in
+    Printf.printf "fitting the N-sigma model (Table I + calibration + wire X)...\n%!";
+    let model = Model.build lib in
+    Format.printf "%a@." Nsigma.Cell_model.pp model.Model.cell_model;
+    Model.save model output;
+    Printf.printf "wrote %s\n" output
+  in
+  let term = Term.(const run $ vdd_arg $ library_arg $ output) in
+  Cmd.v
+    (Cmd.info "fit"
+       ~doc:"Fit the N-sigma model from a characterised library and persist the \
+             coefficient file (Fig. 5).")
+    term
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let circuit_arg =
+    let doc = "Built-in benchmark circuit name (c432..c7552, ADD, SUB, MUL, DIV)." in
+    Arg.(value & opt (some string) None & info [ "circuit"; "c" ] ~docv:"NAME" ~doc)
+  in
+  let verilog_arg =
+    let doc = "Verilog-lite netlist file to analyse instead of a benchmark." in
+    Arg.(value & opt (some string) None & info [ "verilog" ] ~docv:"FILE" ~doc)
+  in
+  let sigma_arg =
+    let doc = "Sigma level for the headline report (also runs its negative)." in
+    Arg.(value & opt int 3 & info [ "sigma" ] ~docv:"N" ~doc)
+  in
+  let coeffs_arg =
+    let doc = "Use a stored coefficients file instead of refitting." in
+    Arg.(value & opt (some string) None & info [ "coeffs" ] ~docv:"FILE" ~doc)
+  in
+  let run vdd library circuit verilog sigma mc coeffs =
+    let tech = tech_of_vdd vdd in
+    let lib = Library.load tech library in
+    let nl =
+      match (circuit, verilog) with
+      | Some name, _ -> (Bm.find name).Bm.generate ()
+      | None, Some file -> V.read_file file
+      | None, None -> failwith "pass --circuit or --verilog"
+    in
+    Printf.printf "%s\n%!" (N.stats nl);
+    let model =
+      match coeffs with Some f -> Model.load lib f | None -> Model.build lib
+    in
+    let design = Design.attach_parasitics tech nl in
+    let report = Engine.analyze tech (Provider.nominal lib) design in
+    let path = Engine.critical_path report in
+    Printf.printf "nominal critical path (%d stages): %.1f ps\n"
+      (Path.n_stages path) (path.Path.total *. 1e12);
+    List.iter
+      (fun s ->
+        Printf.printf "T_path(%+dσ) = %.1f ps\n"
+          s (Model.path_quantile_of_path model design path ~sigma:s *. 1e12))
+      [ -sigma; 0; sigma ];
+    if mc > 0 then begin
+      Printf.printf "path Monte-Carlo (%d samples)...\n%!" mc;
+      let stats = Path_mc.run ~n:mc tech design path in
+      Printf.printf "MC: mu=%.1f ps, %+dσ=%.1f ps, %+dσ=%.1f ps\n"
+        (stats.Path_mc.moments.Moments.mean *. 1e12)
+        (-sigma)
+        (stats.Path_mc.quantile (-sigma) *. 1e12)
+        sigma
+        (stats.Path_mc.quantile sigma *. 1e12)
+    end
+  in
+  let term =
+    Term.(
+      const run $ vdd_arg $ library_arg $ circuit_arg $ verilog_arg $ sigma_arg
+      $ mc_arg 0 $ coeffs_arg)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Statistical path analysis of a circuit with the N-sigma model \
+             (optionally verified by path Monte-Carlo).")
+    term
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let run vdd library =
+    let tech = tech_of_vdd vdd in
+    let lib = Library.load tech library in
+    Printf.printf "library %s at %.2f V: %d tables\n" library vdd
+      (List.length (Library.cells lib));
+    Printf.printf "%-10s %5s | %9s %9s %8s %8s\n" "cell" "edge" "mu(ps)"
+      "sigma(ps)" "gamma" "kappa";
+    List.iter
+      (fun (cell, edge) ->
+        let table = Library.find lib cell ~edge in
+        let p = Ch.point_at table ~slew:Ch.reference_slew ~load:Ch.reference_load in
+        let m = p.Ch.moments in
+        Printf.printf "%-10s %5s | %9.2f %9.2f %8.3f %8.3f\n" (Cell.name cell)
+          (match edge with `Rise -> "rise" | `Fall -> "fall")
+          (m.Moments.mean *. 1e12) (m.Moments.std *. 1e12) m.Moments.skewness
+          m.Moments.kurtosis)
+      (Library.cells lib)
+  in
+  let term = Term.(const run $ vdd_arg $ library_arg) in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Print the reference-condition moments of a library.")
+    term
+
+let main_cmd =
+  let doc = "N-sigma statistical delay calibration (DATE 2023 reproduction)" in
+  let info = Cmd.info "nsigma" ~version:"1.0.0" ~doc in
+  Cmd.group info [ characterize_cmd; fit_cmd; analyze_cmd; report_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

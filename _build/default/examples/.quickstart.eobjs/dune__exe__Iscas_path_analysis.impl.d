@@ -1,0 +1,1 @@
+examples/iscas_path_analysis.ml: Array Float List Nsigma Nsigma_baselines Nsigma_liberty Nsigma_netlist Nsigma_process Nsigma_sta Printf Sys Unix

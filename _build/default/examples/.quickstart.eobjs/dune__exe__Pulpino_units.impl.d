@@ -1,0 +1,1 @@
+examples/pulpino_units.ml: Array List Nsigma Nsigma_liberty Nsigma_netlist Nsigma_process Nsigma_sta Printf Sys

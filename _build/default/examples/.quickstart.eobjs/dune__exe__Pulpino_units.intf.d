@@ -1,0 +1,1 @@
+examples/pulpino_units.mli:

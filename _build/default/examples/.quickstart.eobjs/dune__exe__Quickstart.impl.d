@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Nsigma Nsigma_liberty Nsigma_process Nsigma_rcnet Printf

@@ -1,0 +1,1 @@
+examples/signoff_report.ml: Array Format List Nsigma Nsigma_liberty Nsigma_netlist Nsigma_process Nsigma_sta Option Printf Sys

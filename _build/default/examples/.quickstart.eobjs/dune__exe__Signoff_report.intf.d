@@ -1,0 +1,1 @@
+examples/signoff_report.mli:

@@ -1,0 +1,1 @@
+examples/voltage_sweep.ml: List Nsigma_liberty Nsigma_process Nsigma_spice Nsigma_stats Printf

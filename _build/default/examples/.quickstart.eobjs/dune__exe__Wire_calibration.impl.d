@@ -1,0 +1,1 @@
+examples/wire_calibration.ml: Array List Nsigma_liberty Nsigma_process Nsigma_rcnet Nsigma_spice Nsigma_stats Printf

@@ -1,0 +1,100 @@
+(* End-to-end statistical path analysis of an ISCAS85-scale circuit —
+   one row of the paper's Table III, in miniature:
+
+     1. generate the benchmark netlist and attach parasitics,
+     2. run nominal STA and extract the critical path,
+     3. golden reference: transistor-level Monte-Carlo of that path,
+     4. estimates: PrimeTime-like corner, correction-based, and the
+        N-sigma model; compare everything at ±3σ.
+
+   Run with:  dune exec examples/iscas_path_analysis.exe [-- circuit [mc]]
+   (default: a reduced c432; pass "c432" for the full-size circuit). *)
+
+module T = Nsigma_process.Technology
+module Cell = Nsigma_liberty.Cell
+module Library = Nsigma_liberty.Library
+module Model = Nsigma.Model
+module Bm = Nsigma_netlist.Benchmarks
+module N = Nsigma_netlist.Netlist
+module Design = Nsigma_sta.Design
+module Engine = Nsigma_sta.Engine
+module Provider = Nsigma_sta.Provider
+module Path = Nsigma_sta.Path
+module Path_mc = Nsigma_sta.Path_mc
+module Pt = Nsigma_baselines.Primetime_like
+module Correction = Nsigma_baselines.Correction_model
+
+let () =
+  let circuit = if Array.length Sys.argv > 1 then Sys.argv.(1) else "c432-small" in
+  let n_mc =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 400
+  in
+  let tech = T.with_vdd T.default_28nm 0.6 in
+  let bm =
+    try Bm.find circuit
+    with Not_found ->
+      (match List.find_opt (fun b -> b.Bm.name = circuit) Bm.small_variants with
+      | Some b -> b
+      | None -> failwith ("unknown circuit " ^ circuit))
+  in
+  let nl = bm.Bm.generate () in
+  Printf.printf "circuit: %s\n%!" (N.stats nl);
+
+  let cells =
+    List.concat_map
+      (fun k ->
+        List.map (fun s -> Cell.make k ~strength:s) Cell.standard_strengths)
+      Cell.all_kinds
+  in
+  Printf.printf "loading / characterising library...\n%!";
+  let library =
+    Library.load_or_characterize ~n_mc:800 ~path:"/tmp/nsigma_example_lib.lvf"
+      tech cells
+  in
+  let model = Model.build library in
+
+  let design = Design.attach_parasitics tech nl in
+  let report = Engine.analyze tech (Provider.nominal library) design in
+  let path = Engine.critical_path report in
+  Printf.printf "nominal critical path: %d stages, %.1f ps\n%!"
+    (Path.n_stages path) (path.Path.total *. 1e12);
+
+  Printf.printf "path Monte-Carlo (%d samples)...\n%!" n_mc;
+  let t0 = Unix.gettimeofday () in
+  let mc = Path_mc.run ~n:n_mc tech design path in
+  let mc_time = Unix.gettimeofday () -. t0 in
+
+  let t1 = Unix.gettimeofday () in
+  let ours_m3 = Model.path_quantile_of_path model design path ~sigma:(-3) in
+  let ours_p3 = Model.path_quantile_of_path model design path ~sigma:3 in
+  let model_time = Unix.gettimeofday () -. t1 in
+
+  let pt3 =
+    Engine.circuit_delay (Engine.analyze tech (Pt.provider library ~sigma:3 ()) design)
+  in
+  let corr = Correction.calibrate ~n_reference:10 tech library in
+  let corr3 =
+    Engine.circuit_delay
+      (Engine.analyze tech (Correction.provider corr library ~sigma:3) design)
+  in
+
+  let ps x = x *. 1e12 in
+  let err est ref_v = 100.0 *. (est -. ref_v) /. ref_v in
+  Printf.printf "\n%-22s %10s %10s\n" "method" "-3s (ps)" "+3s (ps)";
+  Printf.printf "%-22s %10.1f %10.1f   (golden, %.1fs)\n" "MC (path)"
+    (ps (mc.Path_mc.quantile (-3)))
+    (ps (mc.Path_mc.quantile 3))
+    mc_time;
+  Printf.printf "%-22s %10s %10.1f   (err %+.1f%%)\n" "PrimeTime-like +3s" "-"
+    (ps pt3)
+    (err pt3 (mc.Path_mc.quantile 3));
+  Printf.printf "%-22s %10s %10.1f   (err %+.1f%%)\n" "Correction-based" "-"
+    (ps corr3)
+    (err corr3 (mc.Path_mc.quantile 3));
+  Printf.printf "%-22s %10.1f %10.1f   (err %+.1f%% / %+.1f%%, %.3fs)\n"
+    "N-sigma (ours)" (ps ours_m3) (ps ours_p3)
+    (err ours_m3 (mc.Path_mc.quantile (-3)))
+    (err ours_p3 (mc.Path_mc.quantile 3))
+    model_time;
+  Printf.printf "\nspeedup over path MC: %.0fx\n"
+    (mc_time /. Float.max 1e-6 model_time)

@@ -1,0 +1,86 @@
+(* The PULPino functional units: generate real arithmetic circuits
+   (adder / subtractor / multiplier / divider), prove they compute, and
+   time them with the N-sigma model vs the nominal timer — the right
+   half of the paper's Table III.
+
+   Run with:  dune exec examples/pulpino_units.exe  (reduced sizes)
+              dune exec examples/pulpino_units.exe -- full  (paper sizes;
+              slow: characterisation + large netlists). *)
+
+module T = Nsigma_process.Technology
+module Cell = Nsigma_liberty.Cell
+module Library = Nsigma_liberty.Library
+module Model = Nsigma.Model
+module G = Nsigma_netlist.Generators
+module N = Nsigma_netlist.Netlist
+module Design = Nsigma_sta.Design
+module Engine = Nsigma_sta.Engine
+module Provider = Nsigma_sta.Provider
+
+let to_bits v width = Array.init width (fun i -> (v lsr i) land 1 = 1)
+
+let of_bits a =
+  let v = ref 0 in
+  Array.iteri (fun i b -> if b then v := !v lor (1 lsl i)) a;
+  !v
+
+let () =
+  let full = Array.length Sys.argv > 1 && Sys.argv.(1) = "full" in
+  let tech = T.with_vdd T.default_28nm 0.6 in
+  let units =
+    if full then
+      [ ("ADD", G.kogge_stone_adder ~bits:184);
+        ("SUB", G.subtractor ~bits:141);
+        ("MUL", G.array_multiplier ~bits:90);
+        ("DIV", G.array_divider ~dividend_bits:56 ~divisor_bits:48) ]
+    else
+      [ ("ADD", G.kogge_stone_adder ~bits:16);
+        ("SUB", G.subtractor ~bits:16);
+        ("MUL", G.array_multiplier ~bits:8);
+        ("DIV", G.array_divider ~dividend_bits:12 ~divisor_bits:6) ]
+  in
+
+  (* Functional spot-checks on the small variants (the generators are the
+     same code paths at any width). *)
+  if not full then begin
+    let add = List.assoc "ADD" units in
+    let out = N.eval add (Array.append (to_bits 40000 16) (to_bits 12345 16)) in
+    Printf.printf "ADD check: 40000 + 12345 = %d\n" (of_bits out);
+    let mul = List.assoc "MUL" units in
+    let out = N.eval mul (Array.append (to_bits 251 8) (to_bits 93 8)) in
+    Printf.printf "MUL check: 251 * 93 = %d\n" (of_bits out);
+    let div = List.assoc "DIV" units in
+    let out = N.eval div (Array.append (to_bits 3000 12) (to_bits 37 6)) in
+    Printf.printf "DIV check: 3000 / 37 = %d rem %d\n\n"
+      (of_bits (Array.sub out 0 12))
+      (of_bits (Array.sub out 12 6))
+  end;
+
+  let cells =
+    List.concat_map
+      (fun k ->
+        List.map (fun s -> Cell.make k ~strength:s) Cell.standard_strengths)
+      Cell.all_kinds
+  in
+  Printf.printf "loading / characterising library...\n%!";
+  let library =
+    Library.load_or_characterize ~n_mc:800 ~path:"/tmp/nsigma_example_lib.lvf"
+      tech cells
+  in
+  let model = Model.build library in
+
+  Printf.printf "\n%-5s %9s %8s %7s | %10s %10s %10s\n" "unit" "cells" "nets"
+    "depth" "nominal" "-3s" "+3s";
+  List.iter
+    (fun (name, nl) ->
+      let nl = G.size_for_fanout nl in
+      let design = Design.attach_parasitics tech nl in
+      let nominal =
+        Engine.circuit_delay (Engine.analyze tech (Provider.nominal library) design)
+      in
+      let m3 = Model.path_quantile model design ~sigma:(-3) in
+      let p3 = Model.path_quantile model design ~sigma:3 in
+      Printf.printf "%-5s %9d %8d %7d | %8.1fps %8.1fps %8.1fps\n%!" name
+        (N.n_cells nl) nl.N.n_nets (N.logic_depth nl) (nominal *. 1e12)
+        (m3 *. 1e12) (p3 *. 1e12))
+    units

@@ -1,0 +1,63 @@
+(* Quickstart: characterise two cells, fit the N-sigma model, and query
+   cell and wire delay quantiles — the whole public API in ~60 lines.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module T = Nsigma_process.Technology
+module Cell = Nsigma_liberty.Cell
+module Library = Nsigma_liberty.Library
+module Model = Nsigma.Model
+module Rctree = Nsigma_rcnet.Rctree
+module Elmore = Nsigma_rcnet.Elmore
+
+let () =
+  (* 1. Pick the paper's corner: TT / 0.6 V / 25 °C. *)
+  let tech = T.with_vdd T.default_28nm 0.6 in
+  Printf.printf "technology %s at %.1f V\n%!" tech.T.name tech.T.vdd_nominal;
+
+  (* 2. Characterise a small library by Monte-Carlo (cached on disk). *)
+  let cells =
+    [ Cell.make Cell.Inv ~strength:1; Cell.make Cell.Inv ~strength:4;
+      Cell.make Cell.Nand2 ~strength:2 ]
+  in
+  Printf.printf "characterising %d cells (cached in /tmp)...\n%!" (List.length cells);
+  let library =
+    Library.load_or_characterize ~n_mc:600 ~path:"/tmp/nsigma_quickstart.lvf" tech
+      cells
+  in
+
+  (* 3. Fit the N-sigma model: Table-I coefficients, per-cell moment
+        calibration, wire X coefficients. *)
+  let model = Model.build library in
+  Format.printf "%a@." Nsigma.Cell_model.pp model.Model.cell_model;
+
+  (* 4. Cell delay quantiles at an arbitrary operating condition. *)
+  let nand = Cell.make Cell.Nand2 ~strength:2 in
+  Printf.printf "\nNAND2X2 falling-output delay at slew=40ps load=1.2fF:\n";
+  List.iter
+    (fun sigma ->
+      let q =
+        Model.cell_quantile model nand ~edge:`Fall ~input_slew:40e-12
+          ~load_cap:1.2e-15 ~sigma
+      in
+      Printf.printf "  T(%+dσ) = %6.2f ps\n" sigma (q *. 1e12))
+    [ -3; -2; -1; 0; 1; 2; 3 ];
+
+  (* 5. Wire delay quantiles: Elmore mean + driver/load-aware variability
+        (the cell/wire interaction of the paper). *)
+  let tree = Rctree.ladder ~segments:6 ~res_per_seg:300.0 ~cap_per_seg:1.5e-15 in
+  let tap = 6 in
+  let driver = Cell.make Cell.Inv ~strength:1 in
+  let load = Some (Cell.make Cell.Inv ~strength:4) in
+  Printf.printf "\nwire: Elmore = %.2f ps, X_w = %.4f\n"
+    (Elmore.delay_at tree tap *. 1e12)
+    (Nsigma.Wire_model.variability model.Model.wire ~driver ~load);
+  List.iter
+    (fun sigma ->
+      let q = Model.wire_quantile model ~tree ~tap ~driver ~load ~sigma in
+      Printf.printf "  T_w(%+dσ) = %6.2f ps\n" sigma (q *. 1e12))
+    [ -3; 0; 3 ];
+
+  (* 6. Persist the fitted coefficients (Fig. 5's LUT file). *)
+  Model.save model "/tmp/nsigma_quickstart.coeffs";
+  Printf.printf "\ncoefficients saved to /tmp/nsigma_quickstart.coeffs\n"

@@ -1,0 +1,1 @@
+lib/baselines/burr_model.mli:

@@ -1,0 +1,1 @@
+lib/baselines/lsn_model.ml: Array Nsigma_stats

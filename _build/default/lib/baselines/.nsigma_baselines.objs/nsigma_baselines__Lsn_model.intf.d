@@ -1,0 +1,1 @@
+lib/baselines/lsn_model.mli: Nsigma_stats

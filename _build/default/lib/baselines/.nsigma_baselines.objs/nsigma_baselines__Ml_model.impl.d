@@ -1,0 +1,1 @@
+lib/baselines/ml_model.ml: Array Float List Nn Nsigma_liberty Nsigma_netlist Nsigma_process Nsigma_rcnet Nsigma_spice Nsigma_sta Nsigma_stats Printf Unix

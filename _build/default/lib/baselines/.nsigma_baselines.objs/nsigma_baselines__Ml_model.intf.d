@@ -1,0 +1,1 @@
+lib/baselines/ml_model.mli: Nsigma_liberty Nsigma_process Nsigma_rcnet Nsigma_sta

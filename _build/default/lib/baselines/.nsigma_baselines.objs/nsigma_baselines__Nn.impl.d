@@ -1,0 +1,1 @@
+lib/baselines/nn.ml: Array Float Fun List Nsigma_stats

@@ -1,0 +1,1 @@
+lib/baselines/primetime_like.ml: Array Float List Nsigma_liberty Nsigma_netlist Nsigma_rcnet Nsigma_sta Nsigma_stats Printf

@@ -1,0 +1,1 @@
+lib/baselines/primetime_like.mli: Nsigma_liberty Nsigma_sta

@@ -1,0 +1,15 @@
+module D = Nsigma_stats.Distribution
+module Quantile = Nsigma_stats.Quantile
+
+type t = D.Burr_xii.t
+
+let fit samples = D.Burr_xii.fit_samples samples
+
+let fit_quantiles targets = D.Burr_xii.fit_quantiles targets
+
+let quantile_p t p = D.Burr_xii.quantile t p
+
+let quantile t ~sigma =
+  quantile_p t (Quantile.probability_of_sigma (float_of_int sigma))
+
+let params (t : t) = (t.D.Burr_xii.lambda, t.D.Burr_xii.c, t.D.Burr_xii.k)

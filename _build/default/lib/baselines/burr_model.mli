@@ -1,0 +1,21 @@
+(** The Burr type-XII cell delay model of Moshrefi et al. [13].
+
+    The three parameters (λ, c, k) are fitted to the empirical sigma-level
+    quantiles by derivative-free search.  The paper's Table II shows this
+    model systematically missing near-threshold tails (10–16% at ±3σ);
+    the same behaviour reproduces here because Burr XII's polynomial tail
+    cannot follow the lognormal-like delay tail. *)
+
+type t
+
+val fit : float array -> t
+(** @raise Invalid_argument on too-small samples. *)
+
+val fit_quantiles : (float * float) list -> t
+(** Deploy from characterised (probability, quantile) pairs. *)
+
+val quantile : t -> sigma:int -> float
+val quantile_p : t -> float -> float
+
+val params : t -> float * float * float
+(** (λ, c, k). *)

@@ -1,0 +1,100 @@
+module Technology = Nsigma_process.Technology
+module Variation = Nsigma_process.Variation
+module Library = Nsigma_liberty.Library
+module Characterize = Nsigma_liberty.Characterize
+module Cell = Nsigma_liberty.Cell
+module Moments = Nsigma_stats.Moments
+module Rng = Nsigma_stats.Rng
+module Elmore = Nsigma_rcnet.Elmore
+module Wire_gen = Nsigma_rcnet.Wire_gen
+module Rc_sim = Nsigma_spice.Rc_sim
+module Provider = Nsigma_sta.Provider
+
+type t = {
+  residual : float;  (** mean_sim / d2m, averaged over the reference set *)
+  derate : float;  (** per-sigma relative variability *)
+}
+
+let calibrate ?(n_reference = 30) ?(seed = 23) tech (_library : Library.t) =
+  let g = Rng.create ~seed in
+  let strengths = [| 1; 2; 4; 8 |] in
+  let ratios = ref [] and vars = ref [] in
+  for _ = 1 to n_reference do
+    let driver_cell = Cell.make Cell.Inv ~strength:(Rng.choose g strengths) in
+    let load_cell = Cell.make Cell.Inv ~strength:(Rng.choose g strengths) in
+    let tree = Wire_gen.random_tree tech Wire_gen.default_spec (Rng.split g) in
+    let tap = tree.Nsigma_rcnet.Rctree.taps.(0) in
+    let load_caps = [ (tap, Cell.input_cap tech load_cell) ] in
+    let nominal_arc = Cell.arc tech Variation.nominal driver_cell ~output_edge:`Rise in
+    match
+      Rc_sim.simulate ~steps:200 tech ~driver:nominal_arc ~tree ~load_caps
+        ~input_slew:Provider.input_slew_default
+    with
+    | exception Failure _ -> ()
+    | nominal ->
+      let wire_nom =
+        Array.to_list nominal.Rc_sim.tap_delays
+        |> List.assoc tap
+      in
+      let tree_loaded =
+        Nsigma_rcnet.Rctree.add_cap tree tap (Cell.input_cap tech load_cell)
+      in
+      let d2m = Elmore.d2m_at tree_loaded tap in
+      if d2m > 0.0 && wire_nom > 0.0 then begin
+        ratios := (wire_nom /. d2m) :: !ratios;
+        (* Small MC for the global variability derate. *)
+        let samples = ref [] in
+        for _ = 1 to 64 do
+          let sample = Variation.draw tech g in
+          let arc = Cell.arc tech sample driver_cell ~output_edge:`Rise in
+          let tree_v = Wire_gen.vary tech sample tree in
+          match
+            Rc_sim.simulate ~steps:160 tech ~driver:arc ~tree:tree_v ~load_caps
+              ~input_slew:Provider.input_slew_default
+          with
+          | r -> samples := (Array.to_list r.Rc_sim.tap_delays |> List.assoc tap) :: !samples
+          | exception Failure _ -> ()
+        done;
+        let m = Moments.summary_of_array (Array.of_list !samples) in
+        if m.Moments.mean > 0.0 then
+          vars := (m.Moments.std /. m.Moments.mean) :: !vars
+      end
+  done;
+  let avg l =
+    match l with
+    | [] -> invalid_arg "Correction_model.calibrate: no reference runs succeeded"
+    | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  { residual = avg !ratios; derate = avg !vars }
+
+let wire_delay t ~tree ~tap ~sigma =
+  let d2m = Elmore.d2m_at tree tap in
+  t.residual *. d2m *. (1.0 +. (float_of_int sigma *. t.derate))
+
+let table_edge = function Provider.Rise -> `Rise | Provider.Fall -> `Fall
+
+let provider t library ~sigma =
+  let n = float_of_int sigma in
+  let find gate edge =
+    Library.find library gate.Nsigma_netlist.Netlist.cell ~edge:(table_edge edge)
+  in
+  {
+    Provider.label = Printf.sprintf "correction(%+d)" sigma;
+    cell_delay =
+      (fun gate ~edge ~input_slew ~load_cap ->
+        let m =
+          Characterize.moments_at (find gate edge) ~slew:input_slew ~load:load_cap
+        in
+        m.Moments.mean +. (n *. m.Moments.std));
+    cell_out_slew =
+      (fun gate ~edge ~input_slew ~load_cap ->
+        Characterize.out_slew_at (find gate edge) ~slew:input_slew ~load:load_cap);
+    wire_delay = (fun ~net:_ ~driver:_ ~sink:_ ~tree ~tap -> wire_delay t ~tree ~tap ~sigma);
+    wire_slew_degrade =
+      (fun ~wire_delay ~slew_at_root ->
+        sqrt
+          ((slew_at_root *. slew_at_root)
+          +. (2.2 *. wire_delay *. 2.2 *. wire_delay)));
+  }
+
+let factors t = (t.residual, t.derate)

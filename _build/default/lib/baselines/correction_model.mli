@@ -1,0 +1,32 @@
+(** The correction-factor method of Sharma et al. [8].
+
+    Every RC tree gets one multiplicative correction of its Elmore delay,
+    calibrated against a more accurate reference — here the D2M
+    two-moment metric plus a global residual factor fitted against a
+    small set of reference transient simulations (playing the role of the
+    PrimeTime reports the paper's authors calibrate to).  Variability is
+    handled by a single global derate, not per-cell coefficients — which
+    is precisely the gap the N-sigma wire model closes. *)
+
+type t
+
+val calibrate :
+  ?n_reference:int ->
+  ?seed:int ->
+  Nsigma_process.Technology.t ->
+  Nsigma_liberty.Library.t ->
+  t
+(** Fit the global residual factor on [n_reference] (default 30) random
+    driver/wire/load configurations simulated nominally, and the global
+    variability derate on their Monte-Carlo populations (64 samples
+    each). *)
+
+val wire_delay : t -> tree:Nsigma_rcnet.Rctree.t -> tap:int -> sigma:int -> float
+(** Corrected Elmore with the global derate at the requested level. *)
+
+val provider :
+  t -> Nsigma_liberty.Library.t -> sigma:int -> Nsigma_sta.Provider.t
+(** Full-path provider: LUT μ+nσ cells, corrected wires. *)
+
+val factors : t -> float * float
+(** (mean correction, per-sigma derate) — for reporting. *)

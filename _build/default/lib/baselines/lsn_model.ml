@@ -1,0 +1,17 @@
+module D = Nsigma_stats.Distribution
+module Quantile = Nsigma_stats.Quantile
+
+type t = D.Log_skew_normal.t
+
+let fit samples =
+  if Array.length samples < 8 then invalid_arg "Lsn_model.fit: too few samples";
+  D.Log_skew_normal.fit_samples samples
+
+let quantile_p t p = D.Log_skew_normal.quantile t p
+
+let quantile t ~sigma =
+  quantile_p t (Quantile.probability_of_sigma (float_of_int sigma))
+
+let of_moments_of_log m = { D.Log_skew_normal.log_sn = D.Skew_normal.fit_moments m }
+
+let fit_moments m = D.Log_skew_normal.fit_moments m

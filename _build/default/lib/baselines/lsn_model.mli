@@ -1,0 +1,27 @@
+(** The log-skew-normal cell delay model of Balef et al. [12].
+
+    Fit: take the natural log of the delay sample, fit an Azzalini
+    skew-normal to it by the method of moments; the delay quantile at
+    level p is exp of the skew-normal quantile.  Known failure mode
+    (visible in Table II of the paper): when the log-sample skewness
+    exceeds the skew-normal family's representable ±0.9953 the fit
+    saturates and tail quantiles drift. *)
+
+type t
+
+val fit : float array -> t
+(** @raise Invalid_argument on non-positive samples or n < 8. *)
+
+val quantile : t -> sigma:int -> float
+(** nσ sigma-level delay. *)
+
+val quantile_p : t -> float -> float
+(** Arbitrary-probability quantile. *)
+
+val of_moments_of_log : Nsigma_stats.Moments.summary -> t
+(** Build directly from moments of log-delay (for LUT-driven flows). *)
+
+val fit_moments : Nsigma_stats.Moments.summary -> t
+(** Deploy from an LVF-style moment table: fit the LSN so its
+    linear-domain mean, std and skewness match the characterised moments
+    (raw samples are not available downstream of characterisation). *)

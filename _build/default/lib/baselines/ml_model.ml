@@ -1,0 +1,137 @@
+module Technology = Nsigma_process.Technology
+module Variation = Nsigma_process.Variation
+module Cell = Nsigma_liberty.Cell
+module Library = Nsigma_liberty.Library
+module Characterize = Nsigma_liberty.Characterize
+module Moments = Nsigma_stats.Moments
+module Quantile = Nsigma_stats.Quantile
+module Rng = Nsigma_stats.Rng
+module Rctree = Nsigma_rcnet.Rctree
+module Elmore = Nsigma_rcnet.Elmore
+module Wire_gen = Nsigma_rcnet.Wire_gen
+module Rc_sim = Nsigma_spice.Rc_sim
+module Provider = Nsigma_sta.Provider
+
+type t = { net : Nn.t; sigma : int }
+
+let feature_names =
+  [
+    "log_elmore"; "log_sqrt_m2"; "log_total_res"; "log_total_cap"; "n_nodes";
+    "driver_strength"; "driver_stack"; "log_load_cap";
+  ]
+
+let features tech ~tree ~tap ~driver ~load_cap =
+  ignore tech;
+  let loaded = Rctree.add_cap tree tap load_cap in
+  let elmore = Elmore.delay_at loaded tap in
+  let m2 = (Elmore.second_moments loaded).(tap) in
+  [|
+    log (Float.max 1e-15 elmore);
+    log (Float.max 1e-15 (sqrt (Float.max 0.0 m2)));
+    log (Float.max 1e-3 (Rctree.total_res tree));
+    log (Float.max 1e-20 (Rctree.total_cap tree));
+    float_of_int (Rctree.n_nodes tree);
+    float_of_int driver.Cell.strength;
+    float_of_int (Cell.stack_count driver);
+    log (Float.max 1e-20 load_cap);
+  |]
+
+type training_stats = {
+  n_configs : int;
+  train_seconds : float;
+  final_loss : float;
+}
+
+let train ?(n_configs = 150) ?(mc_per_config = 200) ?(seed = 31) tech ~sigma =
+  let t_start = Unix.gettimeofday () in
+  let g = Rng.create ~seed in
+  let strengths = [| 1; 2; 4; 8 |] in
+  let kinds = [| Cell.Inv; Cell.Nand2; Cell.Nor2 |] in
+  let inputs = ref [] and targets = ref [] in
+  for _ = 1 to n_configs do
+    let driver =
+      Cell.make (Rng.choose g kinds) ~strength:(Rng.choose g strengths)
+    in
+    let load_cell = Cell.make Cell.Inv ~strength:(Rng.choose g strengths) in
+    let load_cap = Cell.input_cap tech load_cell in
+    let tree = Wire_gen.random_tree tech Wire_gen.default_spec (Rng.split g) in
+    let tap = tree.Rctree.taps.(0) in
+    let samples = ref [] in
+    for _ = 1 to mc_per_config do
+      let sample = Variation.draw tech g in
+      let arc = Cell.arc tech sample driver ~output_edge:`Rise in
+      let tree_v = Wire_gen.vary tech sample tree in
+      match
+        Rc_sim.simulate ~steps:160 tech ~driver:arc ~tree:tree_v
+          ~load_caps:[ (tap, load_cap) ] ~input_slew:Provider.input_slew_default
+      with
+      | r -> samples := (Array.to_list r.Rc_sim.tap_delays |> List.assoc tap) :: !samples
+      | exception Failure _ -> ()
+    done;
+    if List.length !samples > mc_per_config / 2 then begin
+      let q =
+        Quantile.of_sample
+          (Array.of_list !samples)
+          (Quantile.probability_of_sigma (float_of_int sigma))
+      in
+      let loaded = Rctree.add_cap tree tap load_cap in
+      let elmore = Elmore.delay_at loaded tap in
+      if elmore > 0.0 && q > 0.0 then begin
+        inputs := features tech ~tree ~tap ~driver ~load_cap :: !inputs;
+        targets := (q /. elmore) :: !targets
+      end
+    end
+  done;
+  let inputs = Array.of_list !inputs and targets = Array.of_list !targets in
+  let net = Nn.create ~layers:[ List.length feature_names; 16; 12; 1 ] () in
+  let report = Nn.train ~epochs:600 net ~inputs ~targets in
+  ( { net; sigma },
+    {
+      n_configs = Array.length inputs;
+      train_seconds = Unix.gettimeofday () -. t_start;
+      final_loss = report.Nn.final_loss;
+    } )
+
+let wire_delay t ~tree ~tap ~driver ~load_cap =
+  let x =
+    features Technology.default_28nm ~tree ~tap ~driver ~load_cap
+  in
+  let loaded = Rctree.add_cap tree tap load_cap in
+  let elmore = Elmore.delay_at loaded tap in
+  let ratio = Float.max 0.1 (Nn.predict t.net x) in
+  ratio *. elmore
+
+let table_edge = function Provider.Rise -> `Rise | Provider.Fall -> `Fall
+
+let provider t library ~sigma =
+  let n = float_of_int sigma in
+  let tech = Library.tech library in
+  let find gate edge =
+    Library.find library gate.Nsigma_netlist.Netlist.cell ~edge:(table_edge edge)
+  in
+  {
+    Provider.label = Printf.sprintf "ml-based(%+d)" sigma;
+    cell_delay =
+      (fun gate ~edge ~input_slew ~load_cap ->
+        let m =
+          Characterize.moments_at (find gate edge) ~slew:input_slew ~load:load_cap
+        in
+        m.Moments.mean +. (n *. m.Moments.std));
+    cell_out_slew =
+      (fun gate ~edge ~input_slew ~load_cap ->
+        Characterize.out_slew_at (find gate edge) ~slew:input_slew ~load:load_cap);
+    wire_delay =
+      (fun ~net ~driver ~sink:_ ~tree ~tap ->
+        ignore net;
+        match driver with
+        | None -> Elmore.delay_at tree tap
+        | Some d ->
+          let load_cap = Cell.input_cap tech (Cell.make Cell.Inv ~strength:1) in
+          wire_delay t ~tree ~tap ~driver:d ~load_cap)
+    ;
+    wire_slew_degrade =
+      (fun ~wire_delay ~slew_at_root ->
+        sqrt
+          ((slew_at_root *. slew_at_root)
+          +. (2.2 *. wire_delay *. 2.2 *. wire_delay)));
+  }

@@ -1,0 +1,47 @@
+(** The machine-learning wire timing baseline of Cheng et al. [9].
+
+    A small MLP regresses the ratio (nσ wire delay)/(Elmore) from net
+    features — the first two impulse-response moments, total R and C,
+    topology size, driver strength/stack and sink load — trained on
+    Monte-Carlo wire populations over random driver/net/load
+    configurations.  Path delay then combines LUT cells (μ + nσ per
+    stage, as the paper describes for this method) with the predicted
+    wires.  The training cost and memory appetite the paper criticises
+    are faithfully reproduced in miniature. *)
+
+type t
+
+val feature_names : string list
+
+val features :
+  Nsigma_process.Technology.t ->
+  tree:Nsigma_rcnet.Rctree.t ->
+  tap:int ->
+  driver:Nsigma_liberty.Cell.t ->
+  load_cap:float ->
+  float array
+
+type training_stats = {
+  n_configs : int;  (** training configurations generated *)
+  train_seconds : float;
+  final_loss : float;
+}
+
+val train :
+  ?n_configs:int ->
+  ?mc_per_config:int ->
+  ?seed:int ->
+  Nsigma_process.Technology.t ->
+  sigma:int ->
+  t * training_stats
+(** Generate [n_configs] (default 150) random wire configurations, run
+    [mc_per_config] (default 200) Monte-Carlo transients on each, and fit
+    the network to the nσ quantile ratios. *)
+
+val wire_delay :
+  t -> tree:Nsigma_rcnet.Rctree.t -> tap:int ->
+  driver:Nsigma_liberty.Cell.t -> load_cap:float -> float
+(** Predicted nσ wire delay (the sigma level is baked in at training). *)
+
+val provider :
+  t -> Nsigma_liberty.Library.t -> sigma:int -> Nsigma_sta.Provider.t

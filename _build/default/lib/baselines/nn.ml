@@ -1,0 +1,171 @@
+module Rng = Nsigma_stats.Rng
+
+type layer = {
+  weights : float array array;  (* [out][in] *)
+  bias : float array;
+  w_vel : float array array;  (* momentum buffers *)
+  b_vel : float array;
+}
+
+type t = {
+  layers : layer array;
+  mutable in_mean : float array;
+  mutable in_std : float array;
+  mutable out_mean : float;
+  mutable out_std : float;
+}
+
+let create ?(seed = 3) ~layers () =
+  (match layers with
+  | _ :: _ :: _ when List.nth layers (List.length layers - 1) = 1 -> ()
+  | _ -> invalid_arg "Nn.create: need >= 2 layers ending in width 1");
+  let g = Rng.create ~seed in
+  let dims = Array.of_list layers in
+  let make_layer n_in n_out =
+    (* Xavier-ish initialisation. *)
+    let scale = sqrt (2.0 /. float_of_int (n_in + n_out)) in
+    {
+      weights =
+        Array.init n_out (fun _ ->
+            Array.init n_in (fun _ -> Rng.gaussian g *. scale));
+      bias = Array.make n_out 0.0;
+      w_vel = Array.make_matrix n_out n_in 0.0;
+      b_vel = Array.make n_out 0.0;
+    }
+  in
+  {
+    layers =
+      Array.init (Array.length dims - 1) (fun i -> make_layer dims.(i) dims.(i + 1));
+    in_mean = Array.make dims.(0) 0.0;
+    in_std = Array.make dims.(0) 1.0;
+    out_mean = 0.0;
+    out_std = 1.0;
+  }
+
+(* Forward pass returning all layer activations (normalised domain). *)
+let forward_full t x =
+  let n_layers = Array.length t.layers in
+  let acts = Array.make (n_layers + 1) [||] in
+  acts.(0) <- x;
+  for l = 0 to n_layers - 1 do
+    let layer = t.layers.(l) in
+    let z =
+      Array.mapi
+        (fun o row ->
+          let s = ref layer.bias.(o) in
+          Array.iteri (fun i w -> s := !s +. (w *. acts.(l).(i))) row;
+          !s)
+        layer.weights
+    in
+    (* Hidden layers tanh; output linear. *)
+    acts.(l + 1) <- (if l = n_layers - 1 then z else Array.map tanh z)
+  done;
+  acts
+
+let normalize_input t x =
+  Array.mapi (fun i v -> (v -. t.in_mean.(i)) /. t.in_std.(i)) x
+
+let predict t x =
+  let acts = forward_full t (normalize_input t x) in
+  (acts.(Array.length t.layers).(0) *. t.out_std) +. t.out_mean
+
+type training_report = { epochs : int; final_loss : float }
+
+let train ?(epochs = 400) ?(batch = 32) ?(learning_rate = 0.01)
+    ?(momentum = 0.9) ?(seed = 5) t ~inputs ~targets =
+  let n = Array.length inputs in
+  if n = 0 then invalid_arg "Nn.train: empty training set";
+  if Array.length targets <> n then invalid_arg "Nn.train: target size mismatch";
+  let dim = Array.length t.in_mean in
+  Array.iter
+    (fun x -> if Array.length x <> dim then invalid_arg "Nn.train: feature size mismatch")
+    inputs;
+  (* Fit normalisation. *)
+  let nf = float_of_int n in
+  for i = 0 to dim - 1 do
+    let mean = Array.fold_left (fun a x -> a +. x.(i)) 0.0 inputs /. nf in
+    let var =
+      Array.fold_left (fun a x -> a +. ((x.(i) -. mean) ** 2.0)) 0.0 inputs /. nf
+    in
+    t.in_mean.(i) <- mean;
+    t.in_std.(i) <- Float.max 1e-12 (sqrt var)
+  done;
+  t.out_mean <- Array.fold_left ( +. ) 0.0 targets /. nf;
+  t.out_std <-
+    Float.max 1e-12
+      (sqrt
+         (Array.fold_left (fun a y -> a +. ((y -. t.out_mean) ** 2.0)) 0.0 targets
+         /. nf));
+  let xs = Array.map (normalize_input t) inputs in
+  let ys = Array.map (fun y -> (y -. t.out_mean) /. t.out_std) targets in
+  let g = Rng.create ~seed in
+  let indices = Array.init n Fun.id in
+  let n_layers = Array.length t.layers in
+  let final_loss = ref 0.0 in
+  for _epoch = 1 to epochs do
+    Rng.shuffle g indices;
+    final_loss := 0.0;
+    let b = ref 0 in
+    while !b < n do
+      let batch_idx = Array.sub indices !b (min batch (n - !b)) in
+      b := !b + batch;
+      let bsize = float_of_int (Array.length batch_idx) in
+      (* Accumulate gradients over the batch. *)
+      let w_grad =
+        Array.map (fun l -> Array.map (Array.map (fun _ -> 0.0)) l.weights) t.layers
+      in
+      let b_grad = Array.map (fun l -> Array.map (fun _ -> 0.0) l.bias) t.layers in
+      Array.iter
+        (fun idx ->
+          let acts = forward_full t xs.(idx) in
+          let err = acts.(n_layers).(0) -. ys.(idx) in
+          final_loss := !final_loss +. (err *. err);
+          (* Backprop. *)
+          let delta = ref [| err |] in
+          for l = n_layers - 1 downto 0 do
+            let layer = t.layers.(l) in
+            let a_in = acts.(l) in
+            Array.iteri
+              (fun o d ->
+                b_grad.(l).(o) <- b_grad.(l).(o) +. d;
+                Array.iteri
+                  (fun i a -> w_grad.(l).(o).(i) <- w_grad.(l).(o).(i) +. (d *. a))
+                  a_in)
+              !delta;
+            if l > 0 then begin
+              let next =
+                Array.mapi
+                  (fun i a ->
+                    let s = ref 0.0 in
+                    Array.iteri
+                      (fun o d -> s := !s +. (d *. layer.weights.(o).(i)))
+                      !delta;
+                    (* derivative of tanh at the activation value *)
+                    !s *. (1.0 -. (a *. a)))
+                  acts.(l)
+              in
+              delta := next
+            end
+          done)
+        batch_idx;
+      (* SGD with momentum. *)
+      Array.iteri
+        (fun l layer ->
+          Array.iteri
+            (fun o row ->
+              Array.iteri
+                (fun i _ ->
+                  let grad = w_grad.(l).(o).(i) /. bsize in
+                  layer.w_vel.(o).(i) <-
+                    (momentum *. layer.w_vel.(o).(i)) -. (learning_rate *. grad);
+                  row.(i) <- row.(i) +. layer.w_vel.(o).(i))
+                row;
+              let grad = b_grad.(l).(o) /. bsize in
+              layer.b_vel.(o) <-
+                (momentum *. layer.b_vel.(o)) -. (learning_rate *. grad);
+              layer.bias.(o) <- layer.bias.(o) +. layer.b_vel.(o))
+            layer.weights)
+        t.layers
+    done
+  done;
+  { epochs; final_loss = !final_loss /. float_of_int n }

@@ -1,0 +1,35 @@
+(** Minimal multilayer perceptron, the substrate for the ML-based wire
+    timing baseline of Cheng et al. [9].
+
+    Dense layers with tanh activations (linear output), trained by
+    mini-batch SGD with momentum on mean-squared error.  Inputs and the
+    target are z-normalised internally from the training set.  Written
+    from scratch — no external ML dependency exists in this environment,
+    and the baseline only needs a small regressor. *)
+
+type t
+
+val create : ?seed:int -> layers:int list -> unit -> t
+(** [layers] gives the width of every layer including input and output,
+    e.g. [[8; 16; 16; 1]].  Output dimension must be 1. *)
+
+val predict : t -> float array -> float
+(** Forward pass on one feature vector (raw, unnormalised scale). *)
+
+type training_report = {
+  epochs : int;
+  final_loss : float;  (** MSE on the (normalised) training set *)
+}
+
+val train :
+  ?epochs:int ->
+  ?batch:int ->
+  ?learning_rate:float ->
+  ?momentum:float ->
+  ?seed:int ->
+  t ->
+  inputs:float array array ->
+  targets:float array ->
+  training_report
+(** Fit in place.  Defaults: 400 epochs, batch 32, lr 0.01, momentum
+    0.9.  @raise Invalid_argument on shape mismatches. *)

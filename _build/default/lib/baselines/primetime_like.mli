@@ -1,0 +1,23 @@
+(** A PrimeTime-style sign-off timer [7]: deterministic corner STA with
+    flat OCV derates.
+
+    Every cell delay is the characterised mean times (1 + n·derate) with
+    one global derate sized to cover the {e worst} cell in the library
+    (95th percentile of per-cell σ/μ), and every wire is Elmore times a
+    fixed derate.  That construction is exactly why single-corner
+    sign-off over-margins typical paths — the classic pessimism the
+    paper's Table III quantifies at ~31% average. *)
+
+val library_derate : Nsigma_liberty.Library.t -> float
+(** The flat per-sigma cell derate the corner uses (95th-percentile
+    σ/μ over the characterised library at the reference condition). *)
+
+val provider :
+  Nsigma_liberty.Library.t ->
+  sigma:int ->
+  ?wire_derate:float ->
+  unit ->
+  Nsigma_sta.Provider.t
+(** [sigma] is the guard-band level (3 for max-delay sign-off);
+    [wire_derate] (default 0.10 per sigma) derates Elmore wire delays by
+    (1 + n·derate). *)

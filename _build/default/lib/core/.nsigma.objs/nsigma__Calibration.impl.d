@@ -1,0 +1,1 @@
+lib/core/calibration.ml: Array Float List Nsigma_liberty Nsigma_stats Printf String

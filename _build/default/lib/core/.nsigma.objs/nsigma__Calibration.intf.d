@@ -1,0 +1,1 @@
+lib/core/calibration.mli: Nsigma_liberty Nsigma_stats

@@ -1,0 +1,1 @@
+lib/core/cell_model.ml: Array Float Format List Nsigma_stats

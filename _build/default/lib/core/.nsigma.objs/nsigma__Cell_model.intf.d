@@ -1,0 +1,1 @@
+lib/core/cell_model.mli: Format Nsigma_stats

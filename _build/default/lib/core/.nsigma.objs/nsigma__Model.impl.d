@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Calibration Cell_model Float Fun Hashtbl List Nsigma_liberty Nsigma_netlist Nsigma_process Nsigma_rcnet Nsigma_sta Nsigma_stats Printf String Wire_lab Wire_model

@@ -1,0 +1,1 @@
+lib/core/model.mli: Calibration Cell_model Nsigma_liberty Nsigma_process Nsigma_rcnet Nsigma_sta Wire_model

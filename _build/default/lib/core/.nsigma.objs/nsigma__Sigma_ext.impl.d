@@ -1,0 +1,1 @@
+lib/core/sigma_ext.ml: Calibration Cell_model Float Model Nsigma_stats

@@ -1,0 +1,1 @@
+lib/core/sigma_ext.mli: Cell_model Model Nsigma_liberty Nsigma_stats

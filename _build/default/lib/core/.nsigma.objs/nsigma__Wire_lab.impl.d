@@ -1,0 +1,1 @@
+lib/core/wire_lab.ml: Array Float List Nsigma_liberty Nsigma_process Nsigma_rcnet Nsigma_spice Nsigma_sta Nsigma_stats Wire_model

@@ -1,0 +1,1 @@
+lib/core/wire_lab.mli: Nsigma_liberty Nsigma_process Nsigma_rcnet Nsigma_stats Wire_model

@@ -1,0 +1,1 @@
+lib/core/wire_model.ml: Array Float List Nsigma_liberty Nsigma_stats Option Printf String

@@ -1,0 +1,1 @@
+lib/core/wire_model.mli: Nsigma_liberty

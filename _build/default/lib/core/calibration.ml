@@ -1,0 +1,261 @@
+module Moments = Nsigma_stats.Moments
+module Interpolate = Nsigma_stats.Interpolate
+module Characterize = Nsigma_liberty.Characterize
+module Cell = Nsigma_liberty.Cell
+
+let reference_slew = Characterize.reference_slew
+let reference_load = Characterize.reference_load
+
+(* Feature scaling: ΔS in picoseconds, ΔC in femtofarads. *)
+let ds_of slew = (slew -. reference_slew) /. 1e-12
+let dc_of load = (load -. reference_load) /. 1e-15
+
+type t = {
+  cell : Cell.t;
+  edge : [ `Rise | `Fall ];
+  ref_moments : Moments.summary;
+  n_mc : int;
+  (* Local-interpolation grids (primary evaluation path). *)
+  grid_mu : Interpolate.Grid2d.t;
+  grid_sigma : Interpolate.Grid2d.t;
+  grid_gamma : Interpolate.Grid2d.t;
+  grid_kappa : Interpolate.Grid2d.t;
+  (* Global parametric surfaces in the literal eq. (2)/(3) shapes. *)
+  mu : Interpolate.Surface.t;
+  sigma : Interpolate.Surface.t;
+  gamma : Interpolate.Surface.t;
+  kappa : Interpolate.Surface.t;
+  (* Training span of (ΔS, ΔC); evaluation clamps into it. *)
+  ds_range : float * float;
+  dc_range : float * float;
+}
+
+let grid_of table f =
+  Interpolate.Grid2d.create ~xs:table.Characterize.slews
+    ~ys:table.Characterize.loads
+    ~values:(Array.map (Array.map f) table.Characterize.points)
+
+let fit (table : Characterize.table) =
+  let points = ref [] and mus = ref [] and sigmas = ref [] in
+  let gammas = ref [] and kappas = ref [] in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun (p : Characterize.point) ->
+          points := (ds_of p.slew, dc_of p.load) :: !points;
+          mus := p.moments.Moments.mean :: !mus;
+          sigmas := p.moments.Moments.std :: !sigmas;
+          gammas := p.moments.Moments.skewness :: !gammas;
+          kappas := p.moments.Moments.kurtosis :: !kappas)
+        row)
+    table.Characterize.points;
+  let points = Array.of_list !points in
+  let range f =
+    Array.fold_left
+      (fun (lo, hi) p -> (Float.min lo (f p), Float.max hi (f p)))
+      (infinity, neg_infinity) points
+  in
+  let arr l = Array.of_list !l in
+  let ref_point =
+    try Characterize.reference_point table
+    with Invalid_argument _ ->
+      (* Grids that omit the exact reference point fall back to the
+         closest one. *)
+      Characterize.point_at table ~slew:reference_slew ~load:reference_load
+  in
+  let moment f = grid_of table (fun p -> f p.Characterize.moments) in
+  {
+    cell = table.Characterize.cell;
+    edge = table.Characterize.edge;
+    ref_moments = ref_point.Characterize.moments;
+    n_mc = table.Characterize.n_mc;
+    grid_mu = moment (fun m -> m.Moments.mean);
+    grid_sigma = moment (fun m -> m.Moments.std);
+    grid_gamma = moment (fun m -> m.Moments.skewness);
+    grid_kappa = moment (fun m -> m.Moments.kurtosis);
+    mu = Interpolate.Surface.fit_bilinear ~points ~values:(arr mus);
+    sigma = Interpolate.Surface.fit_bilinear ~points ~values:(arr sigmas);
+    gamma = Interpolate.Surface.fit_cubic ~points ~values:(arr gammas);
+    kappa = Interpolate.Surface.fit_cubic ~points ~values:(arr kappas);
+    ds_range = range fst;
+    dc_range = range snd;
+  }
+
+let cell t = t.cell
+let edge t = t.edge
+let reference_moments t = t.ref_moments
+
+let clamp (lo, hi) v = Float.max lo (Float.min hi v)
+
+let physical ~n ~mu ~sigma ~gamma ~kappa : Moments.summary =
+  {
+    n;
+    mean = mu;
+    std = Float.max 1e-15 sigma;
+    skewness = Float.max (-2.0) (Float.min 8.0 gamma);
+    kurtosis = Float.max 1.0 (Float.min 40.0 kappa);
+  }
+
+let moments_at t ~slew ~load : Moments.summary =
+  physical ~n:t.n_mc
+    ~mu:(Interpolate.Grid2d.eval t.grid_mu slew load)
+    ~sigma:(Interpolate.Grid2d.eval t.grid_sigma slew load)
+    ~gamma:(Interpolate.Grid2d.eval t.grid_gamma slew load)
+    ~kappa:(Interpolate.Grid2d.eval t.grid_kappa slew load)
+
+let moments_at_surface t ~slew ~load : Moments.summary =
+  let ds = clamp t.ds_range (ds_of slew) and dc = clamp t.dc_range (dc_of load) in
+  physical ~n:t.n_mc
+    ~mu:(Interpolate.Surface.eval t.mu ds dc)
+    ~sigma:(Interpolate.Surface.eval t.sigma ds dc)
+    ~gamma:(Interpolate.Surface.eval t.gamma ds dc)
+    ~kappa:(Interpolate.Surface.eval t.kappa ds dc)
+
+let surfaces_r2 t =
+  ( Interpolate.Surface.r2 t.mu,
+    Interpolate.Surface.r2 t.sigma,
+    Interpolate.Surface.r2 t.gamma,
+    Interpolate.Surface.r2 t.kappa )
+
+(* ----- serialisation ----- *)
+
+let floats_line prefix a =
+  prefix ^ " "
+  ^ String.concat " " (Array.to_list (Array.map (Printf.sprintf "%.9g") a))
+
+let grid_lines prefix g =
+  let xs = Interpolate.Grid2d.xs g and values = Interpolate.Grid2d.values g in
+  Array.to_list
+    (Array.mapi (fun i _ -> floats_line (Printf.sprintf "%sROW" prefix) values.(i)) xs)
+
+let to_lines t =
+  let m = t.ref_moments in
+  [
+    Printf.sprintf "CALIB %s %s %d" (Cell.name t.cell)
+      (match t.edge with `Rise -> "RISE" | `Fall -> "FALL")
+      t.n_mc;
+    Printf.sprintf "REF %d %.9g %.9g %.9g %.9g" m.Moments.n m.Moments.mean
+      m.Moments.std m.Moments.skewness m.Moments.kurtosis;
+    Printf.sprintf "RANGE %.9g %.9g %.9g %.9g" (fst t.ds_range) (snd t.ds_range)
+      (fst t.dc_range) (snd t.dc_range);
+    floats_line "AXIS_S" (Interpolate.Grid2d.xs t.grid_mu);
+    floats_line "AXIS_C" (Interpolate.Grid2d.ys t.grid_mu);
+  ]
+  @ grid_lines "MU" t.grid_mu
+  @ grid_lines "SIGMA" t.grid_sigma
+  @ grid_lines "GAMMA" t.grid_gamma
+  @ grid_lines "KAPPA" t.grid_kappa
+  @ [
+      floats_line "SURF_MU" (Interpolate.Surface.coefficients t.mu);
+      floats_line "SURF_SIGMA" (Interpolate.Surface.coefficients t.sigma);
+      floats_line "SURF_GAMMA" (Interpolate.Surface.coefficients t.gamma);
+      floats_line "SURF_KAPPA" (Interpolate.Surface.coefficients t.kappa);
+      "ENDCALIB";
+    ]
+
+(* Rebuild a Surface from stored coefficients by refitting on synthetic
+   points generated from those exact coefficients (bilinear: 4 coeffs,
+   cubic: 8). *)
+let surface_of_coeffs coeffs =
+  let bilinear = Array.length coeffs = 4 in
+  let eval ds dc =
+    if bilinear then
+      coeffs.(0) +. (coeffs.(1) *. ds) +. (coeffs.(2) *. dc)
+      +. (coeffs.(3) *. ds *. dc)
+    else
+      coeffs.(0) +. (coeffs.(1) *. ds) +. (coeffs.(2) *. dc)
+      +. (coeffs.(3) *. ds *. ds)
+      +. (coeffs.(4) *. dc *. dc)
+      +. (coeffs.(5) *. ds *. ds *. ds)
+      +. (coeffs.(6) *. dc *. dc *. dc)
+      +. (coeffs.(7) *. ds *. dc)
+  in
+  let base = [| 0.0; 1.0; 2.0; 3.5; 5.0; 7.0; 11.0; 13.0; 17.0 |] in
+  let points =
+    Array.concat
+      (Array.to_list
+         (Array.map (fun ds -> Array.map (fun dc -> (ds, dc)) base) base))
+  in
+  let values = Array.map (fun (ds, dc) -> eval ds dc) points in
+  if bilinear then Interpolate.Surface.fit_bilinear ~points ~values
+  else Interpolate.Surface.fit_cubic ~points ~values
+
+let of_lines lines =
+  let fail msg = failwith ("Calibration.of_lines: " ^ msg) in
+  let floats_of rest = Array.of_list (List.map float_of_string rest) in
+  let take_prefixed prefix lines =
+    let rec go acc = function
+      | line :: rest when String.length line >= String.length prefix
+                          && String.sub line 0 (String.length prefix) = prefix ->
+        (match String.split_on_char ' ' line with
+        | _ :: values -> go (floats_of values :: acc) rest
+        | [] -> fail "empty line")
+      | rest -> (List.rev acc, rest)
+    in
+    go [] lines
+  in
+  match lines with
+  | header :: ref_line :: range_l :: axis_s :: axis_c :: rest ->
+    let cell, edge, n_mc =
+      match String.split_on_char ' ' header with
+      | [ "CALIB"; name; "RISE"; n ] -> (Cell.of_name name, `Rise, int_of_string n)
+      | [ "CALIB"; name; "FALL"; n ] -> (Cell.of_name name, `Fall, int_of_string n)
+      | _ -> fail "bad CALIB header"
+    in
+    let ref_moments =
+      match String.split_on_char ' ' ref_line with
+      | [ "REF"; n; mean; std; skew; kurt ] ->
+        {
+          Moments.n = int_of_string n;
+          mean = float_of_string mean;
+          std = float_of_string std;
+          skewness = float_of_string skew;
+          kurtosis = float_of_string kurt;
+        }
+      | _ -> fail "bad REF line"
+    in
+    let ds_range, dc_range =
+      match String.split_on_char ' ' range_l with
+      | [ "RANGE"; a; b; c; d ] ->
+        ( (float_of_string a, float_of_string b),
+          (float_of_string c, float_of_string d) )
+      | _ -> fail "bad RANGE line"
+    in
+    let axis keyword line =
+      match String.split_on_char ' ' line with
+      | k :: rest when k = keyword -> floats_of rest
+      | _ -> fail (Printf.sprintf "expected %s" keyword)
+    in
+    let xs = axis "AXIS_S" axis_s and ys = axis "AXIS_C" axis_c in
+    let grid rows =
+      Interpolate.Grid2d.create ~xs ~ys ~values:(Array.of_list rows)
+    in
+    let mu_rows, rest = take_prefixed "MUROW" rest in
+    let sigma_rows, rest = take_prefixed "SIGMAROW" rest in
+    let gamma_rows, rest = take_prefixed "GAMMAROW" rest in
+    let kappa_rows, rest = take_prefixed "KAPPAROW" rest in
+    let surf keyword line =
+      match String.split_on_char ' ' line with
+      | k :: values when k = keyword -> surface_of_coeffs (floats_of values)
+      | _ -> fail (Printf.sprintf "expected %s" keyword)
+    in
+    (match rest with
+    | [ sm; ss; sg; sk; "ENDCALIB" ] ->
+      {
+        cell;
+        edge;
+        ref_moments;
+        n_mc;
+        grid_mu = grid mu_rows;
+        grid_sigma = grid sigma_rows;
+        grid_gamma = grid gamma_rows;
+        grid_kappa = grid kappa_rows;
+        mu = surf "SURF_MU" sm;
+        sigma = surf "SURF_SIGMA" ss;
+        gamma = surf "SURF_GAMMA" sg;
+        kappa = surf "SURF_KAPPA" sk;
+        ds_range;
+        dc_range;
+      }
+    | _ -> fail "bad surface block")
+  | _ -> fail "truncated calibration block"

@@ -1,0 +1,57 @@
+(** Operating-condition calibration of cell delay moments (eqs. 1–3).
+
+    A cell's moments drift with its input slew S and output load C; the
+    N-sigma model must evaluate [μ′, σ′, γ′, κ′] at the conditions a cell
+    actually sees in a path.  Two interchangeable evaluations are
+    provided:
+
+    - {!moments_at} — the primary path: local bilinear interpolation on
+      the characterisation grid.  Within one grid cell this is exactly
+      the paper's eq. (2) form v₀ + P·[ΔS, ΔC] + K·ΔS·ΔC, anchored to
+      the surrounding grid points (the "interpolation method based on
+      SPICE MC simulations" of Fig. 5);
+    - {!moments_at_surface} — single global parametric surfaces over
+      (ΔS, ΔC) in the literal shape of eq. (2) (bilinear for μ, σ) and
+      eq. (3) (per-axis cubic + cross term for γ, κ), fitted once per
+      cell.  Kept as the paper-literal form and exercised by the
+      calibration ablation bench.
+
+    Internally ΔS is carried in ps and ΔC in fF for conditioning.
+    Evaluation clamps (ΔS, ΔC) into the characterised span — cubic
+    surfaces and LUT edges are not trusted to extrapolate. *)
+
+type t
+
+val reference_slew : float
+(** S_ref = 10 ps. *)
+
+val reference_load : float
+(** C_ref = 0.4 fF. *)
+
+val fit : Nsigma_liberty.Characterize.table -> t
+(** Build the grids and fit the parametric surfaces from a characterised
+    table. *)
+
+val cell : t -> Nsigma_liberty.Cell.t
+val edge : t -> [ `Rise | `Fall ]
+
+val reference_moments : t -> Nsigma_stats.Moments.summary
+(** The moments at (S_ref, C_ref), M_ref = [μ₀, σ₀, γ₀, κ₀]. *)
+
+val moments_at : t -> slew:float -> load:float -> Nsigma_stats.Moments.summary
+(** Calibrated moments by local grid interpolation.  σ′ is clamped
+    positive, γ′ to [−2, 8], κ′ to [1, 40]. *)
+
+val moments_at_surface :
+  t -> slew:float -> load:float -> Nsigma_stats.Moments.summary
+(** Calibrated moments from the global eq. (2)/(3) surfaces (ablation
+    mode), with the same physical clamps. *)
+
+val surfaces_r2 : t -> float * float * float * float
+(** Fit quality (R²) of the parametric μ, σ, γ, κ surfaces. *)
+
+val to_lines : t -> string list
+(** Serialise (grids + surface coefficients) for the coefficient store. *)
+
+val of_lines : string list -> t
+(** @raise Failure on malformed input. *)

@@ -1,0 +1,131 @@
+module Moments = Nsigma_stats.Moments
+module Regression = Nsigma_stats.Regression
+module Quantile = Nsigma_stats.Quantile
+
+type term = Sigma_gamma | Sigma_kappa | Gamma_kappa
+
+type level_fit = {
+  sigma : int;
+  coeffs : (term * float) list;
+  r2 : float;
+}
+
+type t = { levels : level_fit list }
+
+let terms_for_level n =
+  match abs n with
+  | 3 -> [ Sigma_kappa; Gamma_kappa ]
+  | 2 -> [ Sigma_gamma; Sigma_kappa; Gamma_kappa ]
+  | 0 | 1 -> [ Sigma_gamma; Gamma_kappa ]
+  | _ -> invalid_arg "Cell_model.terms_for_level: sigma outside -3..3"
+
+(* Kurtosis enters as excess over the Gaussian 3 so that a perfectly
+   normal population needs no correction; the same normalisation is
+   applied at fit and predict time, so it only re-parameterises the
+   intercept-free regression in a better-conditioned basis. *)
+let term_value term (m : Moments.summary) =
+  match term with
+  | Sigma_gamma -> m.std *. m.skewness
+  | Sigma_kappa -> m.std *. (m.kurtosis -. 3.0)
+  | Gamma_kappa -> m.skewness *. (m.kurtosis -. 3.0) *. m.std
+(* The raw γκ product of Table I is dimensionless while quantiles carry
+   seconds; scaling by σ (the only scale available) makes the term
+   dimensionally meaningful — with delays in seconds a dimensionless
+   term would be forced to a coefficient of ~1e-12 and drown in the
+   normal-equation conditioning. *)
+
+type observation = {
+  moments : Moments.summary;
+  quantiles : float array;
+}
+
+let gaussian_baseline (m : Moments.summary) ~sigma =
+  m.mean +. (float_of_int sigma *. m.std)
+
+let sigma_index sigma =
+  match List.find_index (fun n -> n = sigma) Quantile.sigma_levels with
+  | Some i -> i
+  | None -> invalid_arg "Cell_model: sigma outside -3..3"
+
+let fit ?(terms_for = terms_for_level) observations =
+  if observations = [] then invalid_arg "Cell_model.fit: empty training set";
+  let fit_level sigma =
+    let terms = terms_for sigma in
+    let idx = sigma_index sigma in
+    if terms = [] then begin
+      (* Degenerate (e.g. pure-Gaussian ablation): no correction terms to
+         fit; report the baseline's residual quality. *)
+      let err o =
+        o.quantiles.(idx) -. gaussian_baseline o.moments ~sigma
+      in
+      let n = float_of_int (List.length observations) in
+      let ss_res = List.fold_left (fun a o -> a +. (err o ** 2.0)) 0.0 observations in
+      let mean_q =
+        List.fold_left (fun a o -> a +. o.quantiles.(idx)) 0.0 observations /. n
+      in
+      let ss_tot =
+        List.fold_left
+          (fun a o -> a +. ((o.quantiles.(idx) -. mean_q) ** 2.0))
+          0.0 observations
+      in
+      { sigma; coeffs = []; r2 = (if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot)) }
+    end
+    else begin
+    (* Weight each observation by 1/σ: both the residual and the features
+       scale with σ, so unweighted least squares would be dominated by
+       the large-delay grid corners; weighting makes every operating
+       point contribute its *relative* error. *)
+    let weight o = 1.0 /. Float.max 1e-15 o.moments.Nsigma_stats.Moments.std in
+    let design =
+      Array.of_list
+        (List.map
+           (fun o ->
+             let w = weight o in
+             Array.of_list
+               (List.map (fun t -> w *. term_value t o.moments) terms))
+           observations)
+    in
+    let target =
+      Array.of_list
+        (List.map
+           (fun o ->
+             weight o *. (o.quantiles.(idx) -. gaussian_baseline o.moments ~sigma))
+           observations)
+    in
+    let f = Regression.fit ~design ~target in
+    {
+      sigma;
+      coeffs = List.mapi (fun i t -> (t, f.Regression.coeffs.(i))) terms;
+      r2 = f.Regression.r2;
+    }
+    end
+  in
+  { levels = List.map fit_level Quantile.sigma_levels }
+
+let predict t (m : Moments.summary) ~sigma =
+  let level =
+    match List.find_opt (fun l -> l.sigma = sigma) t.levels with
+    | Some l -> l
+    | None -> invalid_arg "Cell_model.predict: sigma outside -3..3"
+  in
+  List.fold_left
+    (fun acc (term, c) -> acc +. (c *. term_value term m))
+    (gaussian_baseline m ~sigma)
+    level.coeffs
+
+let term_name = function
+  | Sigma_gamma -> "sg"
+  | Sigma_kappa -> "sk"
+  | Gamma_kappa -> "gk"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>N-sigma quantile model (Table I):@,";
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "  T(%+dσ) = μ %+d·σ" l.sigma l.sigma;
+      List.iter
+        (fun (term, c) -> Format.fprintf ppf " %+.4f·%s" c (term_name term))
+        l.coeffs;
+      Format.fprintf ppf "   (R²=%.4f)@," l.r2)
+    t.levels;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,62 @@
+(** The N-sigma cell delay quantile model (Table I of the paper).
+
+    Each sigma level's quantile is expressed from the first four moments
+    [μ, σ, γ, κ] of the cell-delay distribution:
+
+    {v
+    T(−3σ) = μ − 3σ + B30·σκ + B31·γκ
+    T(−2σ) = μ − 2σ + B20·σγ + B21·σκ + B22·γκ
+    T(−σ)  = μ −  σ + B10·σγ + B11·γκ
+    T(0σ)  = μ      + A00·σγ + A01·γκ
+    T(+σ)  = μ +  σ + A10·σγ + A11·γκ
+    T(+2σ) = μ + 2σ + A20·σγ + A21·σκ + A22·γκ
+    T(+3σ) = μ + 3σ + A30·σκ + A31·γκ
+    v}
+
+    following the paper's observation that skewness (σγ term) dominates
+    the inner levels while kurtosis (σκ) dominates ±2σ/±3σ, with the
+    cross term γκ everywhere.  The A/B coefficients are {e global}: one
+    regression across every characterised cell and operating condition,
+    after which the model applies to any cell whose moments are known. *)
+
+type term = Sigma_gamma | Sigma_kappa | Gamma_kappa
+
+type level_fit = {
+  sigma : int;  (** the level n ∈ −3 … +3 *)
+  coeffs : (term * float) list;  (** fitted A/B coefficients, in Table-I order *)
+  r2 : float;  (** regression quality on the training set *)
+}
+
+type t = { levels : level_fit list (* exactly 7, ascending sigma *) }
+
+val terms_for_level : int -> term list
+(** The feature set Table I assigns to each level. *)
+
+val term_value : term -> Nsigma_stats.Moments.summary -> float
+(** Evaluate a term: σγ, σκ (κ as excess w.r.t. the Gaussian 3 so a
+    normal sample contributes no correction), or γκ. *)
+
+type observation = {
+  moments : Nsigma_stats.Moments.summary;
+  quantiles : float array;  (** empirical sigma-level delays, −3σ … +3σ *)
+}
+
+val fit : ?terms_for:(int -> term list) -> observation list -> t
+(** Least-squares fit of all 14 coefficients from characterisation
+    observations (any mix of cells and operating conditions).  The fit is
+    weighted by 1/σ so every operating point contributes its relative
+    error.  [terms_for] (default {!terms_for_level}) selects each level's
+    feature set — override it to ablate Table I's feature choices; the
+    fitted terms are stored per level, so {!predict} follows whatever
+    selection was used.
+    @raise Invalid_argument on an empty training set. *)
+
+val predict : t -> Nsigma_stats.Moments.summary -> sigma:int -> float
+(** Quantile of a delay distribution with the given moments.
+    @raise Invalid_argument for sigma outside −3 … +3. *)
+
+val gaussian_baseline : Nsigma_stats.Moments.summary -> sigma:int -> float
+(** μ + nσ — the model with all A/B forced to zero (ablation baseline). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the fitted Table I. *)

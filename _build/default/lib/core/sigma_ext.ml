@@ -1,0 +1,58 @@
+module Moments = Nsigma_stats.Moments
+module Quantile = Nsigma_stats.Quantile
+module D = Nsigma_stats.Distribution
+
+let probability ~level = Quantile.probability_of_sigma level
+
+let check_level level =
+  if not (level >= -6.0 && level <= 6.0) then
+    invalid_arg "Sigma_ext: level outside [-6, 6]"
+
+(* Log-skew-normal surrogate of a delay distribution, used only for the
+   *shape* of the extreme tails.  Delays are positive; a failed fit
+   (e.g. near-zero mean) falls back to a Gaussian surrogate. *)
+let surrogate (m : Moments.summary) =
+  if m.Moments.mean > 0.0 && m.Moments.std > 0.0 then begin
+    match D.Log_skew_normal.fit_moments m with
+    | lsn -> `Lsn lsn
+    | exception _ -> `Normal { D.Normal.mu = m.Moments.mean; sigma = m.Moments.std }
+  end
+  else `Normal { D.Normal.mu = m.Moments.mean; sigma = Float.max 1e-15 m.Moments.std }
+
+let surrogate_quantile s level =
+  let p = probability ~level in
+  match s with
+  | `Lsn lsn -> D.Log_skew_normal.quantile lsn p
+  | `Normal n -> D.Normal.quantile n p
+
+let quantile cm (m : Moments.summary) ~level =
+  check_level level;
+  if Float.abs level <= 3.0 then begin
+    (* Piecewise-linear between the fitted integer levels. *)
+    let lo = int_of_float (Float.floor level) in
+    let hi = int_of_float (Float.ceil level) in
+    if lo = hi then Cell_model.predict cm m ~sigma:lo
+    else begin
+      let ql = Cell_model.predict cm m ~sigma:lo in
+      let qh = Cell_model.predict cm m ~sigma:hi in
+      let frac = level -. float_of_int lo in
+      ql +. (frac *. (qh -. ql))
+    end
+  end
+  else begin
+    (* Splice the surrogate tail onto the fitted ±3σ anchor. *)
+    let anchor_level = if level > 0.0 then 3 else -3 in
+    let s = surrogate m in
+    let anchor_model = Cell_model.predict cm m ~sigma:anchor_level in
+    let anchor_surr = surrogate_quantile s (float_of_int anchor_level) in
+    let tail = surrogate_quantile s level in
+    if anchor_surr > 0.0 && anchor_model > 0.0 then
+      tail *. (anchor_model /. anchor_surr)
+    else tail +. (anchor_model -. anchor_surr)
+  end
+
+let cell_quantile model cell ~edge ~input_slew ~load_cap ~level =
+  check_level level;
+  let calib = Model.calibration model cell ~edge in
+  let moments = Calibration.moments_at calib ~slew:input_slew ~load:load_cap in
+  quantile (Model.cell_model_for model cell ~edge) moments ~level

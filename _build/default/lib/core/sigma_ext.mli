@@ -1,0 +1,34 @@
+(** High-sigma extension of the N-sigma model.
+
+    Table I covers the −3σ…+3σ levels the paper evaluates; its Section
+    III notes that "in the rigorous situation, the sigma level can be
+    extended to ±6σ to keep the stability and avoid timing failure".
+    Empirical ±6σ quantiles are unobservable at characterisation sample
+    counts (P(+6σ) misses 10⁹-scale Monte-Carlo), so the extension has to
+    be analytic:
+
+    - inside [−3, 3], fractional levels interpolate the fitted Table-I
+      quantiles (monotone piecewise-linear between integer levels);
+    - beyond ±3, a log-skew-normal surrogate is moment-fitted to
+      [μ, σ, γ] and its tail is {e spliced} to the Table-I value at ±3σ
+      with a multiplicative offset, so the extension is continuous and
+      inherits the fitted model's accuracy where it was trained while
+      borrowing the surrogate's tail shape where it wasn't. *)
+
+val quantile :
+  Cell_model.t -> Nsigma_stats.Moments.summary -> level:float -> float
+(** Delay quantile at an arbitrary sigma level in [−6, 6].
+    @raise Invalid_argument outside that range. *)
+
+val probability : level:float -> float
+(** Gaussian tail probability of a level, e.g. 6.0 ↦ 1 − 9.9e−10. *)
+
+val cell_quantile :
+  Model.t ->
+  Nsigma_liberty.Cell.t ->
+  edge:[ `Rise | `Fall ] ->
+  input_slew:float ->
+  load_cap:float ->
+  level:float ->
+  float
+(** Operating-condition-calibrated high-sigma cell quantile. *)

@@ -1,0 +1,47 @@
+(** Wire Monte-Carlo experiments: the measurement side of the wire-model
+    calibration and of the paper's Figs. 7–10.
+
+    Each experiment drives a random or given RC tree with a sampled
+    driver arc, perturbs segment R/C and the load pin capacitance, and
+    records the tap-delay population.  {!standard_observations} sweeps
+    driver/load strength combinations (the paper's FO1/FO2/FO4/FO8
+    constraint set) to produce the observations {!Wire_model.fit_scales}
+    consumes. *)
+
+type measurement = {
+  driver : Nsigma_liberty.Cell.t;
+  load : Nsigma_liberty.Cell.t;
+  elmore : float;  (** Elmore delay incl. the load pin capacitance *)
+  samples : float array;  (** sorted wire-delay population (s) *)
+  moments : Nsigma_stats.Moments.summary;
+}
+
+val measure :
+  ?n:int ->
+  ?seed:int ->
+  ?steps:int ->
+  Nsigma_process.Technology.t ->
+  tree:Nsigma_rcnet.Rctree.t ->
+  driver:Nsigma_liberty.Cell.t ->
+  load:Nsigma_liberty.Cell.t ->
+  unit ->
+  measurement
+(** Monte-Carlo ([n] defaults 300) of one wire configuration.  The load
+    pin capacitance carries a Pelgrom-scaled deviate of its own, which is
+    the physical channel behind the X_FO coefficient. *)
+
+val quantile : measurement -> sigma:int -> float
+
+val variability : measurement -> float
+(** σ_w/μ_w of the population. *)
+
+val standard_observations :
+  ?n_per_config:int ->
+  ?n_trees:int ->
+  ?seed:int ->
+  Nsigma_process.Technology.t ->
+  unit ->
+  Wire_model.wire_observation list
+(** Driver/load INV strength sweep (1, 2, 4, 8 on both sides) over
+    [n_trees] random nets each — the calibration workload for eq. (7)'s
+    scales. *)

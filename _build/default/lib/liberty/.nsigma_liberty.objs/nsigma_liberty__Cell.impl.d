@@ -1,0 +1,1 @@
+lib/liberty/cell.ml: Array Float Format Nsigma_process Nsigma_spice Printf String

@@ -1,0 +1,1 @@
+lib/liberty/cell.mli: Format Nsigma_process Nsigma_spice

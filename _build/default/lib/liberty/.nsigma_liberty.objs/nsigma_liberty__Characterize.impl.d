@@ -1,0 +1,1 @@
+lib/liberty/characterize.ml: Array Cell Float Fun List Nsigma_process Nsigma_spice Nsigma_stats Printf

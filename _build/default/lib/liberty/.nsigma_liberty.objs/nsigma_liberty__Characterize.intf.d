@@ -1,0 +1,1 @@
+lib/liberty/characterize.mli: Cell Nsigma_process Nsigma_stats

@@ -1,0 +1,1 @@
+lib/liberty/library.ml: Array Cell Characterize Float Fun Hashtbl List Nsigma_process Nsigma_stats Option Printf String Sys

@@ -1,0 +1,134 @@
+module Technology = Nsigma_process.Technology
+module Arc = Nsigma_spice.Arc
+
+type kind = Inv | Buf | Nand2 | Nor2 | And2 | Or2 | Xor2 | Xnor2 | Aoi21 | Oai21
+
+type t = { kind : kind; strength : int }
+
+let all_kinds = [ Inv; Buf; Nand2; Nor2; And2; Or2; Xor2; Xnor2; Aoi21; Oai21 ]
+
+let standard_strengths = [ 1; 2; 4; 8 ]
+
+let make kind ~strength =
+  if strength <= 0 then invalid_arg "Cell.make: strength must be positive";
+  { kind; strength }
+
+let kind_name = function
+  | Inv -> "INV"
+  | Buf -> "BUF"
+  | Nand2 -> "NAND2"
+  | Nor2 -> "NOR2"
+  | And2 -> "AND2"
+  | Or2 -> "OR2"
+  | Xor2 -> "XOR2"
+  | Xnor2 -> "XNOR2"
+  | Aoi21 -> "AOI21"
+  | Oai21 -> "OAI21"
+
+let name t = Printf.sprintf "%sX%d" (kind_name t.kind) t.strength
+
+let of_name s =
+  match String.rindex_opt s 'X' with
+  | None -> failwith (Printf.sprintf "Cell.of_name: malformed name %S" s)
+  | Some i ->
+    let kind_str = String.sub s 0 i in
+    let strength_str = String.sub s (i + 1) (String.length s - i - 1) in
+    let kind =
+      match kind_str with
+      | "INV" -> Inv
+      | "BUF" -> Buf
+      | "NAND2" -> Nand2
+      | "NOR2" -> Nor2
+      | "AND2" -> And2
+      | "OR2" -> Or2
+      | "XOR2" -> Xor2
+      | "XNOR2" -> Xnor2
+      | "AOI21" | "AOI2" -> Aoi21
+      | "OAI21" | "OAI2" -> Oai21
+      | other -> failwith (Printf.sprintf "Cell.of_name: unknown kind %S" other)
+    in
+    (match int_of_string_opt strength_str with
+    | Some strength when strength > 0 -> { kind; strength }
+    | _ -> failwith (Printf.sprintf "Cell.of_name: bad strength in %S" s))
+
+let n_inputs = function
+  | Inv | Buf -> 1
+  | Nand2 | Nor2 | And2 | Or2 | Xor2 | Xnor2 -> 2
+  | Aoi21 | Oai21 -> 3
+
+let eval kind inputs =
+  if Array.length inputs <> n_inputs kind then
+    invalid_arg "Cell.eval: arity mismatch";
+  match kind with
+  | Inv -> not inputs.(0)
+  | Buf -> inputs.(0)
+  | Nand2 -> not (inputs.(0) && inputs.(1))
+  | Nor2 -> not (inputs.(0) || inputs.(1))
+  | And2 -> inputs.(0) && inputs.(1)
+  | Or2 -> inputs.(0) || inputs.(1)
+  | Xor2 -> inputs.(0) <> inputs.(1)
+  | Xnor2 -> inputs.(0) = inputs.(1)
+  | Aoi21 -> not ((inputs.(0) && inputs.(1)) || inputs.(2))
+  | Oai21 -> not ((inputs.(0) || inputs.(1)) && inputs.(2))
+
+let inverting = function
+  | Inv | Nand2 | Nor2 | Xnor2 | Aoi21 | Oai21 -> true
+  | Buf | And2 | Or2 | Xor2 -> false
+
+(* Topology of the worst-case (characterised) arc per output edge:
+   (series depth of the conducting network, parallel multiplicity). *)
+let topology kind ~output_edge =
+  match (kind, output_edge) with
+  | (Inv | Buf), _ -> (1, 1)
+  (* NAND2: NMOS series stack pulls down; a single PMOS of the parallel
+     pair pulls up. *)
+  | Nand2, `Fall -> (2, 1)
+  | Nand2, `Rise -> (1, 1)
+  (* NOR2: one of the parallel NMOS pulls down; PMOS series stack up. *)
+  | Nor2, `Fall -> (1, 1)
+  | Nor2, `Rise -> (2, 1)
+  (* AND2/OR2 are NAND2/NOR2 plus an output inverter; the compound worst
+     stack matches the first stage. *)
+  | And2, `Fall -> (2, 1)
+  | And2, `Rise -> (1, 1)
+  | Or2, `Fall -> (1, 1)
+  | Or2, `Rise -> (2, 1)
+  (* XOR/XNOR: transmission of two series devices both ways. *)
+  | (Xor2 | Xnor2), _ -> (2, 1)
+  (* AOI21: pull-down through the A·B branch (depth 2); pull-up through
+     the series C + (A ∥ B) PMOS (depth 2). *)
+  | Aoi21, _ -> (2, 1)
+  | Oai21, _ -> (2, 1)
+
+let stack_depth kind ~output_edge = fst (topology kind ~output_edge)
+
+let stack_count t =
+  max (stack_depth t.kind ~output_edge:`Rise) (stack_depth t.kind ~output_edge:`Fall)
+
+let input_cap (tech : Technology.t) t =
+  let s = float_of_int t.strength in
+  (* One input pin gates one NMOS and one PMOS, each upsized by its
+     network's series depth. *)
+  let depth_down = float_of_int (stack_depth t.kind ~output_edge:`Fall) in
+  let depth_up = float_of_int (stack_depth t.kind ~output_edge:`Rise) in
+  ((tech.width_n *. s *. depth_down) +. (tech.width_p *. s *. depth_up))
+  *. tech.cap_gate_per_width
+
+let fo4_load tech t = 4.0 *. input_cap tech t
+
+let arc tech sample t ~output_edge =
+  let depth, parallel = topology t.kind ~output_edge in
+  let pull = match output_edge with `Rise -> Arc.Pull_up | `Fall -> Arc.Pull_down in
+  (* Series devices are upsized by the depth of their own stack; the
+     lumped opposing device is sized like the cell's drive. *)
+  let strength = float_of_int (t.strength * depth) in
+  Arc.make tech sample ~pull ~depth ~strength ~parallel
+    ~opposing_width_mult:(float_of_int t.strength) ()
+
+let drive_resistance (tech : Technology.t) t =
+  let a = arc tech Nsigma_process.Variation.nominal t ~output_edge:`Fall in
+  let vdd = tech.vdd_nominal in
+  let i = Nsigma_spice.Arc.current tech a ~vin:vdd ~vout:(vdd /. 2.0) in
+  vdd /. (2.0 *. Float.max 1e-12 i)
+
+let pp ppf t = Format.pp_print_string ppf (name t)

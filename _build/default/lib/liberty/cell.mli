@@ -1,0 +1,84 @@
+(** The synthetic standard-cell library's cell definitions.
+
+    Each cell is a logic kind plus an integer drive strength (×1, ×2, ×4,
+    ×8 — the paper's sweep).  The module knows, per kind, the Boolean
+    function (for netlist evaluation), the transistor topology of the
+    worst-case switching arc (series depth and parallel multiplicity of
+    both networks), and the derived electrical quantities: pin input
+    capacitance and the {!Nsigma_spice.Arc.t} for a given variation
+    sample.
+
+    Sizing follows standard library practice: devices in a series stack
+    of depth d are upsized d× so all cells of strength s have roughly the
+    drive of an INVxs.  The stacked-transistor count [stack_count] is the
+    "n" of the paper's eq. (5). *)
+
+type kind =
+  | Inv
+  | Buf
+  | Nand2
+  | Nor2
+  | And2
+  | Or2
+  | Xor2
+  | Xnor2
+  | Aoi21
+  | Oai21
+
+type t = { kind : kind; strength : int }
+
+val all_kinds : kind list
+
+val standard_strengths : int list
+(** [1; 2; 4; 8] *)
+
+val make : kind -> strength:int -> t
+(** @raise Invalid_argument for a non-positive strength. *)
+
+val name : t -> string
+(** e.g. ["NAND2X4"]. *)
+
+val kind_name : kind -> string
+
+val of_name : string -> t
+(** Inverse of {!name}. @raise Failure on an unknown name. *)
+
+val n_inputs : kind -> int
+
+val eval : kind -> bool array -> bool
+(** Boolean function. @raise Invalid_argument on arity mismatch. *)
+
+val inverting : kind -> bool
+(** True when a rising input drives a falling output (unate inverted). *)
+
+val stack_depth : kind -> output_edge:[ `Rise | `Fall ] -> int
+(** Series depth of the conducting network for the worst arc. *)
+
+val stack_count : t -> int
+(** The paper's "number of stacked transistors" n: the worst-case series
+    depth over both networks. *)
+
+val input_cap : Nsigma_process.Technology.t -> t -> float
+(** Capacitance of one input pin (F): the N and P gates it drives, with
+    stack upsizing included. *)
+
+val fo4_load : Nsigma_process.Technology.t -> t -> float
+(** Four copies of the cell's own input pin — the paper's FO4
+    characterisation constraint. *)
+
+val drive_resistance :
+  Nsigma_process.Technology.t -> t -> float
+(** Switch-resistance estimate of the cell's worst pull-down arc,
+    R_drv ≈ VDD/(2·I(VDD, VDD/2)) — couples drive strength to effective
+    capacitance and shielding computations. *)
+
+val arc :
+  Nsigma_process.Technology.t ->
+  Nsigma_process.Variation.t ->
+  t ->
+  output_edge:[ `Rise | `Fall ] ->
+  Nsigma_spice.Arc.t
+(** Build the worst-case switching arc for the given output edge under
+    one variation sample. *)
+
+val pp : Format.formatter -> t -> unit

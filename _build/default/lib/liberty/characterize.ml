@@ -1,0 +1,140 @@
+module Technology = Nsigma_process.Technology
+module Moments = Nsigma_stats.Moments
+module Quantile = Nsigma_stats.Quantile
+module Rng = Nsigma_stats.Rng
+module Interpolate = Nsigma_stats.Interpolate
+module Cell_sim = Nsigma_spice.Cell_sim
+module Monte_carlo = Nsigma_spice.Monte_carlo
+
+type point = {
+  slew : float;
+  load : float;
+  moments : Moments.summary;
+  quantiles : float array;
+  mean_out_slew : float;
+}
+
+type table = {
+  cell : Cell.t;
+  edge : [ `Rise | `Fall ];
+  vdd : float;
+  n_mc : int;
+  slews : float array;
+  loads : float array;
+  points : point array array;
+}
+
+let reference_slew = 10e-12
+let reference_load = 0.4e-15
+
+let default_slews = [| 10e-12; 25e-12; 50e-12; 100e-12; 200e-12; 300e-12 |]
+let default_loads = [| 0.1e-15; 0.4e-15; 1.0e-15; 2.0e-15; 4.0e-15; 6.0e-15 |]
+
+(* Relative load axis: fractions of the cell's own FO4 load, so strong
+   cells are characterised over the loads they actually see.  The 1.0
+   entry keeps the exact FO4 point on the grid (Table II's constraint);
+   the reference load C_ref is inserted if it falls inside the span. *)
+let fo4_fractions = [| 0.05; 0.25; 0.5; 1.0; 2.0; 3.5 |]
+
+let loads_for tech cell =
+  let fo4 = Cell.fo4_load tech cell in
+  let base = Array.map (fun f -> f *. fo4) fo4_fractions in
+  if reference_load > base.(0) && reference_load < base.(Array.length base - 1)
+     && not (Array.exists (fun l -> Float.abs (l -. reference_load) < 1e-18) base)
+  then begin
+    let all = Array.append base [| reference_load |] in
+    Array.sort Float.compare all;
+    all
+  end
+  else base
+
+let sigma_probs =
+  List.map (fun n -> Quantile.probability_of_sigma (float_of_int n)) Quantile.sigma_levels
+  |> Array.of_list
+
+let characterize ?(n_mc = 2000) ?(seed = 1) ?(slews = default_slews) ?loads
+    tech cell ~edge =
+  let loads = match loads with Some l -> l | None -> loads_for tech cell in
+  let g = Rng.create ~seed in
+  let measure_point slew load =
+    (* Each grid point gets its own decorrelated stream so adding grid
+       points never perturbs other points' samples. *)
+    let gp = Rng.split g in
+    let results =
+      Monte_carlo.samples tech gp ~n:n_mc (fun sample ->
+          let arc = Cell.arc tech sample cell ~output_edge:edge in
+          try Some (Cell_sim.simulate tech arc ~input_slew:slew ~load_cap:load)
+          with Failure _ -> None)
+    in
+    let ok = Array.to_list results |> List.filter_map Fun.id in
+    let delays = Array.of_list (List.map (fun r -> r.Cell_sim.delay) ok) in
+    let out_slews = List.map (fun r -> r.Cell_sim.output_slew) ok in
+    if Array.length delays < 8 then
+      failwith
+        (Printf.sprintf "Characterize: %s produced too few valid samples"
+           (Cell.name cell));
+    Array.sort Float.compare delays;
+    let moments = Moments.summary_of_array delays in
+    let quantiles = Array.map (Quantile.of_sorted delays) sigma_probs in
+    let mean_out_slew =
+      List.fold_left ( +. ) 0.0 out_slews /. float_of_int (List.length out_slews)
+    in
+    { slew; load; moments; quantiles; mean_out_slew }
+  in
+  let points =
+    Array.map (fun s -> Array.map (fun l -> measure_point s l) loads) slews
+  in
+  {
+    cell;
+    edge;
+    vdd = tech.Technology.vdd_nominal;
+    n_mc;
+    slews;
+    loads;
+    points;
+  }
+
+let nearest axis v =
+  let best = ref 0 in
+  Array.iteri
+    (fun i x -> if Float.abs (x -. v) < Float.abs (axis.(!best) -. v) then best := i)
+    axis;
+  !best
+
+let point_at table ~slew ~load =
+  table.points.(nearest table.slews slew).(nearest table.loads load)
+
+let grid_of table f =
+  Interpolate.Grid2d.create ~xs:table.slews ~ys:table.loads
+    ~values:(Array.map (Array.map f) table.points)
+
+let moments_at table ~slew ~load : Moments.summary =
+  let eval f = Interpolate.Grid2d.eval (grid_of table f) slew load in
+  {
+    n = table.n_mc;
+    mean = eval (fun p -> p.moments.Moments.mean);
+    std = eval (fun p -> p.moments.Moments.std);
+    skewness = eval (fun p -> p.moments.Moments.skewness);
+    kurtosis = eval (fun p -> p.moments.Moments.kurtosis);
+  }
+
+let out_slew_at table ~slew ~load =
+  Interpolate.Grid2d.eval (grid_of table (fun p -> p.mean_out_slew)) slew load
+
+let quantile_at table ~slew ~load ~sigma =
+  let idx =
+    match List.find_index (fun n -> n = sigma) Quantile.sigma_levels with
+    | Some i -> i
+    | None -> invalid_arg "Characterize.quantile_at: sigma outside -3..3"
+  in
+  Interpolate.Grid2d.eval (grid_of table (fun p -> p.quantiles.(idx))) slew load
+
+let reference_point table =
+  let close a b = Float.abs (a -. b) < 1e-18 in
+  let si = nearest table.slews reference_slew in
+  let li = nearest table.loads reference_load in
+  if not (close table.slews.(si) reference_slew && close table.loads.(li) reference_load)
+  then
+    invalid_arg
+      "Characterize.reference_point: grid does not contain the reference condition";
+  table.points.(si).(li)

@@ -1,0 +1,75 @@
+(** Statistical cell characterisation — the LVF-table generator.
+
+    For every (input slew, output load) grid point, run a Monte-Carlo
+    population of the cell's worst arc through the transient simulator
+    and record the first four delay moments, the seven sigma-level
+    quantiles, and the mean output slew.  This reproduces the flow of
+    Fig. 5 of the paper up to (and excluding) the model fitting, which
+    lives in the core library. *)
+
+type point = {
+  slew : float;
+  load : float;
+  moments : Nsigma_stats.Moments.summary;
+  quantiles : float array;  (** seven entries, sigma levels −3 … +3 *)
+  mean_out_slew : float;
+}
+
+type table = {
+  cell : Cell.t;
+  edge : [ `Rise | `Fall ];
+  vdd : float;
+  n_mc : int;
+  slews : float array;  (** ascending *)
+  loads : float array;  (** ascending *)
+  points : point array array;  (** indexed [slew][load] *)
+}
+
+val reference_slew : float
+(** 10 ps — the paper's S_ref. *)
+
+val reference_load : float
+(** 0.4 fF — the paper's C_ref. *)
+
+val default_slews : float array
+(** 10, 25, 50, 100, 200, 300 ps (the paper sweeps 10–300 ps). *)
+
+val default_loads : float array
+(** 0.1, 0.4, 1, 2, 4, 6 fF (the paper sweeps 0.1–6 fF for the INVx1). *)
+
+val loads_for : Nsigma_process.Technology.t -> Cell.t -> float array
+(** The default load axis for a cell: fractions 0.05–3.5 of its own FO4
+    load (with C_ref inserted when it falls inside the span), so strong
+    cells are characterised over loads they actually see while the FO4
+    point of Table II stays exactly on the grid. *)
+
+val characterize :
+  ?n_mc:int ->
+  ?seed:int ->
+  ?slews:float array ->
+  ?loads:float array ->
+  Nsigma_process.Technology.t ->
+  Cell.t ->
+  edge:[ `Rise | `Fall ] ->
+  table
+(** Run the characterisation ([n_mc] defaults to 2000 samples per grid
+    point; [loads] defaults to {!loads_for}).  Deterministic for a fixed
+    seed. *)
+
+val point_at : table -> slew:float -> load:float -> point
+(** Nearest grid point (exact match expected; nearest otherwise). *)
+
+val moments_at : table -> slew:float -> load:float -> Nsigma_stats.Moments.summary
+(** Bilinear interpolation of each moment across the grid — the
+    LVF-style lookup a conventional tool would use. *)
+
+val out_slew_at : table -> slew:float -> load:float -> float
+(** Bilinear interpolation of the mean output slew (for slew
+    propagation in STA). *)
+
+val quantile_at : table -> slew:float -> load:float -> sigma:int -> float
+(** Bilinear interpolation of an empirical sigma-level quantile. *)
+
+val reference_point : table -> point
+(** The grid point at (S_ref, C_ref).
+    @raise Invalid_argument if the grid does not contain it. *)

@@ -1,0 +1,229 @@
+module Technology = Nsigma_process.Technology
+module Moments = Nsigma_stats.Moments
+
+type t = {
+  tech : Technology.t;
+  tables : (string, Characterize.table) Hashtbl.t;
+  mutable order : string list;  (* reverse insertion order *)
+}
+
+let key cell edge =
+  Printf.sprintf "%s/%s" (Cell.name cell)
+    (match edge with `Rise -> "rise" | `Fall -> "fall")
+
+let create tech = { tech; tables = Hashtbl.create 64; order = [] }
+
+let tech t = t.tech
+
+let add t (table : Characterize.table) =
+  let k = key table.Characterize.cell table.Characterize.edge in
+  if not (Hashtbl.mem t.tables k) then t.order <- k :: t.order;
+  Hashtbl.replace t.tables k table
+
+let find_opt t cell ~edge = Hashtbl.find_opt t.tables (key cell edge)
+
+let find t cell ~edge =
+  match find_opt t cell ~edge with Some table -> table | None -> raise Not_found
+
+let cells t =
+  List.rev_map
+    (fun k ->
+      let table = Hashtbl.find t.tables k in
+      (table.Characterize.cell, table.Characterize.edge))
+    t.order
+
+let characterize_all ?n_mc ?seed ?slews ?loads ?(edges = [ `Rise; `Fall ]) tech
+    cell_list =
+  let lib = create tech in
+  List.iteri
+    (fun i cell ->
+      List.iter
+        (fun edge ->
+          let seed =
+            (* Distinct deterministic seed per (cell, edge). *)
+            match seed with Some s -> s + (i * 17) | None -> 1 + (i * 17)
+          in
+          add lib (Characterize.characterize ?n_mc ~seed ?slews ?loads tech cell ~edge))
+        edges)
+    cell_list;
+  lib
+
+(* ----- serialisation ----- *)
+
+let edge_name = function `Rise -> "RISE" | `Fall -> "FALL"
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "NSIGMA_LIB 1 %s %.6f\n" t.tech.Technology.name
+        t.tech.Technology.vdd_nominal;
+      List.iter
+        (fun (cell, edge) ->
+          let table = find t cell ~edge in
+          Printf.fprintf oc "TABLE %s %s %d\n" (Cell.name cell) (edge_name edge)
+            table.Characterize.n_mc;
+          let axis name a =
+            Printf.fprintf oc "%s" name;
+            Array.iter (fun v -> Printf.fprintf oc " %.9g" v) a;
+            Printf.fprintf oc "\n"
+          in
+          axis "SLEWS" table.Characterize.slews;
+          axis "LOADS" table.Characterize.loads;
+          Array.iteri
+            (fun i row ->
+              Array.iteri
+                (fun j (p : Characterize.point) ->
+                  Printf.fprintf oc "POINT %d %d %.9g %.9g %.9g %.9g" i j
+                    p.moments.Moments.mean p.moments.Moments.std
+                    p.moments.Moments.skewness p.moments.Moments.kurtosis;
+                  Array.iter (fun q -> Printf.fprintf oc " %.9g" q) p.quantiles;
+                  Printf.fprintf oc " %.9g\n" p.mean_out_slew)
+                row)
+            table.Characterize.points;
+          Printf.fprintf oc "END\n")
+        (cells t))
+
+type partial = {
+  p_cell : Cell.t;
+  p_edge : [ `Rise | `Fall ];
+  p_n_mc : int;
+  mutable p_slews : float array;
+  mutable p_loads : float array;
+  mutable p_points : (int * int * Characterize.point) list;
+}
+
+let load tech path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lib = create tech in
+      let current = ref None in
+      let fail lineno msg = failwith (Printf.sprintf "%s:%d: %s" path lineno msg) in
+      let finish lineno =
+        match !current with
+        | None -> ()
+        | Some p ->
+          let ns = Array.length p.p_slews and nl = Array.length p.p_loads in
+          if ns = 0 || nl = 0 then fail lineno "missing SLEWS/LOADS";
+          let points =
+            Array.init ns (fun _ -> Array.make nl None)
+          in
+          List.iter (fun (i, j, pt) -> points.(i).(j) <- Some pt) p.p_points;
+          let points =
+            Array.mapi
+              (fun i row ->
+                Array.mapi
+                  (fun j -> function
+                    | Some pt -> pt
+                    | None -> fail lineno (Printf.sprintf "missing POINT %d %d" i j))
+                  row)
+              points
+          in
+          add lib
+            {
+              Characterize.cell = p.p_cell;
+              edge = p.p_edge;
+              vdd = tech.Technology.vdd_nominal;
+              n_mc = p.p_n_mc;
+              slews = p.p_slews;
+              loads = p.p_loads;
+              points;
+            };
+          current := None
+      in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           let words =
+             String.split_on_char ' ' (String.trim line)
+             |> List.filter (fun w -> w <> "")
+           in
+           match words with
+           | [] -> ()
+           | [ "NSIGMA_LIB"; "1"; _name; vdd ] ->
+             let vdd = float_of_string vdd in
+             if Float.abs (vdd -. tech.Technology.vdd_nominal) > 1e-3 then
+               fail !lineno
+                 (Printf.sprintf "library characterised at %.3f V, technology is %.3f V"
+                    vdd tech.Technology.vdd_nominal)
+           | [ "TABLE"; cell_name; edge; n_mc ] ->
+             let p_edge =
+               match edge with
+               | "RISE" -> `Rise
+               | "FALL" -> `Fall
+               | _ -> fail !lineno "bad edge"
+             in
+             current :=
+               Some
+                 {
+                   p_cell = Cell.of_name cell_name;
+                   p_edge;
+                   p_n_mc = int_of_string n_mc;
+                   p_slews = [||];
+                   p_loads = [||];
+                   p_points = [];
+                 }
+           | "SLEWS" :: rest ->
+             (match !current with
+             | Some p -> p.p_slews <- Array.of_list (List.map float_of_string rest)
+             | None -> fail !lineno "SLEWS outside TABLE")
+           | "LOADS" :: rest ->
+             (match !current with
+             | Some p -> p.p_loads <- Array.of_list (List.map float_of_string rest)
+             | None -> fail !lineno "LOADS outside TABLE")
+           | "POINT" :: i :: j :: mean :: std :: skew :: kurt :: rest ->
+             (match !current with
+             | None -> fail !lineno "POINT outside TABLE"
+             | Some p ->
+               let i = int_of_string i and j = int_of_string j in
+               let values = List.map float_of_string rest in
+               let nq = List.length Nsigma_stats.Quantile.sigma_levels in
+               if List.length values <> nq + 1 then fail !lineno "bad POINT arity";
+               let quantiles = Array.of_list (List.filteri (fun k _ -> k < nq) values) in
+               let mean_out_slew = List.nth values nq in
+               let point =
+                 {
+                   Characterize.slew = p.p_slews.(i);
+                   load = p.p_loads.(j);
+                   moments =
+                     {
+                       Moments.n = p.p_n_mc;
+                       mean = float_of_string mean;
+                       std = float_of_string std;
+                       skewness = float_of_string skew;
+                       kurtosis = float_of_string kurt;
+                     };
+                   quantiles;
+                   mean_out_slew;
+                 }
+               in
+               p.p_points <- (i, j, point) :: p.p_points)
+           | [ "END" ] -> finish !lineno
+           | w :: _ -> fail !lineno (Printf.sprintf "unrecognised keyword %S" w)
+         done
+       with End_of_file -> ());
+      if !current <> None then failwith (path ^ ": missing END");
+      lib)
+
+let load_or_characterize ?n_mc ?seed ?slews ?loads ?edges ~path tech cell_list =
+  let covers lib =
+    let edges = Option.value edges ~default:[ `Rise; `Fall ] in
+    List.for_all
+      (fun cell -> List.for_all (fun edge -> find_opt lib cell ~edge <> None) edges)
+      cell_list
+  in
+  let from_disk =
+    if Sys.file_exists path then (try Some (load tech path) with Failure _ -> None)
+    else None
+  in
+  match from_disk with
+  | Some lib when covers lib -> lib
+  | _ ->
+    let lib = characterize_all ?n_mc ?seed ?slews ?loads ?edges tech cell_list in
+    save lib path;
+    lib

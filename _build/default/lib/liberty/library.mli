@@ -1,0 +1,53 @@
+(** A characterised cell library: tables for every (cell, edge) pair,
+    plus text serialisation so expensive characterisation runs can be
+    cached on disk (the moral equivalent of a .lib/LVF file). *)
+
+type t
+
+val create : Nsigma_process.Technology.t -> t
+(** An empty library bound to a technology/corner. *)
+
+val tech : t -> Nsigma_process.Technology.t
+
+val add : t -> Characterize.table -> unit
+
+val find : t -> Cell.t -> edge:[ `Rise | `Fall ] -> Characterize.table
+(** @raise Not_found if the pair was never characterised. *)
+
+val find_opt : t -> Cell.t -> edge:[ `Rise | `Fall ] -> Characterize.table option
+
+val cells : t -> (Cell.t * [ `Rise | `Fall ]) list
+(** All characterised pairs, in insertion order. *)
+
+val characterize_all :
+  ?n_mc:int ->
+  ?seed:int ->
+  ?slews:float array ->
+  ?loads:float array ->
+  ?edges:[ `Rise | `Fall ] list ->
+  Nsigma_process.Technology.t ->
+  Cell.t list ->
+  t
+(** Build a library by characterising every cell (both edges by
+    default). *)
+
+val save : t -> string -> unit
+(** Write the library to a text file. *)
+
+val load : Nsigma_process.Technology.t -> string -> t
+(** Read a library back.  The stored VDD must match the technology's
+    (within 1 mV) — characterisation data is corner-specific.
+    @raise Failure on parse errors or corner mismatch. *)
+
+val load_or_characterize :
+  ?n_mc:int ->
+  ?seed:int ->
+  ?slews:float array ->
+  ?loads:float array ->
+  ?edges:[ `Rise | `Fall ] list ->
+  path:string ->
+  Nsigma_process.Technology.t ->
+  Cell.t list ->
+  t
+(** Cache wrapper: load [path] if it exists and covers the requested
+    cells; otherwise characterise and save. *)

@@ -1,0 +1,1 @@
+lib/netlist/benchmarks.ml: Generators List Netlist String

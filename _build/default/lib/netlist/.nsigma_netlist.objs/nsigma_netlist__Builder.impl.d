@@ -1,0 +1,1 @@
+lib/netlist/builder.ml: Array List Netlist Nsigma_liberty Printf

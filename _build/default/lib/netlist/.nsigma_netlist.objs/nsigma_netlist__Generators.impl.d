@@ -1,0 +1,1 @@
+lib/netlist/generators.ml: Array Builder Fun List Netlist Nsigma_liberty Nsigma_stats Printf

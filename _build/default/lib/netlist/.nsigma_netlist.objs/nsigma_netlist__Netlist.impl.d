@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array List Nsigma_liberty Printf Queue

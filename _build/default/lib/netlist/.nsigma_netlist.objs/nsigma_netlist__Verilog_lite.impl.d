@@ -1,0 +1,1 @@
+lib/netlist/verilog_lite.ml: Array Buffer Fun Hashtbl List Netlist Nsigma_liberty Printf String

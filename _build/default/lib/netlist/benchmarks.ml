@@ -1,0 +1,107 @@
+type paper_stats = {
+  p_nets : int;
+  p_cells : int;
+  p_mc_m3 : float;
+  p_mc_p3 : float;
+  p_err_ours_m3 : float;
+  p_err_ours_p3 : float;
+}
+
+type t = {
+  name : string;
+  paper : paper_stats;
+  generate : unit -> Netlist.t;
+}
+
+let sized f () = Generators.size_for_fanout (f ())
+
+let random name ~n_inputs ~n_gates ~depth ~seed paper =
+  {
+    name;
+    paper;
+    generate =
+      sized (fun () ->
+          Generators.random_logic ~name ~n_inputs ~n_gates ~depth ~seed);
+  }
+
+let stats ~nets ~cells ~m3 ~p3 ~em3 ~ep3 =
+  {
+    p_nets = nets;
+    p_cells = cells;
+    p_mc_m3 = m3;
+    p_mc_p3 = p3;
+    p_err_ours_m3 = em3;
+    p_err_ours_p3 = ep3;
+  }
+
+(* Level counts are tuned so the generated critical paths land in the
+   paper's delay range at the 0.6 V corner (~30 ps/stage incl. wire). *)
+let iscas85 =
+  [
+    random "c432" ~n_inputs:36 ~n_gates:655 ~depth:28 ~seed:432
+      (stats ~nets:734 ~cells:655 ~m3:584. ~p3:1015. ~em3:8.7 ~ep3:5.9);
+    random "c1355" ~n_inputs:41 ~n_gates:977 ~depth:25 ~seed:1355
+      (stats ~nets:1091 ~cells:977 ~m3:523. ~p3:921. ~em3:6.9 ~ep3:2.4);
+    random "c1908" ~n_inputs:33 ~n_gates:1093 ~depth:34 ~seed:1908
+      (stats ~nets:1184 ~cells:1093 ~m3:727. ~p3:1272. ~em3:4.3 ~ep3:1.8);
+    random "c2670" ~n_inputs:233 ~n_gates:1810 ~depth:32 ~seed:2670
+      (stats ~nets:2415 ~cells:1810 ~m3:686. ~p3:1177. ~em3:4.5 ~ep3:4.1);
+    random "c3540" ~n_inputs:50 ~n_gates:2168 ~depth:12 ~seed:3540
+      (stats ~nets:2290 ~cells:2168 ~m3:252. ~p3:462. ~em3:5.9 ~ep3:1.7);
+    random "c6288" ~n_inputs:32 ~n_gates:3246 ~depth:24 ~seed:6288
+      (stats ~nets:3725 ~cells:3246 ~m3:520. ~p3:890. ~em3:4.1 ~ep3:2.3);
+    random "c5315" ~n_inputs:178 ~n_gates:5275 ~depth:42 ~seed:5315
+      (stats ~nets:5371 ~cells:5275 ~m3:879. ~p3:1581. ~em3:2.9 ~ep3:1.1);
+    random "c7552" ~n_inputs:207 ~n_gates:4041 ~depth:37 ~seed:7552
+      (stats ~nets:4536 ~cells:4041 ~m3:766. ~p3:1368. ~em3:3.8 ~ep3:0.7);
+  ]
+
+let pulpino =
+  [
+    {
+      name = "ADD";
+      paper = stats ~nets:2531 ~cells:4088 ~m3:784. ~p3:1867. ~em3:6.3 ~ep3:7.1;
+      generate = sized (fun () -> Generators.kogge_stone_adder ~bits:184);
+    };
+    {
+      name = "SUB";
+      paper = stats ~nets:2576 ~cells:3066 ~m3:856. ~p3:1903. ~em3:5.3 ~ep3:3.5;
+      generate = sized (fun () -> Generators.subtractor ~bits:141);
+    };
+    {
+      name = "MUL";
+      paper =
+        stats ~nets:62967 ~cells:49570 ~m3:4908. ~p3:6856. ~em3:6.7 ~ep3:6.7;
+      generate = sized (fun () -> Generators.array_multiplier ~bits:90);
+    };
+    {
+      name = "DIV";
+      paper =
+        stats ~nets:91932 ~cells:51654 ~m3:5178. ~p3:7099. ~em3:7.7 ~ep3:6.6;
+      generate =
+        sized (fun () ->
+            Generators.array_divider ~dividend_bits:56 ~divisor_bits:48);
+    };
+  ]
+
+let all = iscas85 @ pulpino
+
+let find name =
+  let lname = String.lowercase_ascii name in
+  List.find (fun t -> String.lowercase_ascii t.name = lname) all
+
+let small_variants =
+  [
+    random "c432-small" ~n_inputs:12 ~n_gates:80 ~depth:10 ~seed:432
+      (stats ~nets:92 ~cells:80 ~m3:0. ~p3:0. ~em3:0. ~ep3:0.);
+    {
+      name = "ADD-small";
+      paper = stats ~nets:0 ~cells:0 ~m3:0. ~p3:0. ~em3:0. ~ep3:0.;
+      generate = sized (fun () -> Generators.kogge_stone_adder ~bits:8);
+    };
+    {
+      name = "MUL-small";
+      paper = stats ~nets:0 ~cells:0 ~m3:0. ~p3:0. ~em3:0. ~ep3:0.;
+      generate = sized (fun () -> Generators.array_multiplier ~bits:4);
+    };
+  ]

@@ -1,0 +1,39 @@
+(** Benchmark registry mirroring the paper's Table III.
+
+    The ISCAS85 suite and the PULPino functional units are distributed as
+    proprietary-toolchain artifacts (Design Compiler netlists), so each
+    entry here pairs the paper's published statistics (#nets, #cells, the
+    MC ±3σ critical-path delays) with a generator that produces a circuit
+    of equivalent scale: random logic cones sized/levelled like the
+    ISCAS85 circuit, and real arithmetic structures for the PULPino
+    units. *)
+
+type paper_stats = {
+  p_nets : int;
+  p_cells : int;
+  p_mc_m3 : float;  (** paper MC −3σ critical-path delay (ps) *)
+  p_mc_p3 : float;  (** paper MC +3σ critical-path delay (ps) *)
+  p_err_ours_m3 : float;  (** paper's reported −3σ error of their model (%) *)
+  p_err_ours_p3 : float;  (** +3σ error (%) *)
+}
+
+type t = {
+  name : string;
+  paper : paper_stats;
+  generate : unit -> Netlist.t;  (** deterministic; fanout-sized *)
+}
+
+val iscas85 : t list
+(** c432, c1355, c1908, c2670, c3540, c6288, c5315, c7552. *)
+
+val pulpino : t list
+(** ADD, SUB, MUL, DIV functional units. *)
+
+val all : t list
+
+val find : string -> t
+(** Case-insensitive lookup. @raise Not_found. *)
+
+val small_variants : t list
+(** Reduced-size versions of a few entries (same generators, smaller
+    parameters) for fast tests and smoke benches. *)

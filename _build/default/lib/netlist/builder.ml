@@ -1,0 +1,111 @@
+module Cell = Nsigma_liberty.Cell
+
+type t = {
+  name : string;
+  mutable n_nets : int;
+  mutable net_names : string list;  (* reverse order *)
+  mutable inputs : int list;  (* reverse order *)
+  mutable outputs : int list;  (* reverse order *)
+  mutable gates : Netlist.gate list;  (* reverse order *)
+  mutable n_gates : int;
+  mutable one : int option;
+  mutable zero : int option;
+}
+
+let create ~name =
+  {
+    name;
+    n_nets = 0;
+    net_names = [];
+    inputs = [];
+    outputs = [];
+    gates = [];
+    n_gates = 0;
+    one = None;
+    zero = None;
+  }
+
+let fresh_net ?name b =
+  let id = b.n_nets in
+  b.n_nets <- id + 1;
+  let net_name = match name with Some n -> n | None -> Printf.sprintf "n%d" id in
+  b.net_names <- net_name :: b.net_names;
+  id
+
+let input b name =
+  let net = fresh_net ~name b in
+  b.inputs <- net :: b.inputs;
+  net
+
+let output b net = b.outputs <- net :: b.outputs
+
+let add_gate b cell inputs =
+  let out = fresh_net b in
+  let g_name = Printf.sprintf "g%d" b.n_gates in
+  b.gates <- { Netlist.g_name; cell; inputs; output = out } :: b.gates;
+  b.n_gates <- b.n_gates + 1;
+  out
+
+let gate_count b = b.n_gates
+
+let cell kind strength = Cell.make kind ~strength
+
+let inv b ?(strength = 1) a = add_gate b (cell Cell.Inv strength) [| a |]
+let nand2 b ?(strength = 1) x y = add_gate b (cell Cell.Nand2 strength) [| x; y |]
+let nor2 b ?(strength = 1) x y = add_gate b (cell Cell.Nor2 strength) [| x; y |]
+let and2 b ?(strength = 1) x y = add_gate b (cell Cell.And2 strength) [| x; y |]
+let or2 b ?(strength = 1) x y = add_gate b (cell Cell.Or2 strength) [| x; y |]
+let xor2 b ?(strength = 1) x y = add_gate b (cell Cell.Xor2 strength) [| x; y |]
+let xnor2 b ?(strength = 1) x y = add_gate b (cell Cell.Xnor2 strength) [| x; y |]
+
+let first_input b =
+  match List.rev b.inputs with
+  | pi :: _ -> pi
+  | [] -> invalid_arg "Builder: declare a primary input before using constants"
+
+let const_one b =
+  match b.one with
+  | Some net -> net
+  | None ->
+    let pi = first_input b in
+    let net = xnor2 b pi pi in
+    b.one <- Some net;
+    net
+
+let const_zero b =
+  match b.zero with
+  | Some net -> net
+  | None ->
+    let pi = first_input b in
+    let net = xor2 b pi pi in
+    b.zero <- Some net;
+    net
+
+let mux2 b ~sel ~a ~b:bb =
+  (* out = (a ∧ ¬sel) ∨ (b ∧ sel), in NAND form. *)
+  let nsel = inv b sel in
+  let ta = nand2 b a nsel in
+  let tb = nand2 b bb sel in
+  nand2 b ta tb
+
+let full_adder b ~a ~b:bb ~cin =
+  let p = xor2 b a bb in
+  let sum = xor2 b p cin in
+  let t1 = nand2 b a bb in
+  let t2 = nand2 b p cin in
+  let cout = nand2 b t1 t2 in
+  (sum, cout)
+
+let finish b =
+  let netlist =
+    {
+      Netlist.name = b.name;
+      n_nets = b.n_nets;
+      primary_inputs = Array.of_list (List.rev b.inputs);
+      primary_outputs = Array.of_list (List.rev b.outputs);
+      gates = Array.of_list (List.rev b.gates);
+      net_names = Array.of_list (List.rev b.net_names);
+    }
+  in
+  Netlist.validate netlist;
+  netlist

@@ -1,0 +1,47 @@
+(** Imperative netlist construction used by the circuit generators. *)
+
+type t
+
+val create : name:string -> t
+
+val fresh_net : ?name:string -> t -> int
+(** Allocate a new net. *)
+
+val input : t -> string -> int
+(** Declare a named primary input; returns its net. *)
+
+val output : t -> int -> unit
+(** Mark a net as a primary output. *)
+
+val add_gate :
+  t -> Nsigma_liberty.Cell.t -> int array -> int
+(** [add_gate b cell inputs] instantiates the cell, allocates and returns
+    its output net. *)
+
+val gate_count : t -> int
+
+val const_one : t -> int
+(** A logic-1 net (XNOR of a primary input with itself); memoised.  The
+    first primary input is used — declare inputs first. *)
+
+val const_zero : t -> int
+(** A logic-0 net (XOR of an input with itself); memoised. *)
+
+val finish : t -> Netlist.t
+(** Freeze, validate and return the netlist. *)
+
+(** Convenience single-output gate helpers (allocate the output net). *)
+
+val inv : t -> ?strength:int -> int -> int
+val nand2 : t -> ?strength:int -> int -> int -> int
+val nor2 : t -> ?strength:int -> int -> int -> int
+val and2 : t -> ?strength:int -> int -> int -> int
+val or2 : t -> ?strength:int -> int -> int -> int
+val xor2 : t -> ?strength:int -> int -> int -> int
+val xnor2 : t -> ?strength:int -> int -> int -> int
+
+val mux2 : t -> sel:int -> a:int -> b:int -> int
+(** 2:1 multiplexer from NAND gates: output = if sel then b else a. *)
+
+val full_adder : t -> a:int -> b:int -> cin:int -> int * int
+(** (sum, carry-out) from 2 XOR + 3 NAND gates. *)

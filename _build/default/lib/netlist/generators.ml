@@ -1,0 +1,264 @@
+module Cell = Nsigma_liberty.Cell
+module Rng = Nsigma_stats.Rng
+module B = Builder
+
+let ripple_adder ~bits =
+  if bits <= 0 then invalid_arg "Generators.ripple_adder: bits <= 0";
+  let b = B.create ~name:(Printf.sprintf "radd%d" bits) in
+  let a = Array.init bits (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bb = Array.init bits (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let cin = B.input b "cin" in
+  let carry = ref cin in
+  for i = 0 to bits - 1 do
+    let sum, cout = B.full_adder b ~a:a.(i) ~b:bb.(i) ~cin:!carry in
+    B.output b sum;
+    carry := cout
+  done;
+  B.output b !carry;
+  B.finish b
+
+(* Shared Kogge-Stone core: given per-bit propagate/generate nets (with
+   any carry-in already folded into bit 0's generate), wire the prefix
+   network and return the carry-into-bit array c.(i) for i in 1..bits and
+   the final carry-out. *)
+let kogge_stone_prefix b ~p ~g =
+  let bits = Array.length p in
+  let gs = Array.copy g and ps = Array.copy p in
+  let d = ref 1 in
+  while !d < bits do
+    let gs' = Array.copy gs and ps' = Array.copy ps in
+    for i = !d to bits - 1 do
+      gs'.(i) <- B.or2 b gs.(i) (B.and2 b ps.(i) gs.(i - !d));
+      ps'.(i) <- B.and2 b ps.(i) ps.(i - !d)
+    done;
+    Array.blit gs' 0 gs 0 bits;
+    Array.blit ps' 0 ps 0 bits;
+    d := !d * 2
+  done;
+  gs
+
+let kogge_stone_adder ~bits =
+  if bits <= 0 then invalid_arg "Generators.kogge_stone_adder: bits <= 0";
+  let b = B.create ~name:(Printf.sprintf "ksadd%d" bits) in
+  let a = Array.init bits (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bb = Array.init bits (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let p = Array.init bits (fun i -> B.xor2 b a.(i) bb.(i)) in
+  let g = Array.init bits (fun i -> B.and2 b a.(i) bb.(i)) in
+  let carries = kogge_stone_prefix b ~p ~g in
+  B.output b p.(0);
+  for i = 1 to bits - 1 do
+    B.output b (B.xor2 b p.(i) carries.(i - 1))
+  done;
+  B.output b carries.(bits - 1);
+  B.finish b
+
+(* Build a − minus on pre-allocated nets inside an existing builder:
+   returns (difference bits, no-borrow flag).  [minus_inverted] must
+   already hold ¬minus. *)
+let subtract_ks b ~a ~minus_inverted =
+  let bits = Array.length a in
+  let p = Array.init bits (fun i -> B.xor2 b a.(i) minus_inverted.(i)) in
+  let g = Array.init bits (fun i -> B.and2 b a.(i) minus_inverted.(i)) in
+  (* Fold the +1 carry-in into bit 0: g0' = g0 ∨ (p0 ∧ 1) = g0 ∨ p0. *)
+  let g = Array.copy g in
+  g.(0) <- B.or2 b g.(0) p.(0);
+  let carries = kogge_stone_prefix b ~p ~g in
+  let diff =
+    Array.init bits (fun i ->
+        if i = 0 then B.inv b p.(0) (* p0 XOR cin(=1) *)
+        else B.xor2 b p.(i) carries.(i - 1))
+  in
+  (diff, carries.(bits - 1))
+
+let subtractor ~bits =
+  if bits <= 0 then invalid_arg "Generators.subtractor: bits <= 0";
+  let b = B.create ~name:(Printf.sprintf "kssub%d" bits) in
+  let a = Array.init bits (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bb = Array.init bits (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let nb = Array.map (fun net -> B.inv b net) bb in
+  let diff, no_borrow = subtract_ks b ~a ~minus_inverted:nb in
+  Array.iter (fun net -> B.output b net) diff;
+  B.output b no_borrow;
+  B.finish b
+
+let array_multiplier ~bits =
+  if bits <= 0 then invalid_arg "Generators.array_multiplier: bits <= 0";
+  let b = B.create ~name:(Printf.sprintf "mul%d" bits) in
+  let a = Array.init bits (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bb = Array.init bits (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let pp i j = B.and2 b a.(j) bb.(i) in
+  (* Accumulator over 2n product bits; [None] means a known zero. *)
+  let acc = Array.make (2 * bits) None in
+  for j = 0 to bits - 1 do
+    acc.(j) <- Some (pp 0 j)
+  done;
+  for i = 1 to bits - 1 do
+    let carry = ref None in
+    for j = 0 to bits - 1 do
+      let pos = i + j in
+      let addend = pp i j in
+      match (acc.(pos), !carry) with
+      | None, None -> acc.(pos) <- Some addend
+      | Some s, None | None, Some s ->
+        (* Half adder. *)
+        let sum = B.xor2 b s addend in
+        let cout = B.and2 b s addend in
+        acc.(pos) <- Some sum;
+        carry := Some cout
+      | Some s, Some c ->
+        let sum, cout = B.full_adder b ~a:s ~b:addend ~cin:c in
+        acc.(pos) <- Some sum;
+        carry := Some cout
+    done;
+    (* Carry ripples into the zero-extension. *)
+    (match !carry with
+    | None -> ()
+    | Some c ->
+      let pos = ref (i + bits) in
+      let pending = ref (Some c) in
+      while !pending <> None do
+        (match (acc.(!pos), !pending) with
+        | None, Some c ->
+          acc.(!pos) <- Some c;
+          pending := None
+        | Some s, Some c ->
+          acc.(!pos) <- Some (B.xor2 b s c);
+          pending := Some (B.and2 b s c)
+        | _, None -> ());
+        incr pos
+      done)
+  done;
+  Array.iter
+    (function
+      | Some net -> B.output b net
+      | None ->
+        (* Top bit can stay structurally zero for bits=1. *)
+        B.output b (B.const_zero b))
+    acc;
+  B.finish b
+
+let array_divider ~dividend_bits ~divisor_bits =
+  if dividend_bits <= 0 || divisor_bits <= 0 then
+    invalid_arg "Generators.array_divider: bits <= 0";
+  let b =
+    B.create ~name:(Printf.sprintf "div%dby%d" dividend_bits divisor_bits)
+  in
+  let num =
+    Array.init dividend_bits (fun i -> B.input b (Printf.sprintf "a%d" i))
+  in
+  let den =
+    Array.init divisor_bits (fun i -> B.input b (Printf.sprintf "b%d" i))
+  in
+  let width = divisor_bits + 1 in
+  (* Invert the divisor once; reused by every row's subtractor. *)
+  let nden =
+    Array.init width (fun i ->
+        if i < divisor_bits then B.inv b den.(i)
+        else B.const_one b (* ¬0 for the zero-extended top bit *))
+  in
+  let zero = B.const_zero b in
+  let remainder = ref (Array.make width zero) in
+  let quotient = Array.make dividend_bits zero in
+  for row = dividend_bits - 1 downto 0 do
+    (* Shift in the next dividend bit. *)
+    let r = !remainder in
+    let shifted = Array.init width (fun i -> if i = 0 then num.(row) else r.(i - 1)) in
+    let diff, no_borrow = subtract_ks b ~a:shifted ~minus_inverted:nden in
+    quotient.(row) <- no_borrow;
+    remainder :=
+      Array.init width (fun i ->
+          B.mux2 b ~sel:no_borrow ~a:shifted.(i) ~b:diff.(i))
+  done;
+  Array.iter (fun q -> B.output b q) quotient;
+  for i = 0 to divisor_bits - 1 do
+    B.output b !remainder.(i)
+  done;
+  B.finish b
+
+(* Synthesis-like cell mix for random logic. *)
+let random_kind g =
+  let r = Rng.uniform g in
+  if r < 0.26 then Cell.Nand2
+  else if r < 0.46 then Cell.Nor2
+  else if r < 0.60 then Cell.Inv
+  else if r < 0.70 then Cell.Aoi21
+  else if r < 0.80 then Cell.Oai21
+  else if r < 0.87 then Cell.Xor2
+  else if r < 0.92 then Cell.Xnor2
+  else if r < 0.96 then Cell.And2
+  else Cell.Or2
+
+let random_logic ~name ~n_inputs ~n_gates ~depth ~seed =
+  if n_inputs <= 0 || n_gates <= 0 || depth <= 0 then
+    invalid_arg "Generators.random_logic: non-positive parameter";
+  if n_gates < depth then
+    invalid_arg "Generators.random_logic: need at least one gate per level";
+  let g = Rng.create ~seed in
+  let b = B.create ~name in
+  let pis = Array.init n_inputs (fun i -> B.input b (Printf.sprintf "i%d" i)) in
+  (* Distribute gates over levels; level l nets feed level l+1. *)
+  let per_level = Array.make depth (n_gates / depth) in
+  for i = 0 to (n_gates mod depth) - 1 do
+    per_level.(i) <- per_level.(i) + 1
+  done;
+  let prev_level = ref (Array.to_list pis) in
+  let all_earlier = ref (Array.to_list pis) in
+  let spine = ref pis.(0) in
+  for level = 0 to depth - 1 do
+    let prev = Array.of_list !prev_level in
+    let earlier = Array.of_list !all_earlier in
+    let this_level = ref [] in
+    for k = 0 to per_level.(level) - 1 do
+      let kind = random_kind g in
+      let arity = Cell.n_inputs kind in
+      let pick_input pin =
+        (* The spine guarantees a full-depth path; other pins mostly read
+           the previous level with occasional long-range taps. *)
+        if k = 0 && pin = 0 then !spine
+        else if Rng.uniform g < 0.8 then Rng.choose g prev
+        else Rng.choose g earlier
+      in
+      let inputs = Array.init arity pick_input in
+      let out = B.add_gate b (Cell.make kind ~strength:1) inputs in
+      if k = 0 then spine := out;
+      this_level := out :: !this_level
+    done;
+    prev_level := !this_level;
+    all_earlier := !this_level @ !all_earlier
+  done;
+  let netlist_so_far_outputs () =
+    (* Nets without fanout become primary outputs. *)
+    !prev_level
+  in
+  List.iter (fun net -> B.output b net) (netlist_so_far_outputs ());
+  let nl = B.finish b in
+  (* Also expose any internal net that ended up with no sink. *)
+  let fanouts = Netlist.fanouts_of nl in
+  let extra =
+    List.filter_map
+      (fun gi ->
+        let out = nl.Netlist.gates.(gi).Netlist.output in
+        if fanouts.(out) = [] then Some out else None)
+      (List.init (Netlist.n_cells nl) Fun.id)
+  in
+  if extra = [] then nl
+  else
+    {
+      nl with
+      Netlist.primary_outputs =
+        Array.append nl.Netlist.primary_outputs (Array.of_list extra);
+    }
+
+let size_for_fanout nl =
+  let fanouts = Netlist.fanouts_of nl in
+  let gates =
+    Array.map
+      (fun (g : Netlist.gate) ->
+        let fo = List.length fanouts.(g.output) in
+        let strength =
+          if fo <= 2 then 2 else if fo <= 4 then 4 else 8
+        in
+        { g with Netlist.cell = Cell.make g.cell.Cell.kind ~strength })
+      nl.Netlist.gates
+  in
+  { nl with Netlist.gates }

@@ -1,0 +1,46 @@
+(** Parametric circuit generators.
+
+    These stand in for the paper's proprietary benchmark netlists (ISCAS85
+    mapped through Design Compiler, PULPino functional units): the
+    arithmetic generators produce real adders/subtractors/multipliers/
+    dividers whose function is verified by {!Netlist.eval}, and
+    {!random_logic} produces ISCAS85-scale random logic cones with a
+    controlled cell count and logic depth. *)
+
+val ripple_adder : bits:int -> Netlist.t
+(** n-bit ripple-carry adder; inputs a0.., b0.., cin; outputs s0.., cout. *)
+
+val kogge_stone_adder : bits:int -> Netlist.t
+(** Parallel-prefix adder (no carry-in): log-depth, the PULPino-ADD
+    stand-in. *)
+
+val subtractor : bits:int -> Netlist.t
+(** a − b via Kogge-Stone with inverted b and carry-in 1; outputs the
+    difference and a "no-borrow" flag. *)
+
+val array_multiplier : bits:int -> Netlist.t
+(** n×n → 2n array multiplier built from AND partial products and
+    ripple-carry accumulation rows. *)
+
+val array_divider : dividend_bits:int -> divisor_bits:int -> Netlist.t
+(** Restoring array divider: quotient (dividend_bits wide) and remainder
+    (divisor_bits wide) of an unsigned division.  Rows use Kogge-Stone
+    subtraction so depth grows as rows·log(width), not rows·width. *)
+
+val random_logic :
+  name:string ->
+  n_inputs:int ->
+  n_gates:int ->
+  depth:int ->
+  seed:int ->
+  Netlist.t
+(** Random DAG of standard cells arranged in [depth] levels with a
+    guaranteed full-depth spine; cell kinds follow a synthesis-like mix
+    (NAND/NOR-heavy).  Deterministic in [seed]. *)
+
+val size_for_fanout : Netlist.t -> Netlist.t
+(** Re-size every gate's drive strength from its fanout count (≤2 → ×2,
+    ≤4 → ×4, else ×8) — a crude stand-in for sizing during synthesis
+    that keeps per-stage effective fanout near FO4 (so slews stay in the
+    characterised range), and the source of the strength diversity the
+    wire model calibrates against. *)

@@ -1,0 +1,143 @@
+module Cell = Nsigma_liberty.Cell
+
+type gate = {
+  g_name : string;
+  cell : Cell.t;
+  inputs : int array;
+  output : int;
+}
+
+type t = {
+  name : string;
+  n_nets : int;
+  primary_inputs : int array;
+  primary_outputs : int array;
+  gates : gate array;
+  net_names : string array;
+}
+
+let n_cells t = Array.length t.gates
+
+let driver_of t =
+  let d = Array.make t.n_nets (-1) in
+  Array.iteri
+    (fun gi g ->
+      if d.(g.output) <> -1 then
+        invalid_arg
+          (Printf.sprintf "Netlist: net %d has multiple drivers" g.output);
+      d.(g.output) <- gi)
+    t.gates;
+  d
+
+let fanouts_of t =
+  let f = Array.make t.n_nets [] in
+  Array.iteri
+    (fun gi g ->
+      Array.iteri (fun pin net -> f.(net) <- (gi, pin) :: f.(net)) g.inputs)
+    t.gates;
+  Array.iteri (fun k net -> f.(net) <- (-1, k) :: f.(net)) t.primary_outputs;
+  Array.map List.rev f
+
+let topo_order t =
+  let drivers = driver_of t in
+  let n_gates = Array.length t.gates in
+  (* Kahn's algorithm over gates; a gate is ready when all its input nets
+     are primary inputs or already-emitted gates. *)
+  let pending = Array.make n_gates 0 in
+  let dependents = Array.make n_gates [] in
+  Array.iteri
+    (fun gi g ->
+      Array.iter
+        (fun net ->
+          let d = drivers.(net) in
+          if d >= 0 then begin
+            pending.(gi) <- pending.(gi) + 1;
+            dependents.(d) <- gi :: dependents.(d)
+          end)
+        g.inputs)
+    t.gates;
+  let queue = Queue.create () in
+  Array.iteri (fun gi p -> if p = 0 then Queue.add gi queue) pending;
+  let order = Array.make n_gates (-1) in
+  let emitted = ref 0 in
+  while not (Queue.is_empty queue) do
+    let gi = Queue.pop queue in
+    order.(!emitted) <- gi;
+    incr emitted;
+    List.iter
+      (fun dep ->
+        pending.(dep) <- pending.(dep) - 1;
+        if pending.(dep) = 0 then Queue.add dep queue)
+      dependents.(gi)
+  done;
+  if !emitted <> n_gates then invalid_arg "Netlist.topo_order: cyclic netlist";
+  order
+
+let validate t =
+  if Array.length t.net_names <> t.n_nets then
+    invalid_arg "Netlist.validate: net_names length mismatch";
+  let check_net net =
+    if net < 0 || net >= t.n_nets then
+      invalid_arg (Printf.sprintf "Netlist.validate: net %d out of range" net)
+  in
+  Array.iter check_net t.primary_inputs;
+  Array.iter check_net t.primary_outputs;
+  Array.iter
+    (fun g ->
+      check_net g.output;
+      Array.iter check_net g.inputs;
+      if Array.length g.inputs <> Cell.n_inputs g.cell.Cell.kind then
+        invalid_arg
+          (Printf.sprintf "Netlist.validate: gate %s arity mismatch" g.g_name))
+    t.gates;
+  let drivers = driver_of t in
+  Array.iter
+    (fun pi ->
+      if drivers.(pi) <> -1 then
+        invalid_arg "Netlist.validate: primary input is driven by a gate")
+    t.primary_inputs;
+  (* Every net needs a driver: either a gate or a primary input. *)
+  let is_pi = Array.make t.n_nets false in
+  Array.iter (fun pi -> is_pi.(pi) <- true) t.primary_inputs;
+  Array.iteri
+    (fun net d ->
+      if d = -1 && not is_pi.(net) then
+        invalid_arg (Printf.sprintf "Netlist.validate: net %d undriven" net))
+    drivers;
+  ignore (topo_order t)
+
+let logic_depth t =
+  let drivers = driver_of t in
+  let order = topo_order t in
+  let depth = Array.make (Array.length t.gates) 1 in
+  Array.iter
+    (fun gi ->
+      let g = t.gates.(gi) in
+      Array.iter
+        (fun net ->
+          let d = drivers.(net) in
+          if d >= 0 then depth.(gi) <- max depth.(gi) (depth.(d) + 1))
+        g.inputs)
+    order;
+  Array.fold_left max 0 depth
+
+let eval t input_values =
+  if Array.length input_values <> Array.length t.primary_inputs then
+    invalid_arg "Netlist.eval: input count mismatch";
+  let values = Array.make t.n_nets false in
+  Array.iteri (fun k pi -> values.(pi) <- input_values.(k)) t.primary_inputs;
+  let order = topo_order t in
+  Array.iter
+    (fun gi ->
+      let g = t.gates.(gi) in
+      let ins = Array.map (fun net -> values.(net)) g.inputs in
+      values.(g.output) <- Cell.eval g.cell.Cell.kind ins)
+    order;
+  Array.map (fun po -> values.(po)) t.primary_outputs
+
+let stats t =
+  Printf.sprintf "%s: %d nets, %d cells, %d PIs, %d POs, depth %d" t.name
+    t.n_nets (n_cells t)
+    (Array.length t.primary_inputs)
+    (Array.length t.primary_outputs)
+    (logic_depth t)

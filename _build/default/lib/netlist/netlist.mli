@@ -1,0 +1,52 @@
+(** Gate-level netlist intermediate representation.
+
+    A netlist is a DAG of standard-cell instances connected by nets.
+    Nets are integers; every net has exactly one driver (a gate output or
+    a primary input) and any number of sinks.  The representation is
+    deliberately flat and array-based: the STA engine and the Monte-Carlo
+    path simulator traverse it millions of times. *)
+
+type gate = {
+  g_name : string;
+  cell : Nsigma_liberty.Cell.t;
+  inputs : int array;  (** input net per pin, pin order A, B, C *)
+  output : int;  (** driven net *)
+}
+
+type t = {
+  name : string;
+  n_nets : int;
+  primary_inputs : int array;
+  primary_outputs : int array;
+  gates : gate array;
+  net_names : string array;  (** length [n_nets] *)
+}
+
+val validate : t -> unit
+(** Structural checks: single driver per net, arities match the cells,
+    references in range, acyclic. @raise Invalid_argument on violation. *)
+
+val n_cells : t -> int
+
+val driver_of : t -> int array
+(** Per net: index of the driving gate, or -1 for primary inputs. *)
+
+val fanouts_of : t -> (int * int) list array
+(** Per net: sinks as (gate index, pin index) pairs, plus (-1, k) for the
+    k-th primary output it feeds. *)
+
+val topo_order : t -> int array
+(** Gate indices in topological (driver before sink) order.
+    @raise Invalid_argument if the netlist is cyclic. *)
+
+val logic_depth : t -> int
+(** Length (in gates) of the longest combinational path. *)
+
+val eval : t -> bool array -> bool array
+(** Functional simulation: map primary-input values (in
+    [primary_inputs] order) to primary-output values.  Exercised by the
+    generator tests to prove the arithmetic circuits actually add,
+    subtract, multiply and divide. *)
+
+val stats : t -> string
+(** One-line summary: #nets, #cells, depth. *)

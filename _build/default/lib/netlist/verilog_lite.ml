@@ -1,0 +1,138 @@
+module Cell = Nsigma_liberty.Cell
+
+let to_string (nl : Netlist.t) =
+  let buf = Buffer.create 4096 in
+  let name_of net = nl.Netlist.net_names.(net) in
+  let port_list =
+    Array.to_list (Array.map name_of nl.Netlist.primary_inputs)
+    @ Array.to_list (Array.map name_of nl.Netlist.primary_outputs)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s (%s);\n" nl.Netlist.name
+       (String.concat ", " port_list));
+  let declare keyword nets =
+    if Array.length nets > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %s;\n" keyword
+           (String.concat ", " (Array.to_list (Array.map name_of nets))))
+  in
+  declare "input" nl.Netlist.primary_inputs;
+  declare "output" nl.Netlist.primary_outputs;
+  let is_port = Array.make nl.Netlist.n_nets false in
+  Array.iter (fun n -> is_port.(n) <- true) nl.Netlist.primary_inputs;
+  Array.iter (fun n -> is_port.(n) <- true) nl.Netlist.primary_outputs;
+  let wires =
+    List.filter_map
+      (fun net -> if is_port.(net) then None else Some (name_of net))
+      (List.init nl.Netlist.n_nets Fun.id)
+  in
+  if wires <> [] then
+    Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (String.concat ", " wires));
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let pins = name_of g.output :: Array.to_list (Array.map name_of g.inputs) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %s (%s);\n" (Cell.name g.cell) g.g_name
+           (String.concat ", " pins)))
+    nl.Netlist.gates;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let tokenize line =
+  (* Split on whitespace, commas, parens and semicolons, keeping it dumb. *)
+  let b = Buffer.create 16 in
+  let tokens = ref [] in
+  let flush () =
+    if Buffer.length b > 0 then begin
+      tokens := Buffer.contents b :: !tokens;
+      Buffer.clear b
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | ',' | '(' | ')' | ';' -> flush ()
+      | c -> Buffer.add_char b c)
+    line;
+  flush ();
+  List.rev !tokens
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let module_name = ref "" in
+  let inputs = ref [] and outputs = ref [] in
+  let instances = ref [] (* (cell, gate name, pin names) *) in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      let fail msg = failwith (Printf.sprintf "Verilog_lite: line %d: %s" lineno msg) in
+      if line = "" || (String.length line >= 2 && String.sub line 0 2 = "//") then ()
+      else
+        match tokenize line with
+        | [] -> ()
+        | "module" :: name :: _ -> module_name := name
+        | "endmodule" :: _ -> ()
+        | "input" :: rest -> inputs := !inputs @ rest
+        | "output" :: rest -> outputs := !outputs @ rest
+        | "wire" :: _ -> ()
+        | cell_name :: gate_name :: pins ->
+          let cell =
+            try Cell.of_name cell_name
+            with Failure m -> fail m
+          in
+          if List.length pins <> Cell.n_inputs cell.Cell.kind + 1 then
+            fail (Printf.sprintf "instance %s: wrong pin count" gate_name);
+          instances := (cell, gate_name, pins) :: !instances
+        | [ _ ] -> fail "unrecognised line")
+    lines;
+  if !module_name = "" then failwith "Verilog_lite: no module found";
+  let instances = List.rev !instances in
+  (* Assign net ids: inputs, then outputs, then everything else in first-
+     appearance order. *)
+  let ids = Hashtbl.create 64 in
+  let names = ref [] in
+  let next = ref 0 in
+  let id_of name =
+    match Hashtbl.find_opt ids name with
+    | Some id -> id
+    | None ->
+      let id = !next in
+      incr next;
+      Hashtbl.add ids name id;
+      names := name :: !names;
+      id
+  in
+  List.iter (fun n -> ignore (id_of n)) !inputs;
+  List.iter (fun n -> ignore (id_of n)) !outputs;
+  let gates =
+    List.map
+      (fun (cell, g_name, pins) ->
+        match List.map id_of pins with
+        | out :: ins ->
+          { Netlist.g_name; cell; inputs = Array.of_list ins; output = out }
+        | [] -> assert false)
+      instances
+  in
+  let nl =
+    {
+      Netlist.name = !module_name;
+      n_nets = !next;
+      primary_inputs = Array.of_list (List.map (Hashtbl.find ids) !inputs);
+      primary_outputs = Array.of_list (List.map (Hashtbl.find ids) !outputs);
+      gates = Array.of_list gates;
+      net_names = Array.of_list (List.rev !names);
+    }
+  in
+  Netlist.validate nl;
+  nl
+
+let write_file path nl =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string nl))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,25 @@
+(** Structural-Verilog-style text exchange for netlists.
+
+    The emitted subset uses one module per netlist, positional instance
+    connections with the output pin first — e.g.
+
+    {v
+    module c432 (i0, i1, ..., n42, n43);
+      input i0, i1;
+      output n42, n43;
+      wire n2, n3;
+      NAND2X1 g0 (n2, i0, i1);
+      INVX2 g1 (n3, n2);
+    endmodule
+    v}
+
+    The parser accepts exactly what {!to_string} produces (plus blank
+    lines and [//] comments) — enough for fixtures and round-tripping,
+    not a general Verilog frontend. *)
+
+val to_string : Netlist.t -> string
+val of_string : string -> Netlist.t
+(** @raise Failure with a line diagnostic on malformed input. *)
+
+val write_file : string -> Netlist.t -> unit
+val read_file : string -> Netlist.t

@@ -1,0 +1,1 @@
+lib/process/variation.ml: Array Nsigma_stats Technology

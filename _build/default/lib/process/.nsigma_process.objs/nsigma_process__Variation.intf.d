@@ -1,0 +1,1 @@
+lib/process/variation.mli: Nsigma_stats Technology

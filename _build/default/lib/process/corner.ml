@@ -1,0 +1,30 @@
+type process = Typical | Slow | Fast
+
+type t = { process : process; vdd : float; temp_celsius : float }
+
+let typical ~vdd = { process = Typical; vdd; temp_celsius = 25.0 }
+
+let near_threshold = typical ~vdd:0.6
+let nominal = typical ~vdd:0.9
+
+let vth_shift process sigma_global =
+  match process with
+  | Typical -> 0.0
+  | Slow -> 1.5 *. sigma_global
+  | Fast -> -1.5 *. sigma_global
+
+let apply (tech : Technology.t) corner =
+  let shift = vth_shift corner.process tech.sigma_vth_global in
+  {
+    tech with
+    vdd_nominal = corner.vdd;
+    temp_kelvin = corner.temp_celsius +. 273.15;
+    vth0_n = tech.vth0_n +. shift;
+    vth0_p = tech.vth0_p +. shift;
+  }
+
+let pp ppf t =
+  let p =
+    match t.process with Typical -> "TT" | Slow -> "SS" | Fast -> "FF"
+  in
+  Format.fprintf ppf "%s/%.2fV/%.0fC" p t.vdd t.temp_celsius

@@ -1,0 +1,33 @@
+(** Process-voltage-temperature operating points.
+
+    The evaluation of the paper runs at (TT, 0.6 V, 25 °C); the library
+    supports arbitrary corners so the voltage sweep of Fig. 2 and
+    conventional sign-off corners are expressible. *)
+
+type process = Typical | Slow | Fast
+(** Die-level process corner: shifts all thresholds by ±1.5 global σ. *)
+
+type t = {
+  process : process;
+  vdd : float;  (** supply voltage (V) *)
+  temp_celsius : float;
+}
+
+val typical : vdd:float -> t
+(** TT process at 25 °C with the given supply. *)
+
+val near_threshold : t
+(** The paper's evaluation corner: TT, 0.6 V, 25 °C. *)
+
+val nominal : t
+(** TT, 0.9 V, 25 °C. *)
+
+val apply : Technology.t -> t -> Technology.t
+(** Specialise a technology to the corner: supply, temperature, and the
+    process-corner threshold shift. *)
+
+val pp : Format.formatter -> t -> unit
+
+val vth_shift : process -> float -> float
+(** [vth_shift p sigma_global] is the deterministic threshold shift the
+    corner applies (±1.5 σ_global for Slow/Fast, 0 for Typical). *)

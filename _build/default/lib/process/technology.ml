@@ -1,0 +1,61 @@
+type t = {
+  name : string;
+  vdd_nominal : float;
+  temp_kelvin : float;
+  vth0_n : float;
+  vth0_p : float;
+  subthreshold_n : float;
+  i_spec_n : float;
+  i_spec_p : float;
+  early_voltage : float;
+  width_n : float;
+  width_p : float;
+  length : float;
+  avt : float;
+  abeta : float;
+  sigma_vth_global : float;
+  sigma_beta_global : float;
+  cap_gate_per_width : float;
+  cap_drain_per_width : float;
+  wire_res_per_um : float;
+  wire_cap_per_um : float;
+  sigma_wire_res : float;
+  sigma_wire_cap : float;
+}
+
+let default_28nm =
+  {
+    name = "open28";
+    vdd_nominal = 0.9;
+    temp_kelvin = 298.15;
+    vth0_n = 0.37;
+    vth0_p = 0.40;
+    subthreshold_n = 1.32;
+    (* Specific current per metre of width; sized so an INVx1 at 0.9 V
+       drives a FO4 load in ~15 ps and at 0.6 V in ~60 ps. *)
+    i_spec_n = 11.0;
+    i_spec_p = 8.0;
+    early_voltage = 4.5;
+    width_n = 0.20e-6;
+    width_p = 0.28e-6;
+    length = 0.030e-6;
+    (* Pelgrom coefficients typical of a 28 nm bulk process. *)
+    avt = 0.9e-9 (* 0.9 mV·µm *);
+    abeta = 1.2e-8 (* ~1.2 %·µm *);
+    sigma_vth_global = 0.018;
+    sigma_beta_global = 0.02;
+    cap_gate_per_width = 1.0e-9 (* 1 fF/µm *);
+    cap_drain_per_width = 0.55e-9;
+    wire_res_per_um = 6.0;
+    wire_cap_per_um = 0.18e-15;
+    sigma_wire_res = 0.06;
+    sigma_wire_cap = 0.04;
+  }
+
+let thermal_voltage t = 8.617333e-5 *. t.temp_kelvin
+
+let with_vdd t vdd = { t with vdd_nominal = vdd }
+
+let sigma_vth_local t ~width = t.avt /. sqrt (width *. t.length)
+
+let sigma_beta_local t ~width = t.abeta /. sqrt (width *. t.length)

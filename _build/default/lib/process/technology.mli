@@ -1,0 +1,56 @@
+(** Synthetic 28 nm-class technology description.
+
+    The paper characterises against the TSMC 28 nm PDK, which is
+    proprietary; this module defines an open parameter set with the same
+    structure — near-threshold-capable device parameters, Pelgrom mismatch
+    coefficients, and per-µm interconnect parasitics — that drives the
+    transistor-level simulator.  All values are in SI units (V, A, F, Ω,
+    s, m) except where noted. *)
+
+type t = {
+  name : string;
+  vdd_nominal : float;  (** nominal supply, 0.9 V *)
+  temp_kelvin : float;  (** simulation temperature *)
+  (* Device parameters. *)
+  vth0_n : float;  (** NMOS nominal threshold (V) *)
+  vth0_p : float;  (** PMOS nominal threshold magnitude (V) *)
+  subthreshold_n : float;  (** subthreshold slope factor n (≈1.3) *)
+  i_spec_n : float;  (** NMOS specific current at unit width (A) *)
+  i_spec_p : float;  (** PMOS specific current at unit width (A) *)
+  early_voltage : float;  (** channel-length-modulation Early voltage (V) *)
+  width_n : float;  (** unit NMOS width (m), drive strength ×1 *)
+  width_p : float;  (** unit PMOS width (m) *)
+  length : float;  (** drawn channel length (m) *)
+  (* Pelgrom mismatch coefficients. *)
+  avt : float;  (** σ(ΔVth)·√(WL), V·m *)
+  abeta : float;  (** σ(Δβ/β)·√(WL), m (relative) *)
+  (* Global (die-to-die) variation. *)
+  sigma_vth_global : float;  (** σ of the shared Vth shift (V) *)
+  sigma_beta_global : float;  (** σ of the shared relative β shift *)
+  (* Parasitics. *)
+  cap_gate_per_width : float;  (** gate cap per device width (F/m) *)
+  cap_drain_per_width : float;  (** drain junction cap per width (F/m) *)
+  wire_res_per_um : float;  (** Ω/µm of minimum-width wire *)
+  wire_cap_per_um : float;  (** F/µm of minimum-width wire *)
+  sigma_wire_res : float;  (** relative σ of wire resistance (BEOL) *)
+  sigma_wire_cap : float;  (** relative σ of wire capacitance (BEOL) *)
+}
+
+val default_28nm : t
+(** The library's reference technology.  Numbers are chosen so that an
+    INVx1 at 0.6 V exhibits the qualitative behaviour of the paper's
+    Fig. 2: mean delay of tens of ps, σ/μ of 10–25%, positive skewness
+    growing as VDD drops. *)
+
+val thermal_voltage : t -> float
+(** kT/q at the technology temperature. *)
+
+val with_vdd : t -> float -> t
+(** Convenience: same technology, different nominal supply (no other
+    field changes; used for voltage sweeps). *)
+
+val sigma_vth_local : t -> width:float -> float
+(** Pelgrom: AVT / √(W·L) for one device of the given width. *)
+
+val sigma_beta_local : t -> width:float -> float
+(** Pelgrom: Aβ / √(W·L), relative. *)

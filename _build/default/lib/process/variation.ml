@@ -1,0 +1,32 @@
+module Rng = Nsigma_stats.Rng
+
+type global = { dvth_n : float; dvth_p : float; dbeta : float }
+
+type t = { global : global; locals : Rng.t; local_scale : float }
+
+let nominal =
+  {
+    global = { dvth_n = 0.0; dvth_p = 0.0; dbeta = 0.0 };
+    locals = Rng.create ~seed:0;
+    local_scale = 0.0;
+  }
+
+let draw (tech : Technology.t) g =
+  let global =
+    {
+      dvth_n = Rng.gaussian_mu_sigma g ~mu:0.0 ~sigma:tech.sigma_vth_global;
+      dvth_p = Rng.gaussian_mu_sigma g ~mu:0.0 ~sigma:tech.sigma_vth_global;
+      dbeta = Rng.gaussian_mu_sigma g ~mu:0.0 ~sigma:tech.sigma_beta_global;
+    }
+  in
+  { global; locals = Rng.split g; local_scale = 1.0 }
+
+let draw_many tech g n = Array.init n (fun _ -> draw tech g)
+
+let local_dvth t tech ~width =
+  t.local_scale *. Rng.gaussian t.locals *. Technology.sigma_vth_local tech ~width
+
+let local_dbeta t tech ~width =
+  t.local_scale *. Rng.gaussian t.locals *. Technology.sigma_beta_local tech ~width
+
+let local_relative t ~sigma = t.local_scale *. Rng.gaussian t.locals *. sigma

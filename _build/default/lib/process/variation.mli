@@ -1,0 +1,40 @@
+(** Monte-Carlo variation sampling.
+
+    A {!sample} fixes one fabrication outcome: the die-to-die (global)
+    parameter shifts plus a dedicated random stream from which simulators
+    draw the within-die (local, Pelgrom-scaled) per-device and per-segment
+    deviates.  Two simulations given the same sample see the same global
+    shift but independent local mismatch, exactly like global+local MC in
+    a commercial flow. *)
+
+type global = {
+  dvth_n : float;  (** shared NMOS threshold shift (V) *)
+  dvth_p : float;  (** shared PMOS threshold shift (V) *)
+  dbeta : float;  (** shared relative current-factor shift *)
+}
+
+type t = {
+  global : global;
+  locals : Nsigma_stats.Rng.t;
+  local_scale : float;  (** 1 for MC samples; 0 for the nominal device *)
+}
+
+val nominal : t
+(** Zero global shift and a fixed local stream — useful for deterministic
+    "typical" simulations. *)
+
+val draw : Technology.t -> Nsigma_stats.Rng.t -> t
+(** Sample the global shifts from the technology's die-to-die sigmas and
+    split off a local stream. *)
+
+val draw_many : Technology.t -> Nsigma_stats.Rng.t -> int -> t array
+(** [draw_many tech g n] is [n] independent samples. *)
+
+val local_dvth : t -> Technology.t -> width:float -> float
+(** Draw one device's local threshold shift, σ = AVT/√(W·L). *)
+
+val local_dbeta : t -> Technology.t -> width:float -> float
+(** Draw one device's local relative β shift. *)
+
+val local_relative : t -> sigma:float -> float
+(** Draw a generic relative deviate (used for wire R/C variation). *)

@@ -1,0 +1,1 @@
+lib/rcnet/ceff.mli: Rctree

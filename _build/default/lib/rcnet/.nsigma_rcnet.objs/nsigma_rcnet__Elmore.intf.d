@@ -1,0 +1,1 @@
+lib/rcnet/elmore.mli: Rctree

@@ -1,0 +1,1 @@
+lib/rcnet/rctree.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/rcnet/rctree.mli: Format

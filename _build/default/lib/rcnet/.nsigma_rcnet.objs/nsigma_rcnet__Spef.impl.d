@@ -1,0 +1,1 @@
+lib/rcnet/spef.ml: Array Buffer Fun Hashtbl List Printf Rctree String

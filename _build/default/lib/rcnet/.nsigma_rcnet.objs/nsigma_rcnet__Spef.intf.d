@@ -1,0 +1,1 @@
+lib/rcnet/spef.mli: Rctree

@@ -1,0 +1,1 @@
+lib/rcnet/wire_gen.ml: Array Float Fun List Nsigma_process Nsigma_stats Printf Rctree

@@ -1,0 +1,1 @@
+lib/rcnet/wire_gen.mli: Nsigma_process Nsigma_stats Rctree

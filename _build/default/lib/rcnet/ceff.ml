@@ -1,0 +1,26 @@
+let effective ~driver_resistance (t : Rctree.t) =
+  if driver_resistance <= 0.0 then
+    invalid_arg "Ceff.effective: driver resistance must be positive";
+  (* Path resistance from the root to every node, then weight each node's
+     capacitance by how visible it is from the driver during the switching
+     window.  The 0.5 factor calibrates the single-pole approximation to
+     the 50% crossing point. *)
+  let n = Rctree.n_nodes t in
+  let path_res = Array.make n 0.0 in
+  for i = 1 to n - 1 do
+    let nd = t.Rctree.nodes.(i) in
+    path_res.(i) <- path_res.(nd.Rctree.parent) +. nd.Rctree.res
+  done;
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let shield = 1.0 /. (1.0 +. (0.5 *. path_res.(i) /. driver_resistance)) in
+    acc := !acc +. (t.Rctree.nodes.(i).Rctree.cap *. shield)
+  done;
+  !acc
+
+let shielding_ratio ~driver_resistance t =
+  let total = Rctree.total_cap t in
+  if total <= 0.0 then 1.0 else effective ~driver_resistance t /. total
+
+let driver_resistance_estimate ~vdd ~drive_current =
+  if drive_current <= 0.0 then infinity else vdd /. (2.0 *. drive_current)

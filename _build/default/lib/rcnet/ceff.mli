@@ -1,0 +1,29 @@
+(** Effective capacitance of an RC load.
+
+    The paper's introduction notes that industrial LVF flows add an
+    {e effective} capacitance to the cell's output load to represent the
+    connected wire: a driver does not see the total wire capacitance
+    because resistive shielding hides the far end during the transition.
+
+    This module implements a two-pass O'Brien/Savarino-style estimate:
+    each subtree's capacitance is weighted by a shielding factor
+    s = 1 / (1 + R_path/R_drv·k) comparing the resistance between the
+    driver and that capacitance to the driver's own output resistance —
+    a strong driver (small R_drv) sees less of the wire than a weak one,
+    which is one more face of the paper's cell/wire interaction. *)
+
+val effective :
+  driver_resistance:float -> Rctree.t -> float
+(** Effective capacitance (F) seen by a driver with the given output
+    resistance (Ω).  Monotone: grows toward {!Rctree.total_cap} as the
+    driver weakens and falls toward the near-end capacitance as it
+    strengthens.  @raise Invalid_argument for non-positive resistance. *)
+
+val shielding_ratio :
+  driver_resistance:float -> Rctree.t -> float
+(** [effective / total_cap] ∈ (0, 1]. *)
+
+val driver_resistance_estimate :
+  vdd:float -> drive_current:float -> float
+(** Crude switch-resistance estimate R_drv ≈ V/(2·I_eff) used to couple
+    the cell library's drive strength to the shielding factor. *)

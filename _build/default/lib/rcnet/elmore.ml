@@ -1,0 +1,43 @@
+let delays ?(driver_res = 0.0) (t : Rctree.t) =
+  let n = Rctree.n_nodes t in
+  let down = Rctree.downstream_cap t in
+  let out = Array.make n 0.0 in
+  (* Root sees the driver resistance times all capacitance. *)
+  out.(0) <- driver_res *. down.(0);
+  for i = 1 to n - 1 do
+    out.(i) <- out.(t.nodes.(i).parent) +. (t.nodes.(i).res *. down.(i))
+  done;
+  out
+
+let delay_at ?driver_res t i =
+  if i < 0 || i >= Rctree.n_nodes t then
+    invalid_arg "Elmore.delay_at: index out of range";
+  (delays ?driver_res t).(i)
+
+let delay_to_tap ?driver_res (t : Rctree.t) =
+  if Array.length t.taps = 0 then invalid_arg "Elmore.delay_to_tap: no taps";
+  (delays ?driver_res t).(t.taps.(0))
+
+(* Second moment via the weighted-downstream recurrence: with
+   T_k the Elmore delay at k, S2(i) = Σ_{k in subtree(i)} C_k·T_k, and
+   m2_i = Σ_{edges e on path} R_e·S2(e) (driver edge included). *)
+let second_moments ?(driver_res = 0.0) (t : Rctree.t) =
+  let n = Rctree.n_nodes t in
+  let elm = delays ~driver_res t in
+  let s2 = Array.init n (fun i -> t.nodes.(i).cap *. elm.(i)) in
+  for i = n - 1 downto 1 do
+    let p = t.nodes.(i).parent in
+    s2.(p) <- s2.(p) +. s2.(i)
+  done;
+  let out = Array.make n 0.0 in
+  out.(0) <- driver_res *. s2.(0);
+  for i = 1 to n - 1 do
+    out.(i) <- out.(t.nodes.(i).parent) +. (t.nodes.(i).res *. s2.(i))
+  done;
+  out
+
+let d2m_at ?driver_res t i =
+  let m1 = delay_at ?driver_res t i in
+  let m2 = (second_moments ?driver_res t).(i) in
+  if m2 <= 0.0 then m1 *. log 2.0
+  else log 2.0 *. m1 *. m1 /. sqrt m2

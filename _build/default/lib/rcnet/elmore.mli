@@ -1,0 +1,26 @@
+(** First- and second-moment interconnect delay metrics.
+
+    Elmore (eq. 4 of the paper) is the first moment of the impulse
+    response; D2M adds the second moment.  Both are computed in O(n) by
+    two tree passes.  An optional driver resistance is included as a
+    lumped resistance between the source and the root — this is how the
+    wire model accounts for the driver cell when forming μ_w. *)
+
+val delays : ?driver_res:float -> Rctree.t -> float array
+(** Per-node Elmore delay (s) from the driver source.  [driver_res]
+    (default 0) multiplies the total downstream capacitance. *)
+
+val delay_at : ?driver_res:float -> Rctree.t -> int -> float
+(** Elmore delay at one node. *)
+
+val delay_to_tap : ?driver_res:float -> Rctree.t -> float
+(** Elmore delay at the first tap — the common single-sink case.
+    @raise Invalid_argument if the tree has no tap. *)
+
+val second_moments : ?driver_res:float -> Rctree.t -> float array
+(** Per-node second moment m2 of the impulse response (s²), with the same
+    lumped-driver convention. *)
+
+val d2m_at : ?driver_res:float -> Rctree.t -> int -> float
+(** Alpert's D2M metric ln2 · m1²/√m2 at one node — a sharper delay
+    estimate than Elmore for far-from-source nodes. *)

@@ -1,0 +1,135 @@
+let to_string ~name (t : Rctree.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "*D_NET %s\n*CAP\n" name);
+  Array.iter
+    (fun (nd : Rctree.node) ->
+      Buffer.add_string buf (Printf.sprintf "%s %.12g\n" nd.name (nd.cap *. 1e15)))
+    t.nodes;
+  Buffer.add_string buf "*RES\n";
+  Array.iteri
+    (fun i (nd : Rctree.node) ->
+      if i > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s %.12g\n" t.nodes.(nd.parent).name nd.name nd.res))
+    t.nodes;
+  Buffer.add_string buf "*TAP";
+  Array.iter
+    (fun tap -> Buffer.add_string buf (Printf.sprintf " %s" t.nodes.(tap).name))
+    t.taps;
+  Buffer.add_string buf "\n*END\n";
+  Buffer.contents buf
+
+type section = In_none | In_cap | In_res
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let nets = ref [] in
+  let current_name = ref None in
+  let caps : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let edges = ref [] (* (parent, node, res), in file order *) in
+  let taps = ref [] in
+  let section = ref In_none in
+  let fail lineno msg = failwith (Printf.sprintf "Spef: line %d: %s" lineno msg) in
+  let finish lineno =
+    match !current_name with
+    | None -> ()
+    | Some name ->
+      (* Root: the unique cap node that is never a child of an edge. *)
+      let children = List.map (fun (_, c, _) -> c) !edges in
+      let root =
+        let candidates =
+          Hashtbl.fold
+            (fun nd _ acc -> if List.mem nd children then acc else nd :: acc)
+            caps []
+        in
+        match candidates with
+        | [ r ] -> r
+        | [] -> fail lineno "no root node (cycle?)"
+        | _ -> fail lineno "multiple root candidates"
+      in
+      let cap_of nd =
+        match Hashtbl.find_opt caps nd with
+        | Some c -> c *. 1e-15
+        | None -> fail lineno (Printf.sprintf "node %s has no *CAP entry" nd)
+      in
+      (* Breadth-first ordering guarantees parent-before-child. *)
+      let index = Hashtbl.create 16 in
+      let nodes = ref [ { Rctree.name = root; parent = -1; res = 0.0; cap = cap_of root } ] in
+      Hashtbl.replace index root 0;
+      let count = ref 1 in
+      let remaining = ref !edges in
+      let progress = ref true in
+      while !remaining <> [] && !progress do
+        progress := false;
+        let still = ref [] in
+        List.iter
+          (fun (p, c, r) ->
+            match Hashtbl.find_opt index p with
+            | Some pi ->
+              Hashtbl.replace index c !count;
+              nodes := { Rctree.name = c; parent = pi; res = r; cap = cap_of c } :: !nodes;
+              incr count;
+              progress := true
+            | None -> still := (p, c, r) :: !still)
+          !remaining;
+        remaining := List.rev !still
+      done;
+      if !remaining <> [] then fail lineno "disconnected *RES edges";
+      let node_array = Array.of_list (List.rev !nodes) in
+      let tap_idx =
+        List.rev_map
+          (fun nd ->
+            match Hashtbl.find_opt index nd with
+            | Some i -> i
+            | None -> fail lineno (Printf.sprintf "tap %s is not a node" nd))
+          !taps
+      in
+      let tree = Rctree.create ~nodes:node_array ~taps:(Array.of_list tap_idx) in
+      nets := (name, tree) :: !nets;
+      current_name := None;
+      Hashtbl.reset caps;
+      edges := [];
+      taps := [];
+      section := In_none
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line = "" || String.length line >= 2 && String.sub line 0 2 = "//" then ()
+      else begin
+        let words =
+          String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+        in
+        match words with
+        | "*D_NET" :: name :: _ ->
+          if !current_name <> None then fail lineno "nested *D_NET";
+          current_name := Some name
+        | [ "*CAP" ] -> section := In_cap
+        | [ "*RES" ] -> section := In_res
+        | "*TAP" :: rest -> taps := !taps @ rest
+        | [ "*END" ] -> finish lineno
+        | [ node; value ] when !section = In_cap ->
+          (try Hashtbl.replace caps node (float_of_string value)
+           with _ -> fail lineno "bad capacitance value")
+        | [ parent; node; value ] when !section = In_res ->
+          (try edges := !edges @ [ (parent, node, float_of_string value) ]
+           with _ -> fail lineno "bad resistance value")
+        | _ -> fail lineno (Printf.sprintf "unrecognised line %S" line)
+      end)
+    lines;
+  if !current_name <> None then failwith "Spef: missing *END";
+  List.rev !nets
+
+let write_file path nets =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter (fun (name, tree) -> output_string oc (to_string ~name tree)) nets)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

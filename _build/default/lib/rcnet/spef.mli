@@ -1,0 +1,17 @@
+(** A minimal SPEF-like text format for RC trees.
+
+    Real designs exchange parasitics in IEEE-1481 SPEF; this module
+    implements the small subset the flow needs — one [*D_NET] block per
+    net with [*CAP] and [*RES] sections — so parasitics survive a
+    round-trip to disk and hand-written fixtures are easy to read.
+    Resistances are in Ω, capacitances in fF (as in common SPEF headers). *)
+
+val to_string : name:string -> Rctree.t -> string
+(** Serialise one net. *)
+
+val of_string : string -> (string * Rctree.t) list
+(** Parse every [*D_NET] block of a document.
+    @raise Failure with a line-diagnostic on malformed input. *)
+
+val write_file : string -> (string * Rctree.t) list -> unit
+val read_file : string -> (string * Rctree.t) list

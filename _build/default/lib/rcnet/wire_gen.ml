@@ -1,0 +1,100 @@
+module Rng = Nsigma_stats.Rng
+module Technology = Nsigma_process.Technology
+module Variation = Nsigma_process.Variation
+
+type spec = {
+  min_length_um : float;
+  max_length_um : float;
+  segments : int;
+  branch_prob : float;
+}
+
+let default_spec =
+  { min_length_um = 5.0; max_length_um = 60.0; segments = 8; branch_prob = 0.25 }
+
+let long_spec =
+  { min_length_um = 20.0; max_length_um = 200.0; segments = 12; branch_prob = 0.15 }
+
+let segment_rc (tech : Technology.t) len_um =
+  (tech.wire_res_per_um *. len_um, tech.wire_cap_per_um *. len_um)
+
+let random_tree tech spec g =
+  if spec.segments <= 0 then invalid_arg "Wire_gen.random_tree: segments <= 0";
+  (* Node 0 is the root; each new segment attaches either to the chain tip
+     (continuing the route) or, with branch_prob, to a random earlier
+     node (starting a stub). *)
+  let nodes = ref [ { Rctree.name = "root"; parent = -1; res = 0.0; cap = 0.0 } ] in
+  let count = ref 1 in
+  let tip = ref 0 in
+  let has_child = Array.make (spec.segments + 1) false in
+  for i = 1 to spec.segments do
+    let len = Rng.uniform_range g ~lo:spec.min_length_um ~hi:spec.max_length_um in
+    let res, cap = segment_rc tech len in
+    let parent =
+      if i > 1 && Rng.uniform g < spec.branch_prob then Rng.int g !count else !tip
+    in
+    nodes :=
+      { Rctree.name = Printf.sprintf "n%d" i; parent; res; cap } :: !nodes;
+    has_child.(parent) <- true;
+    tip := !count;
+    incr count
+  done;
+  let node_array = Array.of_list (List.rev !nodes) in
+  let taps =
+    Array.of_list
+      (List.filter_map
+         (fun i -> if (not has_child.(i)) && i > 0 then Some i else None)
+         (List.init !count Fun.id))
+  in
+  let taps = if Array.length taps = 0 then [| !count - 1 |] else taps in
+  Rctree.create ~nodes:node_array ~taps
+
+let point_to_point tech ~length_um ~segments =
+  if segments <= 0 then invalid_arg "Wire_gen.point_to_point: segments <= 0";
+  let len = length_um /. float_of_int segments in
+  let res, cap = segment_rc tech len in
+  Rctree.ladder ~segments ~res_per_seg:res ~cap_per_seg:cap
+
+let vary (tech : Technology.t) sample tree =
+  Rctree.map_segments tree (fun i (nd : Rctree.node) ->
+      if i = 0 then (0.0, nd.cap)
+      else begin
+        (* Multiplicative deviates, clipped to stay physical. *)
+        let dr = Variation.local_relative sample ~sigma:tech.sigma_wire_res in
+        let dc = Variation.local_relative sample ~sigma:tech.sigma_wire_cap in
+        let clip x = Float.max (-0.5) (Float.min 0.5 x) in
+        (nd.res *. (1.0 +. clip dr), nd.cap *. (1.0 +. clip dc))
+      end)
+
+let for_fanout tech ~fanout ?(backbone_um = (4.0, 20.0)) ?(stub_um = (1.0, 4.0)) g =
+  if fanout <= 0 then invalid_arg "Wire_gen.for_fanout: fanout <= 0";
+  (* backbone_um bounds the *total* route length; each of the [fanout]
+     backbone segments gets an equal share, so high-fanout nets do not
+     grow unboundedly long. *)
+  let lo_t, hi_t = backbone_um and lo_s, hi_s = stub_um in
+  let lo_b = lo_t /. float_of_int fanout and hi_b = hi_t /. float_of_int fanout in
+  let nodes = ref [ { Rctree.name = "root"; parent = -1; res = 0.0; cap = 0.0 } ] in
+  let count = ref 1 in
+  let add ~parent ~len ~name =
+    let res, cap = segment_rc tech len in
+    nodes := { Rctree.name; parent; res; cap } :: !nodes;
+    let id = !count in
+    incr count;
+    id
+  in
+  (* Backbone chain. *)
+  let backbone = Array.make fanout 0 in
+  let prev = ref 0 in
+  for k = 0 to fanout - 1 do
+    let len = Rng.uniform_range g ~lo:lo_b ~hi:hi_b in
+    let id = add ~parent:!prev ~len ~name:(Printf.sprintf "b%d" k) in
+    backbone.(k) <- id;
+    prev := id
+  done;
+  (* One stub per sink off its backbone node. *)
+  let taps =
+    Array.init fanout (fun k ->
+        let len = Rng.uniform_range g ~lo:lo_s ~hi:hi_s in
+        add ~parent:backbone.(k) ~len ~name:(Printf.sprintf "t%d" k))
+  in
+  Rctree.create ~nodes:(Array.of_list (List.rev !nodes)) ~taps

@@ -1,0 +1,52 @@
+(** Random interconnect generation — the stand-in for sampling R and C
+    from foundry parasitic (SPEF) files, which are proprietary.
+
+    Wires are built from per-µm technology parasitics: a net is a chain or
+    branching tree of segments whose lengths are drawn from a length
+    distribution, with optional per-segment manufacturing variation
+    applied later through {!vary}. *)
+
+type spec = {
+  min_length_um : float;  (** shortest segment (µm) *)
+  max_length_um : float;  (** longest segment (µm) *)
+  segments : int;  (** number of RC segments in the net *)
+  branch_prob : float;  (** probability a new segment starts a branch *)
+}
+
+val default_spec : spec
+(** 5–60 µm segments, 8 segments, 25% branching — local-net scale. *)
+
+val long_spec : spec
+(** 20–200 µm, 12 segments — an upper-metal route. *)
+
+val random_tree : Nsigma_process.Technology.t -> spec -> Nsigma_stats.Rng.t -> Rctree.t
+(** Draw a net: a random tree shape per [spec], each segment given
+    R = r/µm·len and C = c/µm·len from the technology.  All leaf nodes
+    become taps. *)
+
+val point_to_point :
+  Nsigma_process.Technology.t -> length_um:float -> segments:int -> Rctree.t
+(** Deterministic single-route net of the given total length split into
+    equal segments, one tap at the end — the Fig. 7/8 experiment shape. *)
+
+val vary :
+  Nsigma_process.Technology.t ->
+  Nsigma_process.Variation.t ->
+  Rctree.t ->
+  Rctree.t
+(** Apply one manufacturing outcome: each segment's R and C scaled by
+    independent lognormal-ish deviates with the technology's BEOL sigmas
+    (correlated 100% within a segment, independent across segments). *)
+
+val for_fanout :
+  Nsigma_process.Technology.t ->
+  fanout:int ->
+  ?backbone_um:float * float ->
+  ?stub_um:float * float ->
+  Nsigma_stats.Rng.t ->
+  Rctree.t
+(** Net shape used when attaching parasitics to a netlist: a backbone of
+    [fanout] segments with one stub (and tap) per sink, so the k-th sink
+    of the net maps to tap index k.  [backbone_um] bounds the total
+    backbone length (split equally across segments); [stub_um] is the
+    per-stub length range (µm). *)

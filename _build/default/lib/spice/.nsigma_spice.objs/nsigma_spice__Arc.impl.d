@@ -1,0 +1,1 @@
+lib/spice/arc.ml: Array Device Float Nsigma_process

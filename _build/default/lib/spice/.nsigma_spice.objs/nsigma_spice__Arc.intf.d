@@ -1,0 +1,1 @@
+lib/spice/arc.mli: Device Nsigma_process

@@ -1,0 +1,1 @@
+lib/spice/cell_sim.ml: Arc Float Nsigma_process

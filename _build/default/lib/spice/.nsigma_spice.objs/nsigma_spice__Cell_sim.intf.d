@@ -1,0 +1,1 @@
+lib/spice/cell_sim.mli: Arc Nsigma_process

@@ -1,0 +1,1 @@
+lib/spice/device.ml: Float Nsigma_process Nsigma_stats

@@ -1,0 +1,1 @@
+lib/spice/monte_carlo.ml: Array Float List Nsigma_process Nsigma_stats

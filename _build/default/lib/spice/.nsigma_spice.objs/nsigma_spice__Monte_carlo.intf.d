@@ -1,0 +1,1 @@
+lib/spice/monte_carlo.mli: Nsigma_process Nsigma_stats

@@ -1,0 +1,1 @@
+lib/spice/rc_sim.ml: Arc Array Float List Nsigma_process Nsigma_rcnet Nsigma_stats

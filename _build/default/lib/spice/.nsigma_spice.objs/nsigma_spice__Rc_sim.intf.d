@@ -1,0 +1,1 @@
+lib/spice/rc_sim.mli: Arc Nsigma_process Nsigma_rcnet

@@ -1,0 +1,97 @@
+module Technology = Nsigma_process.Technology
+
+type pull = Pull_up | Pull_down
+
+type t = {
+  pull : pull;
+  devices : Device.t array;
+  parallel : int;
+  switching : int;
+  opposing : Device.t option;
+  cap_intrinsic : float;
+}
+
+let make tech sample ~pull ~depth ~strength ?(parallel = 1) ?(switching = 0)
+    ?(opposing_width_mult = 0.0) () =
+  if depth <= 0 then invalid_arg "Arc.make: depth must be positive";
+  if parallel <= 0 then invalid_arg "Arc.make: parallel must be positive";
+  if switching < 0 || switching >= depth then
+    invalid_arg "Arc.make: switching index out of range";
+  let kind = match pull with Pull_up -> Device.Pmos | Pull_down -> Device.Nmos in
+  let opposing_kind =
+    match pull with Pull_up -> Device.Nmos | Pull_down -> Device.Pmos
+  in
+  let devices =
+    Array.init depth (fun _ -> Device.make tech sample kind ~width_mult:strength)
+  in
+  let opposing =
+    if opposing_width_mult > 0.0 then
+      Some (Device.make tech sample opposing_kind ~width_mult:opposing_width_mult)
+    else None
+  in
+  (* Drain parasitics: the output-side device of each parallel stack plus
+     the opposing network's drains sit on the output node. *)
+  let output_device = devices.(depth - 1) in
+  let cap_intrinsic =
+    (float_of_int parallel *. Device.drain_cap tech output_device)
+    +. (match opposing with
+       | Some d -> Device.drain_cap tech d
+       | None -> 0.0)
+  in
+  { pull; devices; parallel; switching; opposing; cap_intrinsic }
+
+(* Current of the series stack given the gate voltage of the switching
+   device; the others are fully on.  [drop] is the total voltage across
+   the stack; it divides evenly, and the source of device i sits i/n of
+   the way up from the conducting rail. *)
+let stack_current tech arc ~vswitch_gs ~vfull_gs ~drop =
+  let n = Array.length arc.devices in
+  let nf = float_of_int n in
+  let vds = drop /. nf in
+  if drop <= 0.0 then 0.0
+  else begin
+    let inv_sum = ref 0.0 in
+    for i = 0 to n - 1 do
+      (* Internal stack nodes stay near the conducting rail during the
+         transition, so every device keeps its full gate drive; the
+         drain-source drop is what divides across the stack. *)
+      let vgs = if i = arc.switching then vswitch_gs else vfull_gs in
+      let id = Device.current tech arc.devices.(i) ~vgs ~vds in
+      inv_sum := !inv_sum +. (1.0 /. Float.max id 1e-15)
+    done;
+    float_of_int arc.parallel /. !inv_sum
+  end
+
+let current tech arc ~vin ~vout =
+  let vdd = tech.Technology.vdd_nominal in
+  let drive, short_circuit =
+    match arc.pull with
+    | Pull_down ->
+      (* Output falls: NMOS stack conducts with gate at vin, drop = vout;
+         the lumped PMOS (source at VDD, gate at vin) fights it. *)
+      let drive =
+        stack_current tech arc ~vswitch_gs:vin ~vfull_gs:vdd ~drop:vout
+      in
+      let sc =
+        match arc.opposing with
+        | Some p -> Device.current tech p ~vgs:(vdd -. vin) ~vds:(vdd -. vout)
+        | None -> 0.0
+      in
+      (drive, sc)
+    | Pull_up ->
+      (* Output rises: PMOS stack conducts with source-referred gate drive
+         VDD − vin, drop = VDD − vout; the lumped NMOS fights it. *)
+      let drive =
+        stack_current tech arc ~vswitch_gs:(vdd -. vin) ~vfull_gs:vdd
+          ~drop:(vdd -. vout)
+      in
+      let sc =
+        match arc.opposing with
+        | Some n -> Device.current tech n ~vgs:vin ~vds:vout
+        | None -> 0.0
+      in
+      (drive, sc)
+  in
+  Float.max 0.0 (drive -. short_circuit)
+
+let input_cap tech arc = Device.gate_cap tech arc.devices.(arc.switching)

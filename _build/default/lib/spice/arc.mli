@@ -1,0 +1,58 @@
+(** Switching arcs: the conducting transistor network of one cell
+    transition.
+
+    Cell delay in this library is always the delay of an {e arc} — e.g.
+    "NAND2, input A rising, output falling" means the series NMOS stack
+    conducts while the parallel PMOS network turns off.  An arc carries
+    the series stack (with per-device variation), the parallel-stack
+    multiplicity, the opposing network lumped as one device (for
+    short-circuit current during slow input ramps), and the intrinsic
+    drain capacitance at the output node.
+
+    Stacks use the standard series approximation: internal stack nodes
+    stay near the conducting rail, so devices keep full gate drive while
+    the drain-source drop divides evenly across the stack; the total
+    current is the harmonic combination of per-device currents.  This both divides drive by the
+    stack depth and averages per-device mismatch — the √n Pelgrom
+    averaging that eq. (5) of the paper builds on. *)
+
+type pull = Pull_up | Pull_down
+
+type t = {
+  pull : pull;  (** direction of the {e output} transition *)
+  devices : Device.t array;  (** series stack; index 0 at the supply rail *)
+  parallel : int;  (** number of identical parallel stacks conducting *)
+  switching : int;  (** index in [devices] of the switching transistor *)
+  opposing : Device.t option;  (** lumped opposing network *)
+  cap_intrinsic : float;  (** drain parasitics at the output (F) *)
+}
+
+val make :
+  Nsigma_process.Technology.t ->
+  Nsigma_process.Variation.t ->
+  pull:pull ->
+  depth:int ->
+  strength:float ->
+  ?parallel:int ->
+  ?switching:int ->
+  ?opposing_width_mult:float ->
+  unit ->
+  t
+(** Build an arc with [depth] series devices of [strength] × unit width
+    (stacked cells upsize their devices by the depth, as real libraries
+    do, so a NAND2x1 has 2× width NMOS — pass the result through
+    [strength]).  [switching] defaults to the rail-side device (index 0).
+    [opposing_width_mult] (default 0: no short-circuit path) lumps the
+    non-conducting network. *)
+
+val current :
+  Nsigma_process.Technology.t -> t -> vin:float -> vout:float -> float
+(** Net current (A) moving the output in the arc's direction, given the
+    input gate voltage [vin] and output voltage [vout] (both absolute,
+    in [0, VDD]).  Short-circuit current of the opposing device is
+    subtracted; the result is clamped at 0 (the output never moves
+    backwards in this quasi-static model). *)
+
+val input_cap : Nsigma_process.Technology.t -> t -> float
+(** Gate capacitance presented to the driving net by the switching
+    device (F). *)

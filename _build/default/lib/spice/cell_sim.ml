@@ -1,0 +1,73 @@
+module Technology = Nsigma_process.Technology
+
+type result = { delay : float; output_slew : float }
+
+(* Linear-interpolated time at which a sampled trajectory crosses
+   [level]; [t0, v0] is the previous sample, [t1, v1] the current one. *)
+let crossing ~t0 ~v0 ~t1 ~v1 level =
+  if v1 = v0 then t1 else t0 +. ((level -. v0) /. (v1 -. v0) *. (t1 -. t0))
+
+let simulate ?(steps_per_phase = 16) tech arc ~input_slew ~load_cap =
+  if input_slew <= 0.0 then invalid_arg "Cell_sim.simulate: slew must be positive";
+  if load_cap < 0.0 then invalid_arg "Cell_sim.simulate: negative load";
+  let vdd = tech.Technology.vdd_nominal in
+  let cap = load_cap +. arc.Arc.cap_intrinsic in
+  let falling = arc.Arc.pull = Arc.Pull_down in
+  (* Input ramp: rising for a falling output and vice versa. *)
+  let vin t =
+    let frac = Float.max 0.0 (Float.min 1.0 (t /. input_slew)) in
+    if falling then vdd *. frac else vdd *. (1.0 -. frac)
+  in
+  (* Output moves away from its rail; track it as "distance travelled"
+     u ∈ [0, vdd]: vout = vdd − u when falling, u when rising. *)
+  let vout u = if falling then vdd -. u else u in
+  let dudt t u =
+    Arc.current tech arc ~vin:(vin t) ~vout:(vout u) /. cap
+  in
+  (* Step size: resolve both the input ramp and the output transition.
+     The output time scale is estimated from the fully-on current at
+     half swing. *)
+  let i_half =
+    Arc.current tech arc
+      ~vin:(if falling then vdd else 0.0)
+      ~vout:(vout (vdd /. 2.0))
+  in
+  let t_out = cap *. vdd /. Float.max i_half 1e-12 in
+  let dt =
+    Float.min (input_slew /. float_of_int steps_per_phase)
+      (t_out /. float_of_int steps_per_phase)
+  in
+  let max_steps = 400 * steps_per_phase in
+  let t50_in = input_slew /. 2.0 in
+  let lvl20 = 0.2 *. vdd and lvl50 = 0.5 *. vdd and lvl80 = 0.8 *. vdd in
+  let t20 = ref nan and t50 = ref nan and t80 = ref nan in
+  let t = ref 0.0 and u = ref 0.0 in
+  let steps = ref 0 in
+  while Float.is_nan !t20 && !steps < max_steps do
+    incr steps;
+    let t0 = !t and u0 = !u in
+    (* RK4 step. *)
+    let k1 = dudt t0 u0 in
+    let k2 = dudt (t0 +. (dt /. 2.0)) (u0 +. (dt /. 2.0 *. k1)) in
+    let k3 = dudt (t0 +. (dt /. 2.0)) (u0 +. (dt /. 2.0 *. k2)) in
+    let k4 = dudt (t0 +. dt) (u0 +. (dt *. k3)) in
+    let u1 = Float.min vdd (u0 +. (dt /. 6.0 *. (k1 +. (2.0 *. k2) +. (2.0 *. k3) +. k4))) in
+    let t1 = t0 +. dt in
+    let record cell level =
+      if Float.is_nan !cell && u0 < level && u1 >= level then
+        cell := crossing ~t0 ~v0:u0 ~t1 ~v1:u1 level
+    in
+    (* u counts distance from the starting rail, so 20% travelled is the
+       80% voltage point on a falling edge; record in travel terms. *)
+    record t80 lvl20;
+    record t50 lvl50;
+    record t20 lvl80;
+    t := t1;
+    u := u1
+  done;
+  if Float.is_nan !t50 || Float.is_nan !t20 || Float.is_nan !t80 then
+    failwith "Cell_sim.simulate: output did not complete its transition";
+  { delay = !t50 -. t50_in; output_slew = (!t20 -. !t80) /. 0.6 }
+
+let nominal_delay tech arc ~input_slew ~load_cap =
+  (simulate tech arc ~input_slew ~load_cap).delay

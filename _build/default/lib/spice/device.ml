@@ -1,0 +1,57 @@
+module Technology = Nsigma_process.Technology
+module Variation = Nsigma_process.Variation
+
+type kind = Nmos | Pmos
+
+type t = { kind : kind; width : float; vth : float; beta : float }
+
+let base_width (tech : Technology.t) = function
+  | Nmos -> tech.width_n
+  | Pmos -> tech.width_p
+
+let base_vth (tech : Technology.t) = function
+  | Nmos -> tech.vth0_n
+  | Pmos -> tech.vth0_p
+
+let make tech sample kind ~width_mult =
+  let width = base_width tech kind *. width_mult in
+  let global_vth =
+    match kind with
+    | Nmos -> sample.Variation.global.dvth_n
+    | Pmos -> sample.Variation.global.dvth_p
+  in
+  let vth = base_vth tech kind +. global_vth +. Variation.local_dvth sample tech ~width in
+  let beta =
+    (1.0 +. sample.Variation.global.dbeta)
+    *. (1.0 +. Variation.local_dbeta sample tech ~width)
+  in
+  (* β is a physical (positive) factor; extreme tails are clipped. *)
+  { kind; width; vth = Float.max 0.05 vth; beta = Float.max 0.1 beta }
+
+let nominal tech kind ~width_mult =
+  {
+    kind;
+    width = base_width tech kind *. width_mult;
+    vth = base_vth tech kind;
+    beta = 1.0;
+  }
+
+let i_spec (tech : Technology.t) = function
+  | Nmos -> tech.i_spec_n
+  | Pmos -> tech.i_spec_p
+
+let current (tech : Technology.t) d ~vgs ~vds =
+  if vds <= 0.0 then 0.0
+  else begin
+    let ut = Technology.thermal_voltage tech in
+    let n = tech.subthreshold_n in
+    let x = (vgs -. d.vth) /. (2.0 *. n *. ut) in
+    let f = Nsigma_stats.Special.log1p_exp x in
+    let saturation = 1.0 -. exp (-.vds /. ut) in
+    let clm = 1.0 +. (vds /. tech.early_voltage) in
+    d.beta *. d.width *. i_spec tech d.kind *. f *. f *. saturation *. clm
+  end
+
+let gate_cap (tech : Technology.t) d = d.width *. tech.cap_gate_per_width
+
+let drain_cap (tech : Technology.t) d = d.width *. tech.cap_drain_per_width

@@ -1,0 +1,47 @@
+(** Single-transistor drain-current model.
+
+    An EKV-style all-region expression is used because it stays smooth and
+    accurate from sub-threshold through strong inversion — exactly the
+    range a 0.5–0.8 V sweep of a 0.37 V-threshold device covers:
+
+      I_D = β · W · I_spec · [ln(1 + exp((V_GS − V_th)/(2·n·U_T)))]²
+            · (1 − exp(−V_DS/U_T)) · (1 + V_DS/V_A)
+
+    The logarithmic-square term reduces to the classical square law in
+    strong inversion and to exp((V_GS−V_th)/(n·U_T)) below threshold,
+    which is what makes near-threshold delay distributions lognormal-like
+    and right-skewed under Gaussian V_th variation. *)
+
+type kind = Nmos | Pmos
+
+type t = {
+  kind : kind;
+  width : float;  (** electrical width (m), already strength-scaled *)
+  vth : float;  (** threshold including global+local shifts (V) *)
+  beta : float;  (** relative current factor including variation *)
+}
+
+val make :
+  Nsigma_process.Technology.t ->
+  Nsigma_process.Variation.t ->
+  kind ->
+  width_mult:float ->
+  t
+(** Build a device of [width_mult] × unit width, drawing its local
+    mismatch (ΔVth, Δβ/β Pelgrom-scaled by the actual width) from the
+    variation sample and adding the sample's global shifts. *)
+
+val nominal : Nsigma_process.Technology.t -> kind -> width_mult:float -> t
+(** Same device without any variation. *)
+
+val current :
+  Nsigma_process.Technology.t -> t -> vgs:float -> vds:float -> float
+(** Drain current (A); both voltages are magnitudes w.r.t. the source
+    (pass source-referred values for PMOS too).  Clamps to 0 for
+    non-positive [vds]. *)
+
+val gate_cap : Nsigma_process.Technology.t -> t -> float
+(** Gate capacitance (F) = width · C_g/width. *)
+
+val drain_cap : Nsigma_process.Technology.t -> t -> float
+(** Drain junction capacitance (F). *)

@@ -1,0 +1,25 @@
+module Variation = Nsigma_process.Variation
+module Moments = Nsigma_stats.Moments
+
+let samples tech g ~n f =
+  Array.init n (fun _ -> f (Variation.draw tech g))
+
+let delays tech g ~n f =
+  let out = ref [] in
+  let kept = ref 0 in
+  for _ = 1 to n do
+    let sample = Variation.draw tech g in
+    match f sample with
+    | d ->
+      out := d :: !out;
+      incr kept
+    | exception Failure _ -> ()
+  done;
+  let arr = Array.make !kept 0.0 in
+  List.iteri (fun i d -> arr.(!kept - 1 - i) <- d) !out;
+  arr
+
+let study tech g ~n f =
+  let arr = delays tech g ~n f in
+  Array.sort Float.compare arr;
+  (Moments.summary_of_array arr, arr)

@@ -1,0 +1,31 @@
+(** Monte-Carlo harness over process variation.
+
+    Mirrors the paper's methodology: N independent global+local samples,
+    a user-supplied measurement per sample, and moment/quantile reduction
+    of the resulting delay population. *)
+
+val samples :
+  Nsigma_process.Technology.t ->
+  Nsigma_stats.Rng.t ->
+  n:int ->
+  (Nsigma_process.Variation.t -> 'a) ->
+  'a array
+(** Draw [n] variation samples and measure each. *)
+
+val delays :
+  Nsigma_process.Technology.t ->
+  Nsigma_stats.Rng.t ->
+  n:int ->
+  (Nsigma_process.Variation.t -> float) ->
+  float array
+(** {!samples} specialised to scalar measurements, skipping samples whose
+    simulation fails to converge (reported failures are < 0.1% in
+    practice and correspond to non-functional variation corners). *)
+
+val study :
+  Nsigma_process.Technology.t ->
+  Nsigma_stats.Rng.t ->
+  n:int ->
+  (Nsigma_process.Variation.t -> float) ->
+  Nsigma_stats.Moments.summary * float array
+(** Moments plus the sorted sample array (ready for quantile lookup). *)

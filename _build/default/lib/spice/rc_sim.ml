@@ -1,0 +1,122 @@
+module Technology = Nsigma_process.Technology
+module Rctree = Nsigma_rcnet.Rctree
+module Linalg = Nsigma_stats.Linalg
+
+type result = {
+  root_crossing : float;
+  driver_delay : float;
+  tap_delays : (int * float) array;
+  tap_slews : (int * float) array;
+}
+
+let simulate ?(steps = 400) tech ~driver ~tree ~load_caps ~input_slew =
+  let vdd = tech.Technology.vdd_nominal in
+  let n = Rctree.n_nodes tree in
+  (* Node capacitances: wire + attached loads + driver drain parasitics. *)
+  let caps = Array.map (fun (nd : Rctree.node) -> nd.cap) tree.Rctree.nodes in
+  List.iter
+    (fun (i, c) ->
+      if i < 0 || i >= n then invalid_arg "Rc_sim.simulate: load node out of range";
+      caps.(i) <- caps.(i) +. c)
+    load_caps;
+  caps.(0) <- caps.(0) +. driver.Arc.cap_intrinsic;
+  (* Conductance Laplacian of the tree. *)
+  let gmat = Linalg.make n n in
+  Array.iteri
+    (fun i (nd : Rctree.node) ->
+      if i > 0 then begin
+        let g = 1.0 /. nd.res in
+        let p = nd.parent in
+        gmat.(i).(i) <- gmat.(i).(i) +. g;
+        gmat.(p).(p) <- gmat.(p).(p) +. g;
+        gmat.(i).(p) <- gmat.(i).(p) -. g;
+        gmat.(p).(i) <- gmat.(p).(i) -. g
+      end)
+    tree.Rctree.nodes;
+  (* Time scale: driver charging everything plus the worst Elmore. *)
+  let i_half =
+    Arc.current tech driver
+      ~vin:(match driver.Arc.pull with Arc.Pull_up -> 0.0 | Arc.Pull_down -> vdd)
+      ~vout:(vdd /. 2.0)
+  in
+  let total_cap = Array.fold_left ( +. ) 0.0 caps in
+  let elmore = Nsigma_rcnet.Elmore.delays tree in
+  let worst_elmore = Array.fold_left Float.max 0.0 elmore in
+  let horizon =
+    (3.0 *. total_cap *. vdd /. Float.max i_half 1e-12)
+    +. (8.0 *. worst_elmore) +. input_slew
+  in
+  let dt = horizon /. float_of_int steps in
+  (* Backward-Euler system matrix, factored once. *)
+  let a = Array.mapi (fun i row ->
+      Array.mapi (fun j g -> g +. if i = j then caps.(i) /. dt else 0.0) row)
+      gmat
+  in
+  let lu = Linalg.lu_factor a in
+  let rising = driver.Arc.pull = Arc.Pull_up in
+  let vin t =
+    let frac = Float.max 0.0 (Float.min 1.0 (t /. input_slew)) in
+    if rising then vdd *. (1.0 -. frac) else vdd *. frac
+  in
+  (* The driver moves the root away from its start rail; we integrate the
+     travelled voltage u_i so rising/falling share one code path. *)
+  let u = Array.make n 0.0 in
+  let vout_of_u x = if rising then x else vdd -. x in
+  let crossings = Array.make n nan in
+  let cross20 = Array.make n nan in
+  let cross80 = Array.make n nan in
+  let lvl = vdd /. 2.0 in
+  let lvl20 = 0.2 *. vdd and lvl80 = 0.8 *. vdd in
+  let rhs = Array.make n 0.0 in
+  let t = ref 0.0 in
+  let max_steps = steps * 40 in
+  let remaining () =
+    Float.is_nan crossings.(0)
+    || Array.exists
+         (fun tap -> Float.is_nan crossings.(tap) || Float.is_nan cross80.(tap))
+         tree.Rctree.taps
+  in
+  let step_count = ref 0 in
+  while remaining () && !step_count < max_steps do
+    incr step_count;
+    let i_drv =
+      Arc.current tech driver ~vin:(vin !t) ~vout:(vout_of_u u.(0))
+    in
+    for i = 0 to n - 1 do
+      rhs.(i) <- (caps.(i) /. dt *. u.(i)) +. (if i = 0 then i_drv else 0.0)
+    done;
+    let u1 = Linalg.lu_solve lu rhs in
+    let t1 = !t +. dt in
+    for i = 0 to n - 1 do
+      u1.(i) <- Float.min vdd u1.(i);
+      let record store level =
+        if Float.is_nan store.(i) && u.(i) < level && u1.(i) >= level then
+          store.(i) <-
+            (if u1.(i) = u.(i) then t1
+             else !t +. ((level -. u.(i)) /. (u1.(i) -. u.(i)) *. dt))
+      in
+      record cross20 lvl20;
+      record crossings lvl;
+      record cross80 lvl80;
+      u.(i) <- u1.(i)
+    done;
+    t := t1
+  done;
+  if remaining () then
+    failwith "Rc_sim.simulate: a monitored node never crossed 50%";
+  let root_crossing = crossings.(0) in
+  let tap_delays =
+    Array.map (fun tap -> (tap, crossings.(tap) -. root_crossing)) tree.Rctree.taps
+  in
+  let tap_slews =
+    Array.map
+      (fun tap -> (tap, (cross80.(tap) -. cross20.(tap)) /. 0.6))
+      tree.Rctree.taps
+  in
+  { root_crossing; driver_delay = root_crossing -. (input_slew /. 2.0); tap_delays; tap_slews }
+
+let wire_delay ?steps tech ~driver ~tree ~load_caps ~input_slew =
+  let r = simulate ?steps tech ~driver ~tree ~load_caps ~input_slew in
+  if Array.length r.tap_delays = 0 then
+    invalid_arg "Rc_sim.wire_delay: net has no tap";
+  snd r.tap_delays.(0)

@@ -1,0 +1,48 @@
+(** Driver-aware transient simulation of a routed net.
+
+    The RC tree is integrated by backward Euler on the nodal system
+    (C/Δt + G)·v⁺ = (C/Δt)·v + i(t); the conductance matrix is constant,
+    so it is LU-factored once per sample and reused every timestep.  The
+    nonlinear driver (a cell {!Arc.t}) injects its stack current at the
+    root explicitly — stable here because the current falls monotonically
+    as the root charges.
+
+    Wire delay is measured exactly as the paper does: 50% crossing at the
+    tap minus 50% crossing at the driver output (root), so the driver's
+    own transition time is excluded but its finite drive — the
+    cell/wire interaction under study — shapes the tap waveform. *)
+
+type result = {
+  root_crossing : float;  (** absolute time the root crosses VDD/2 (s) *)
+  driver_delay : float;
+      (** root 50% crossing − input 50% crossing: the driver cell's delay
+          into its real distributed load *)
+  tap_delays : (int * float) array;
+      (** per tap: (node index, tap 50% crossing − root 50% crossing) *)
+  tap_slews : (int * float) array;
+      (** per tap: full-swing-equivalent 20–80% transition time *)
+}
+
+val simulate :
+  ?steps:int ->
+  Nsigma_process.Technology.t ->
+  driver:Arc.t ->
+  tree:Nsigma_rcnet.Rctree.t ->
+  load_caps:(int * float) list ->
+  input_slew:float ->
+  result
+(** Drive the net with the given arc (a rising-output pull-up arc is the
+    conventional choice).  [load_caps] adds capacitance at tap nodes
+    (load-cell input pins).  [steps] (default 400) is the transient
+    resolution. @raise Failure if a tap never crosses 50%. *)
+
+val wire_delay :
+  ?steps:int ->
+  Nsigma_process.Technology.t ->
+  driver:Arc.t ->
+  tree:Nsigma_rcnet.Rctree.t ->
+  load_caps:(int * float) list ->
+  input_slew:float ->
+  float
+(** The first tap's wire delay — the single-sink shortcut used by the
+    Fig. 7–10 experiments. *)

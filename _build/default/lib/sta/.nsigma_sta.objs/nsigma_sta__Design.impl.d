@@ -1,0 +1,1 @@
+lib/sta/design.ml: Array List Nsigma_liberty Nsigma_netlist Nsigma_rcnet Nsigma_stats Printf

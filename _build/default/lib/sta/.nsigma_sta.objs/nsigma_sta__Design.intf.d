@@ -1,0 +1,1 @@
+lib/sta/design.mli: Nsigma_liberty Nsigma_netlist Nsigma_process Nsigma_rcnet

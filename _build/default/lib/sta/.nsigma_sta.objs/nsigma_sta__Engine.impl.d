@@ -1,0 +1,1 @@
+lib/sta/engine.ml: Array Design Float Hashtbl List Nsigma_liberty Nsigma_netlist Option Path Provider

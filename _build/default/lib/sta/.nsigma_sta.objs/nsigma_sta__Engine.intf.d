@@ -1,0 +1,1 @@
+lib/sta/engine.mli: Design Nsigma_process Path Provider

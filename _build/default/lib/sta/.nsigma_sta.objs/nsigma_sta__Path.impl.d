@@ -1,0 +1,1 @@
+lib/sta/path.ml: Array Format List Nsigma_liberty Nsigma_netlist Provider

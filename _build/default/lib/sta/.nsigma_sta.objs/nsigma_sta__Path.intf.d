@@ -1,0 +1,1 @@
+lib/sta/path.mli: Format Nsigma_netlist Provider

@@ -1,0 +1,1 @@
+lib/sta/path_mc.ml: Array Design Float List Nsigma_liberty Nsigma_netlist Nsigma_process Nsigma_rcnet Nsigma_spice Nsigma_stats Path Provider

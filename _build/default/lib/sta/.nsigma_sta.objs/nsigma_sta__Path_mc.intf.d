@@ -1,0 +1,1 @@
+lib/sta/path_mc.mli: Design Nsigma_process Nsigma_stats Path

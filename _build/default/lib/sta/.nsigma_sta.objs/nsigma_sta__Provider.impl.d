@@ -1,0 +1,1 @@
+lib/sta/provider.ml: Nsigma_liberty Nsigma_netlist Nsigma_rcnet Nsigma_stats

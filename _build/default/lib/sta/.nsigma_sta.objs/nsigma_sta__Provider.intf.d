@@ -1,0 +1,1 @@
+lib/sta/provider.mli: Nsigma_liberty Nsigma_netlist Nsigma_rcnet

@@ -1,0 +1,1 @@
+lib/sta/timing_report.ml: Array Design Engine Float Format List Nsigma_liberty Nsigma_netlist Path Printf Provider

@@ -1,0 +1,1 @@
+lib/sta/timing_report.mli: Engine Format Nsigma_netlist Path Provider

@@ -1,0 +1,91 @@
+module Netlist = Nsigma_netlist.Netlist
+module Cell = Nsigma_liberty.Cell
+module Rctree = Nsigma_rcnet.Rctree
+module Wire_gen = Nsigma_rcnet.Wire_gen
+module Rng = Nsigma_stats.Rng
+
+type t = {
+  netlist : Netlist.t;
+  parasitics : Rctree.t array;
+  drivers : int array;
+  fanouts : (int * int) list array;
+  loaded_cache : Rctree.t option array;
+}
+
+(* Primary outputs are modelled as a fixed pad/flop load. *)
+let po_load = 1.0e-15
+
+let attach_parasitics ?(seed = 7) ?backbone_um ?stub_um tech netlist =
+  let fanouts = Netlist.fanouts_of netlist in
+  let g = Rng.create ~seed in
+  let parasitics =
+    Array.init netlist.Netlist.n_nets (fun net ->
+        let fanout = max 1 (List.length fanouts.(net)) in
+        Wire_gen.for_fanout tech ~fanout ?backbone_um ?stub_um (Rng.split g))
+  in
+  {
+    netlist;
+    parasitics;
+    drivers = Netlist.driver_of netlist;
+    fanouts;
+    loaded_cache = Array.make netlist.Netlist.n_nets None;
+  }
+
+let of_parasitics netlist parasitics =
+  if Array.length parasitics <> netlist.Netlist.n_nets then
+    invalid_arg "Design.of_parasitics: one tree per net required";
+  let fanouts = Netlist.fanouts_of netlist in
+  Array.iteri
+    (fun net tree ->
+      if Array.length tree.Rctree.taps < List.length fanouts.(net) then
+        invalid_arg
+          (Printf.sprintf "Design.of_parasitics: net %d has fewer taps than sinks"
+             net))
+    parasitics;
+  {
+    netlist;
+    parasitics;
+    drivers = Netlist.driver_of netlist;
+    fanouts;
+    loaded_cache = Array.make netlist.Netlist.n_nets None;
+  }
+
+let tap_of_sink t ~net ~sink_index =
+  let taps = t.parasitics.(net).Rctree.taps in
+  taps.(sink_index mod Array.length taps)
+
+let sink_caps tech t ~net =
+  List.mapi
+    (fun k (gate, pin) ->
+      let tap = tap_of_sink t ~net ~sink_index:k in
+      let cap =
+        if gate < 0 then po_load
+        else begin
+          let cell = t.netlist.Netlist.gates.(gate).Netlist.cell in
+          ignore pin;
+          Cell.input_cap tech cell
+        end
+      in
+      (tap, cap))
+    t.fanouts.(net)
+
+let loaded_parasitic tech t ~net =
+  match t.loaded_cache.(net) with
+  | Some tree -> tree
+  | None ->
+    let tree =
+      List.fold_left
+        (fun acc (tap, cap) -> Rctree.add_cap acc tap cap)
+        t.parasitics.(net) (sink_caps tech t ~net)
+    in
+    t.loaded_cache.(net) <- Some tree;
+    tree
+
+let total_load tech t ~net =
+  Rctree.total_cap t.parasitics.(net)
+  +. List.fold_left (fun acc (_, c) -> acc +. c) 0.0 (sink_caps tech t ~net)
+
+let effective_load tech t ~net ~driver =
+  let r_drv = Cell.drive_resistance tech driver in
+  Nsigma_rcnet.Ceff.effective ~driver_resistance:r_drv t.parasitics.(net)
+  +. List.fold_left (fun acc (_, c) -> acc +. c) 0.0 (sink_caps tech t ~net)

@@ -1,0 +1,63 @@
+(** A design: netlist plus per-net parasitics — what IC Compiler's SPEF
+    would provide downstream of place-and-route.
+
+    Every net gets an RC tree whose tap k corresponds to the net's k-th
+    sink in {!Nsigma_netlist.Netlist.fanouts_of} order.  Parasitics are
+    drawn deterministically from the technology's per-µm values by
+    {!attach_parasitics}, or supplied explicitly (e.g. parsed from a
+    SPEF-lite file). *)
+
+type t = {
+  netlist : Nsigma_netlist.Netlist.t;
+  parasitics : Nsigma_rcnet.Rctree.t array;  (** indexed by net id *)
+  drivers : int array;  (** cached {!Nsigma_netlist.Netlist.driver_of} *)
+  fanouts : (int * int) list array;  (** cached fanouts *)
+  loaded_cache : Nsigma_rcnet.Rctree.t option array;
+      (** lazily built {!loaded_parasitic} results *)
+}
+
+val attach_parasitics :
+  ?seed:int ->
+  ?backbone_um:float * float ->
+  ?stub_um:float * float ->
+  Nsigma_process.Technology.t ->
+  Nsigma_netlist.Netlist.t ->
+  t
+(** Generate an RC tree for every net, shaped by its fanout.  The
+    optional length ranges (µm) are forwarded to
+    {!Nsigma_rcnet.Wire_gen.for_fanout}; the defaults model short local
+    routes, larger values a sparser post-layout floorplan. *)
+
+val of_parasitics :
+  Nsigma_netlist.Netlist.t -> Nsigma_rcnet.Rctree.t array -> t
+(** Wrap explicit parasitics (one tree per net, taps ≥ fanout).
+    @raise Invalid_argument on a length or tap-count mismatch. *)
+
+val sink_caps :
+  Nsigma_process.Technology.t -> t -> net:int -> (int * float) list
+(** The (tap node, pin capacitance) loads of a net: one entry per sink
+    gate pin (primary outputs present a fixed 1 fF pad load). *)
+
+val total_load :
+  Nsigma_process.Technology.t -> t -> net:int -> float
+(** Lumped load the driver of [net] sees: wire capacitance plus all sink
+    pin capacitances — the "output load C" of the paper's operating
+    condition. *)
+
+val loaded_parasitic :
+  Nsigma_process.Technology.t -> t -> net:int -> Nsigma_rcnet.Rctree.t
+(** The net's RC tree with every sink pin capacitance added at its tap —
+    what interconnect delay metrics must be evaluated on (the transient
+    reference physically drives these loads).  Cached per net. *)
+
+val effective_load :
+  Nsigma_process.Technology.t -> t -> net:int -> driver:Nsigma_liberty.Cell.t ->
+  float
+(** Like {!total_load} but with the wire capacitance replaced by its
+    {!Nsigma_rcnet.Ceff} effective value for the given driver — resistive
+    shielding hides the far end of the net from a strong driver.  Sink
+    pin capacitances are not shielded away (they sit at the taps but
+    dominate when they matter). *)
+
+val tap_of_sink : t -> net:int -> sink_index:int -> int
+(** Tree node index of the k-th sink's tap. *)

@@ -1,0 +1,53 @@
+(** Arrival-time propagation and critical-path extraction.
+
+    The engine is model-agnostic: it walks gates in topological order,
+    tracks rising and falling arrivals per net with proper unateness
+    (inverting cells flip the edge; XOR-class cells consider both), and
+    asks the {!Provider.t} for every cell and wire delay.  Running the
+    same engine with different providers is how the repository compares
+    MC-derived, corner, baseline and N-sigma timing on identical
+    structure — mirroring Table III. *)
+
+type net_arrival = {
+  time : float;  (** arrival at the net's driver output *)
+  slew : float;  (** transition at the driver output *)
+}
+
+type report
+
+val analyze :
+  ?input_slew:float ->
+  ?load_model:[ `Total | `Effective ] ->
+  Nsigma_process.Technology.t ->
+  Provider.t ->
+  Design.t ->
+  report
+(** Propagate arrivals from primary inputs (t = 0, default slew 10 ps).
+    [load_model] selects how each gate's output load is lumped for the
+    delay lookup: [`Total] (default) sums wire + pin capacitance;
+    [`Effective] applies {!Design.effective_load}'s resistive-shielding
+    correction (the C_eff approach the paper's introduction attributes
+    to industrial LVF flows).
+    @raise Invalid_argument on a cyclic netlist. *)
+
+val arrival : report -> net:int -> edge:Provider.edge -> net_arrival option
+(** Arrival at a net for one transition direction; [None] if no event of
+    that polarity can reach the net. *)
+
+val design_of : report -> Design.t
+(** The design the report was computed on. *)
+
+val po_arrival : report -> net:int -> edge:Provider.edge -> float option
+(** Arrival at a primary output's tap (final wire segment included);
+    [None] when the PO never sees that polarity or [net] is not a PO. *)
+
+val circuit_delay : report -> float
+(** Worst arrival over all primary-output taps (final wire included). *)
+
+val critical_path : report -> Path.t
+(** The path realising {!circuit_delay}. *)
+
+val worst_paths : report -> k:int -> Path.t list
+(** The worst path through each primary output, sorted worst-first,
+    truncated to [k] entries (paths through distinct POs, not a full
+    K-path enumeration). *)

@@ -1,0 +1,46 @@
+module Netlist = Nsigma_netlist.Netlist
+module Cell = Nsigma_liberty.Cell
+
+type hop = {
+  in_net : int;
+  in_edge : Provider.edge;
+  tap : int;
+  wire_delay : float;
+  pin_slew : float;
+  gate : int;
+  out_edge : Provider.edge;
+  cell_delay : float;
+  load_cap : float;
+  out_net : int;
+}
+
+type t = {
+  hops : hop list;
+  end_net : int;
+  end_tap : int;
+  end_wire_delay : float;
+  total : float;
+}
+
+let n_stages t = List.length t.hops
+
+let wire_delays t =
+  List.map (fun h -> h.wire_delay) t.hops @ [ t.end_wire_delay ]
+
+let cell_delays t = List.map (fun h -> h.cell_delay) t.hops
+
+let pp netlist ppf t =
+  Format.fprintf ppf "@[<v>path: %d stages, nominal %.1f ps@," (n_stages t)
+    (t.total *. 1e12);
+  List.iter
+    (fun h ->
+      let g = netlist.Netlist.gates.(h.gate) in
+      Format.fprintf ppf "  net %s -(%.2fps wire)-> %s %s [%s] %.2fps@,"
+        netlist.Netlist.net_names.(h.in_net)
+        (h.wire_delay *. 1e12) (Cell.name g.Netlist.cell) g.Netlist.g_name
+        (match h.out_edge with Provider.Rise -> "R" | Provider.Fall -> "F")
+        (h.cell_delay *. 1e12))
+    t.hops;
+  Format.fprintf ppf "  -> PO net %s (+%.2fps wire)@]"
+    netlist.Netlist.net_names.(t.end_net)
+    (t.end_wire_delay *. 1e12)

@@ -1,0 +1,38 @@
+(** Timing paths: the ordered gate/wire hops extracted from an analysis.
+
+    A path starts at a primary input, passes through [hops] (each hop =
+    the wire into a gate pin followed by the gate's switching arc) and
+    ends with the wire from the last gate to a primary-output tap.  The
+    nominal operating conditions recorded per hop (pin slew, output load)
+    are what the statistical models calibrate against — and what the
+    Monte-Carlo path simulator re-derives physically per sample. *)
+
+type hop = {
+  in_net : int;  (** net feeding the switching pin *)
+  in_edge : Provider.edge;  (** transition at the pin *)
+  tap : int;  (** tap node of [in_net]'s tree at this pin *)
+  wire_delay : float;  (** nominal wire delay into the pin (0 for PI nets) *)
+  pin_slew : float;  (** nominal transition at the pin *)
+  gate : int;  (** gate index in the netlist *)
+  out_edge : Provider.edge;
+  cell_delay : float;  (** nominal gate delay *)
+  load_cap : float;  (** nominal lumped load on the gate's output *)
+  out_net : int;
+}
+
+type t = {
+  hops : hop list;  (** in propagation order *)
+  end_net : int;  (** primary-output net *)
+  end_tap : int;  (** PO tap on that net *)
+  end_wire_delay : float;  (** nominal wire delay of the final segment *)
+  total : float;  (** nominal path delay (Σ cell + Σ wire) *)
+}
+
+val n_stages : t -> int
+val wire_delays : t -> float list
+(** All nominal wire-segment delays along the path (including the final
+    segment) — the series plotted in Fig. 11 of the paper. *)
+
+val cell_delays : t -> float list
+
+val pp : Nsigma_netlist.Netlist.t -> Format.formatter -> t -> unit

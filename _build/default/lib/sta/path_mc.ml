@@ -1,0 +1,95 @@
+module Netlist = Nsigma_netlist.Netlist
+module Cell = Nsigma_liberty.Cell
+module Wire_gen = Nsigma_rcnet.Wire_gen
+module Rc_sim = Nsigma_spice.Rc_sim
+module Variation = Nsigma_process.Variation
+module Moments = Nsigma_stats.Moments
+module Quantile = Nsigma_stats.Quantile
+module Rng = Nsigma_stats.Rng
+
+type stats = {
+  samples : float array;
+  moments : Moments.summary;
+  quantile : int -> float;
+}
+
+let edge_of = function Provider.Rise -> `Rise | Provider.Fall -> `Fall
+
+(* The tap through which the path leaves each hop's output net: the next
+   hop's tap, or the PO tap after the last gate. *)
+let out_taps (path : Path.t) =
+  let rec go = function
+    | [] -> []
+    | [ (_ : Path.hop) ] -> [ path.Path.end_tap ]
+    | _ :: (next :: _ as rest) -> next.Path.tap :: go rest
+  in
+  go path.Path.hops
+
+(* Simulate one sample; [record_wire i d] is called with each hop's
+   outgoing wire delay. *)
+let simulate_sample_record ?(steps = 200) tech (design : Design.t)
+    (path : Path.t) sample ~record_wire =
+  let nl = design.Design.netlist in
+  let taps = out_taps path in
+  let slew = ref Provider.input_slew_default in
+  let total = ref 0.0 in
+  List.iteri
+    (fun i (hop, tap) ->
+      let gate = nl.Netlist.gates.(hop.Path.gate) in
+      let arc =
+        Cell.arc tech sample gate.Netlist.cell ~output_edge:(edge_of hop.Path.out_edge)
+      in
+      let tree = Wire_gen.vary tech sample design.Design.parasitics.(hop.Path.out_net) in
+      let load_caps = Design.sink_caps tech design ~net:hop.Path.out_net in
+      let r =
+        Rc_sim.simulate ~steps tech ~driver:arc ~tree ~load_caps ~input_slew:!slew
+      in
+      let find_tap pairs =
+        let _, v = Array.to_list pairs |> List.find (fun (node, _) -> node = tap) in
+        v
+      in
+      let wire = find_tap r.Rc_sim.tap_delays in
+      record_wire i wire;
+      total := !total +. r.Rc_sim.driver_delay +. wire;
+      slew := Float.max 1e-12 (find_tap r.Rc_sim.tap_slews))
+    (List.combine path.Path.hops taps);
+  !total
+
+let simulate_sample ?steps tech design path sample =
+  simulate_sample_record ?steps tech design path sample ~record_wire:(fun _ _ -> ())
+
+let run ?steps ?(n = 1000) ?(seed = 11) tech design path =
+  let g = Rng.create ~seed in
+  let out = ref [] in
+  for _ = 1 to n do
+    let sample = Variation.draw tech g in
+    match simulate_sample ?steps tech design path sample with
+    | d -> out := d :: !out
+    | exception Failure _ -> ()
+  done;
+  let samples = Array.of_list !out in
+  Array.sort Float.compare samples;
+  let moments = Moments.summary_of_array samples in
+  let quantile sigma =
+    Quantile.of_sorted samples
+      (Quantile.probability_of_sigma (float_of_int sigma))
+  in
+  { samples; moments; quantile }
+
+let per_wire_quantiles ?steps ?(n = 1000) ?(seed = 11) tech design path ~sigma =
+  let n_hops = Path.n_stages path in
+  let per_wire = Array.make n_hops [] in
+  let g = Rng.create ~seed in
+  for _ = 1 to n do
+    let sample = Variation.draw tech g in
+    (try
+       ignore
+         (simulate_sample_record ?steps tech design path sample
+            ~record_wire:(fun i d -> per_wire.(i) <- d :: per_wire.(i)))
+     with Failure _ -> ())
+  done;
+  Array.to_list per_wire
+  |> List.map (fun ds ->
+         let arr = Array.of_list ds in
+         Nsigma_stats.Quantile.of_sample arr
+           (Quantile.probability_of_sigma (float_of_int sigma)))

@@ -1,0 +1,46 @@
+(** Monte-Carlo "SPICE" simulation of an extracted timing path.
+
+    This is the golden reference of Table III: for each variation sample
+    the path is re-simulated stage by stage at transistor level — every
+    gate's arc is rebuilt with fresh per-device mismatch, every wire's
+    R/C is perturbed, the driver is simulated {e into its real RC tree}
+    (so cell delay, wire delay and slew propagation all interact), and
+    the stage delays are summed.  Nothing from the statistical models is
+    used. *)
+
+type stats = {
+  samples : float array;  (** sorted path-delay population (s) *)
+  moments : Nsigma_stats.Moments.summary;
+  quantile : int -> float;  (** sigma level −3 … +3 → delay (s) *)
+}
+
+val simulate_sample :
+  ?steps:int ->
+  Nsigma_process.Technology.t ->
+  Design.t ->
+  Path.t ->
+  Nsigma_process.Variation.t ->
+  float
+(** One fabrication outcome's path delay. *)
+
+val run :
+  ?steps:int ->
+  ?n:int ->
+  ?seed:int ->
+  Nsigma_process.Technology.t ->
+  Design.t ->
+  Path.t ->
+  stats
+(** [n] (default 1000) full-path samples. *)
+
+val per_wire_quantiles :
+  ?steps:int ->
+  ?n:int ->
+  ?seed:int ->
+  Nsigma_process.Technology.t ->
+  Design.t ->
+  Path.t ->
+  sigma:int ->
+  float list
+(** The per-wire-segment nσ delays along the path (the Fig. 11 series):
+    each wire's sample population is collected during the same runs. *)

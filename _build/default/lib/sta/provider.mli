@@ -1,0 +1,42 @@
+(** The pluggable delay-model interface of the STA engine.
+
+    A provider answers three questions for the propagation loop: a gate's
+    propagation delay, its output slew, and the delay of a wire segment
+    to one tap.  Every timing method in the repository — the mean-based
+    reference timer, the PrimeTime-like corner timer, the baselines, and
+    the paper's N-sigma model at each sigma level — is a value of this
+    type, so they all run through the identical engine. *)
+
+type edge = Rise | Fall
+
+val flip : edge -> edge
+
+type t = {
+  label : string;
+  cell_delay :
+    Nsigma_netlist.Netlist.gate -> edge:edge -> input_slew:float ->
+    load_cap:float -> float;
+      (** propagation delay of the gate's worst arc for the output edge *)
+  cell_out_slew :
+    Nsigma_netlist.Netlist.gate -> edge:edge -> input_slew:float ->
+    load_cap:float -> float;
+      (** output transition time under the same conditions *)
+  wire_delay :
+    net:int -> driver:Nsigma_liberty.Cell.t option ->
+    sink:Nsigma_liberty.Cell.t option ->
+    tree:Nsigma_rcnet.Rctree.t -> tap:int -> float;
+      (** interconnect delay from the net's root to [tap]; driver/sink
+          cells are provided for models (like the paper's) that use them *)
+  wire_slew_degrade : wire_delay:float -> slew_at_root:float -> float;
+      (** transition time at the tap given the root transition (PERI-style
+          for the builtin providers) *)
+}
+
+val nominal : Nsigma_liberty.Library.t -> t
+(** Mean-delay timer: cell μ from the characterised tables (bilinear LVF
+    lookup), Elmore wire delay, PERI slew degradation.  This is the
+    reference timer used to establish each stage's operating condition. *)
+
+val input_slew_default : float
+(** Transition time assumed at primary inputs (10 ps, the paper's
+    S_ref). *)

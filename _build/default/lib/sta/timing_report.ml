@@ -1,0 +1,83 @@
+module Netlist = Nsigma_netlist.Netlist
+module Cell = Nsigma_liberty.Cell
+
+type endpoint = {
+  net : int;
+  edge : Provider.edge;
+  arrival : float;
+  slack : float;
+}
+
+type t = {
+  period : float;
+  endpoints : endpoint list;
+  wns : float;
+  tns : float;
+}
+
+let of_report ~period report =
+  if period <= 0.0 then invalid_arg "Timing_report.of_report: period <= 0";
+  let design = Engine.design_of report in
+  let nl = design.Design.netlist in
+  let endpoints =
+    Array.to_list nl.Netlist.primary_outputs
+    |> List.concat_map (fun po ->
+           List.filter_map
+             (fun edge ->
+               match Engine.po_arrival report ~net:po ~edge with
+               | None -> None
+               | Some arrival ->
+                 Some { net = po; edge; arrival; slack = period -. arrival })
+             [ Provider.Rise; Provider.Fall ])
+    |> List.sort (fun a b -> Float.compare a.slack b.slack)
+  in
+  let wns = match endpoints with [] -> period | e :: _ -> e.slack in
+  let tns =
+    List.fold_left
+      (fun acc e -> if e.slack < 0.0 then acc +. e.slack else acc)
+      0.0 endpoints
+  in
+  { period; endpoints; wns; tns }
+
+let violations t = List.filter (fun e -> e.slack < 0.0) t.endpoints
+
+let edge_name = function Provider.Rise -> "r" | Provider.Fall -> "f"
+
+let pp nl ppf t =
+  Format.fprintf ppf "@[<v>timing summary @@ period %.1f ps@," (t.period *. 1e12);
+  Format.fprintf ppf "  WNS %.2f ps   TNS %.2f ps   %d endpoints, %d violated@,"
+    (t.wns *. 1e12) (t.tns *. 1e12)
+    (List.length t.endpoints)
+    (List.length (violations t));
+  List.iteri
+    (fun i e ->
+      if i < 10 then
+        Format.fprintf ppf "  %-12s (%s)  arrival %8.2f ps  slack %8.2f ps@,"
+          nl.Netlist.net_names.(e.net) (edge_name e.edge) (e.arrival *. 1e12)
+          (e.slack *. 1e12))
+    t.endpoints;
+  Format.fprintf ppf "@]"
+
+let pp_path nl ~period ppf (path : Path.t) =
+  Format.fprintf ppf "@[<v>%-24s %10s %10s@," "point" "incr(ps)" "path(ps)";
+  let t = ref 0.0 in
+  let line name incr =
+    t := !t +. incr;
+    Format.fprintf ppf "%-24s %10.2f %10.2f@," name (incr *. 1e12) (!t *. 1e12)
+  in
+  List.iter
+    (fun (h : Path.hop) ->
+      if h.Path.wire_delay > 0.0 then
+        line (Printf.sprintf "net %s" nl.Netlist.net_names.(h.Path.in_net))
+          h.Path.wire_delay;
+      let g = nl.Netlist.gates.(h.Path.gate) in
+      line
+        (Printf.sprintf "%s %s (%s)" (Cell.name g.Netlist.cell) g.Netlist.g_name
+           (match h.Path.out_edge with Provider.Rise -> "r" | Provider.Fall -> "f"))
+        h.Path.cell_delay)
+    path.Path.hops;
+  line (Printf.sprintf "net %s (PO)" nl.Netlist.net_names.(path.Path.end_net))
+    path.Path.end_wire_delay;
+  Format.fprintf ppf "%-24s %10s %10.2f@," "data arrival" "" (!t *. 1e12);
+  Format.fprintf ppf "%-24s %10s %10.2f@," "clock period" "" (period *. 1e12);
+  Format.fprintf ppf "%-24s %10s %10.2f@]" "slack" "" ((period -. !t) *. 1e12)

@@ -1,0 +1,34 @@
+(** Sign-off style timing reports: endpoint slacks against a clock
+    period and PrimeTime-like path listings.
+
+    This is the consumer view of an {!Engine.report}: the calibration
+    papers the method builds on ([5], [8]) frame their corrections in
+    terms of endpoint slacks, so the library offers the same vocabulary. *)
+
+type endpoint = {
+  net : int;
+  edge : Provider.edge;
+  arrival : float;  (** at the PO tap, final wire included *)
+  slack : float;  (** period − arrival; negative = violated *)
+}
+
+type t = {
+  period : float;
+  endpoints : endpoint list;  (** sorted worst-slack first *)
+  wns : float;  (** worst negative slack (or worst slack if all met) *)
+  tns : float;  (** total negative slack (0 when all met) *)
+}
+
+val of_report : period:float -> Engine.report -> t
+(** Build the slack view of an analysis. *)
+
+val violations : t -> endpoint list
+(** Endpoints with negative slack. *)
+
+val pp : Nsigma_netlist.Netlist.t -> Format.formatter -> t -> unit
+(** Human-readable summary: WNS/TNS plus the worst endpoints. *)
+
+val pp_path :
+  Nsigma_netlist.Netlist.t -> period:float -> Format.formatter -> Path.t -> unit
+(** PrimeTime-flavoured single-path report: per-stage incr/path columns
+    and the endpoint slack line. *)

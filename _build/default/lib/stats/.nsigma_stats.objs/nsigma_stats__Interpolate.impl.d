@@ -1,0 +1,1 @@
+lib/stats/interpolate.ml: Array Float Printf Regression

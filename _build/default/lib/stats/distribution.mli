@@ -1,0 +1,112 @@
+(** Parametric distributions for delay modelling.
+
+    {!Skew_normal} / {!Log_skew_normal} back the LSN baseline of
+    Balef et al. [12]; {!Burr_xii} backs the Burr baseline of
+    Moshrefi et al. [13]; {!Normal} and {!Lognormal} are used for
+    synthetic-data generation and for the Gaussian ±nσ convention. *)
+
+module Normal : sig
+  type t = { mu : float; sigma : float }
+
+  val pdf : t -> float -> float
+  val cdf : t -> float -> float
+  val quantile : t -> float -> float
+  val sample : t -> Rng.t -> float
+  val fit_moments : Moments.summary -> t
+end
+
+module Lognormal : sig
+  type t = { mu : float; sigma : float }
+  (** Parameters of the underlying normal of [log X]. *)
+
+  val pdf : t -> float -> float
+  val cdf : t -> float -> float
+  val quantile : t -> float -> float
+  val sample : t -> Rng.t -> float
+
+  val fit_moments : Moments.summary -> t
+  (** Match mean and variance: σ² = log(1 + cv²), μ = log m − σ²/2. *)
+
+  val mean : t -> float
+  val std : t -> float
+  val skewness : t -> float
+end
+
+module Skew_normal : sig
+  type t = { location : float; scale : float; shape : float }
+  (** Azzalini's skew-normal: location ξ, scale ω > 0, shape α. *)
+
+  val pdf : t -> float -> float
+
+  val cdf : t -> float -> float
+  (** Φ(z) − 2·T(z, α) with Owen's T. *)
+
+  val quantile : t -> float -> float
+  (** By bracketed bisection on the CDF. *)
+
+  val sample : t -> Rng.t -> float
+
+  val mean : t -> float
+  val std : t -> float
+  val skewness : t -> float
+
+  val fit_moments : Moments.summary -> t
+  (** Method of moments.  The skew-normal family only reaches
+      |γ| < 0.9953; larger sample skewness is clamped to the boundary,
+      which is exactly the known failure mode of SN fits on heavy-tailed
+      near-threshold delays. *)
+
+  val max_abs_skewness : float
+end
+
+module Log_skew_normal : sig
+  type t = { log_sn : Skew_normal.t }
+  (** X = exp Y with Y skew-normal — the LSN model of [12]. *)
+
+  val pdf : t -> float -> float
+  val cdf : t -> float -> float
+  val quantile : t -> float -> float
+  val sample : t -> Rng.t -> float
+
+  val fit_samples : float array -> t
+  (** Fit by taking logs and moment-matching the skew-normal, as the LSN
+      paper does.  @raise Invalid_argument on non-positive samples. *)
+
+  val exp_raw_moment : t -> int -> float
+  (** E[X^k] for X = exp(Y), from the skew-normal moment generating
+      function M(t) = 2·exp(ξt + ω²t²/2)·Φ(ωδt). *)
+
+  val mean : t -> float
+  val std : t -> float
+  val skewness : t -> float
+
+  val fit_moments : Moments.summary -> t
+  (** Fit (ξ, ω, α) so the {e linear-domain} mean, std and skewness match
+      the given summary — how the LSN model is deployed from LVF-style
+      moment tables, where raw samples are no longer available.  Uses
+      Nelder-Mead on the closed-form moments. *)
+end
+
+module Burr_xii : sig
+  type t = { lambda : float; c : float; k : float }
+  (** Burr type-XII with scale λ and shapes c, k (all > 0):
+      F(x) = 1 − (1 + (x/λ)^c)^(−k). *)
+
+  val pdf : t -> float -> float
+  val cdf : t -> float -> float
+  val quantile : t -> float -> float
+  val sample : t -> Rng.t -> float
+
+  val raw_moment : t -> int -> float
+  (** E[X^r] = λ^r · k · B(k − r/c, 1 + r/c); requires ck > r.
+      @raise Invalid_argument when the moment does not exist. *)
+
+  val fit_quantiles : (float * float) list -> t
+  (** Fit (λ, c, k) by minimising squared relative error against the
+      given (probability, quantile) targets (Nelder-Mead) — the form used
+      when only characterised quantiles (not raw samples) are available. *)
+
+  val fit_samples : float array -> t
+  (** {!fit_quantiles} against the empirical sigma-level quantiles of a
+      sample, which mirrors how [13] deploys the Burr model. *)
+end

@@ -1,0 +1,71 @@
+type t = { lo : float; hi : float; counts : int array; total : int }
+
+let create ~bins xs =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Histogram.create: empty sample";
+  let lo = Array.fold_left Float.min xs.(0) xs in
+  let hi = Array.fold_left Float.max xs.(0) xs in
+  let hi = if hi = lo then lo +. 1.0 else hi in
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = max 0 (min (bins - 1) b) in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  { lo; hi; counts; total = n }
+
+let bin_width t = (t.hi -. t.lo) /. float_of_int (Array.length t.counts)
+
+let density t =
+  let w = bin_width t in
+  let norm = 1.0 /. (float_of_int t.total *. w) in
+  Array.map (fun c -> float_of_int c *. norm) t.counts
+
+let bin_centers t =
+  let w = bin_width t in
+  Array.mapi (fun i _ -> t.lo +. (w *. (float_of_int i +. 0.5))) t.counts
+
+let kde ?bandwidth xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Histogram.kde: empty sample";
+  let s = Moments.summary_of_array xs in
+  let h =
+    match bandwidth with
+    | Some h -> h
+    | None ->
+      let sigma = Float.max s.std 1e-300 in
+      1.06 *. sigma *. (float_of_int n ** -0.2)
+  in
+  fun x ->
+    let acc = ref 0.0 in
+    Array.iter (fun xi -> acc := !acc +. Special.normal_pdf ((x -. xi) /. h)) xs;
+    !acc /. (float_of_int n *. h)
+
+let blocks = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline ?(width = 60) t =
+  let bins = Array.length t.counts in
+  let col i =
+    (* Average the counts of the source bins that map onto column i. *)
+    let from = i * bins / width and until = max (((i + 1) * bins / width) - 1) (i * bins / width) in
+    let s = ref 0 and n = ref 0 in
+    for b = from to min until (bins - 1) do
+      s := !s + t.counts.(b);
+      incr n
+    done;
+    if !n = 0 then 0.0 else float_of_int !s /. float_of_int !n
+  in
+  let cols = Array.init width col in
+  let maxc = Array.fold_left Float.max 1e-9 cols in
+  let buf = Buffer.create (width * 3) in
+  Array.iter
+    (fun c ->
+      let level = int_of_float (Float.round (c /. maxc *. 8.0)) in
+      Buffer.add_string buf blocks.(max 0 (min 8 level)))
+    cols;
+  Buffer.contents buf

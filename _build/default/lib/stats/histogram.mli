@@ -1,0 +1,29 @@
+(** Histograms and kernel density estimates, used to render the PDF
+    figures of the paper (Figs. 2, 3, 7, 8) as text plots and CSV-like
+    series. *)
+
+type t = {
+  lo : float;  (** left edge of the first bin *)
+  hi : float;  (** right edge of the last bin *)
+  counts : int array;
+  total : int;
+}
+
+val create : bins:int -> float array -> t
+(** Equal-width histogram spanning the sample range.
+    @raise Invalid_argument for an empty sample or [bins <= 0]. *)
+
+val bin_width : t -> float
+
+val density : t -> float array
+(** Normalised bin heights (integrates to 1). *)
+
+val bin_centers : t -> float array
+
+val kde : ?bandwidth:float -> float array -> (float -> float)
+(** Gaussian kernel density estimate.  Default bandwidth is Silverman's
+    rule 1.06·σ·n^(−1/5). *)
+
+val sparkline : ?width:int -> t -> string
+(** Unicode block-character rendering of the histogram shape — enough to
+    eyeball skew/tails in terminal output. *)

@@ -1,0 +1,235 @@
+type mat = float array array
+type vec = float array
+
+let make rows cols = Array.make_matrix rows cols 0.0
+
+let identity n =
+  let m = make n n in
+  for i = 0 to n - 1 do
+    m.(i).(i) <- 1.0
+  done;
+  m
+
+let dims m =
+  let rows = Array.length m in
+  if rows = 0 then (0, 0)
+  else begin
+    let cols = Array.length m.(0) in
+    Array.iter
+      (fun row ->
+        if Array.length row <> cols then
+          invalid_arg "Linalg.dims: ragged matrix")
+      m;
+    (rows, cols)
+  end
+
+let transpose m =
+  let rows, cols = dims m in
+  let t = make cols rows in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      t.(j).(i) <- m.(i).(j)
+    done
+  done;
+  t
+
+let matmul a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  if ca <> rb then invalid_arg "Linalg.matmul: dimension mismatch";
+  let c = make ra cb in
+  for i = 0 to ra - 1 do
+    for k = 0 to ca - 1 do
+      let aik = a.(i).(k) in
+      if aik <> 0.0 then
+        for j = 0 to cb - 1 do
+          c.(i).(j) <- c.(i).(j) +. (aik *. b.(k).(j))
+        done
+    done
+  done;
+  c
+
+let matvec a x =
+  let ra, ca = dims a in
+  if ca <> Array.length x then invalid_arg "Linalg.matvec: dimension mismatch";
+  Array.init ra (fun i ->
+      let s = ref 0.0 in
+      for j = 0 to ca - 1 do
+        s := !s +. (a.(i).(j) *. x.(j))
+      done;
+      !s)
+
+let dot x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Linalg.dot: dimension mismatch";
+  let s = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    s := !s +. (x.(i) *. y.(i))
+  done;
+  !s
+
+let solve a b =
+  let n, m = dims a in
+  if n <> m then invalid_arg "Linalg.solve: matrix must be square";
+  if Array.length b <> n then invalid_arg "Linalg.solve: rhs size mismatch";
+  let a = Array.map Array.copy a in
+  let b = Array.copy b in
+  for col = 0 to n - 1 do
+    (* Partial pivot. *)
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs a.(row).(col) > Float.abs a.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs a.(!pivot).(col) < 1e-300 then
+      failwith "Linalg.solve: singular matrix";
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tb = b.(col) in
+      b.(col) <- b.(!pivot);
+      b.(!pivot) <- tb
+    end;
+    for row = col + 1 to n - 1 do
+      let factor = a.(row).(col) /. a.(col).(col) in
+      if factor <> 0.0 then begin
+        for j = col to n - 1 do
+          a.(row).(j) <- a.(row).(j) -. (factor *. a.(col).(j))
+        done;
+        b.(row) <- b.(row) -. (factor *. b.(col))
+      end
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for row = n - 1 downto 0 do
+    let s = ref b.(row) in
+    for j = row + 1 to n - 1 do
+      s := !s -. (a.(row).(j) *. x.(j))
+    done;
+    x.(row) <- !s /. a.(row).(row)
+  done;
+  x
+
+type lu = { lu : mat; perm : int array }
+
+let lu_factor a =
+  let n, m = dims a in
+  if n <> m then invalid_arg "Linalg.lu_factor: matrix must be square";
+  let lu = Array.map Array.copy a in
+  let perm = Array.init n Fun.id in
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs lu.(row).(col) > Float.abs lu.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs lu.(!pivot).(col) < 1e-300 then
+      failwith "Linalg.lu_factor: singular matrix";
+    if !pivot <> col then begin
+      let tmp = lu.(col) in
+      lu.(col) <- lu.(!pivot);
+      lu.(!pivot) <- tmp;
+      let tp = perm.(col) in
+      perm.(col) <- perm.(!pivot);
+      perm.(!pivot) <- tp
+    end;
+    for row = col + 1 to n - 1 do
+      let factor = lu.(row).(col) /. lu.(col).(col) in
+      lu.(row).(col) <- factor;
+      if factor <> 0.0 then
+        for j = col + 1 to n - 1 do
+          lu.(row).(j) <- lu.(row).(j) -. (factor *. lu.(col).(j))
+        done
+    done
+  done;
+  { lu; perm }
+
+let lu_solve { lu; perm } b =
+  let n = Array.length lu in
+  if Array.length b <> n then invalid_arg "Linalg.lu_solve: rhs size mismatch";
+  (* Forward substitution on the permuted rhs. *)
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref b.(perm.(i)) in
+    for j = 0 to i - 1 do
+      s := !s -. (lu.(i).(j) *. y.(j))
+    done;
+    y.(i) <- !s
+  done;
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !s /. lu.(i).(i)
+  done;
+  x
+
+let cholesky a =
+  let n, m = dims a in
+  if n <> m then invalid_arg "Linalg.cholesky: matrix must be square";
+  let l = make n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s = ref a.(i).(j) in
+      for k = 0 to j - 1 do
+        s := !s -. (l.(i).(k) *. l.(j).(k))
+      done;
+      if i = j then begin
+        if !s <= 0.0 then failwith "Linalg.cholesky: not positive definite";
+        l.(i).(i) <- sqrt !s
+      end
+      else l.(i).(j) <- !s /. l.(j).(j)
+    done
+  done;
+  l
+
+let solve_spd a b =
+  let l = cholesky a in
+  let n = Array.length b in
+  (* Forward substitution: L y = b. *)
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref b.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (l.(i).(k) *. y.(k))
+    done;
+    y.(i) <- !s /. l.(i).(i)
+  done;
+  (* Back substitution: Lᵀ x = y. *)
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      s := !s -. (l.(k).(i) *. x.(k))
+    done;
+    x.(i) <- !s /. l.(i).(i)
+  done;
+  x
+
+let tridiag_solve ~diag ~lower ~upper rhs =
+  let n = Array.length diag in
+  if Array.length rhs <> n then
+    invalid_arg "Linalg.tridiag_solve: rhs size mismatch";
+  if n > 0 && (Array.length lower <> n - 1 || Array.length upper <> n - 1) then
+    invalid_arg "Linalg.tridiag_solve: off-diagonal size mismatch";
+  if n = 0 then [||]
+  else begin
+    let cp = Array.make n 0.0 and dp = Array.make n 0.0 in
+    if Float.abs diag.(0) < 1e-300 then
+      failwith "Linalg.tridiag_solve: zero pivot";
+    cp.(0) <- (if n > 1 then upper.(0) /. diag.(0) else 0.0);
+    dp.(0) <- rhs.(0) /. diag.(0);
+    for i = 1 to n - 1 do
+      let denom = diag.(i) -. (lower.(i - 1) *. cp.(i - 1)) in
+      if Float.abs denom < 1e-300 then
+        failwith "Linalg.tridiag_solve: zero pivot";
+      if i < n - 1 then cp.(i) <- upper.(i) /. denom;
+      dp.(i) <- (rhs.(i) -. (lower.(i - 1) *. dp.(i - 1))) /. denom
+    done;
+    let x = Array.make n 0.0 in
+    x.(n - 1) <- dp.(n - 1);
+    for i = n - 2 downto 0 do
+      x.(i) <- dp.(i) -. (cp.(i) *. x.(i + 1))
+    done;
+    x
+  end

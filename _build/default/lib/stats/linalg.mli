@@ -1,0 +1,51 @@
+(** Small dense linear algebra for regression and circuit solvers.
+
+    Matrices are [float array array] in row-major form.  Sizes in this
+    library are tiny (regression design matrices, nodal RC systems of a few
+    hundred nodes), so simple O(n³) direct methods are the right tool. *)
+
+type mat = float array array
+type vec = float array
+
+val make : int -> int -> mat
+(** Zero matrix with the given rows × cols. *)
+
+val identity : int -> mat
+
+val dims : mat -> int * int
+(** (rows, cols); the matrix must be rectangular. *)
+
+val transpose : mat -> mat
+val matmul : mat -> mat -> mat
+val matvec : mat -> vec -> vec
+val dot : vec -> vec -> float
+
+val solve : mat -> vec -> vec
+(** [solve a b] solves [a x = b] by LU decomposition with partial
+    pivoting; [a] and [b] are not modified.
+    @raise Failure if the matrix is singular to working precision. *)
+
+val cholesky : mat -> mat
+(** Lower-triangular Cholesky factor of a symmetric positive-definite
+    matrix. @raise Failure if not positive definite. *)
+
+val solve_spd : mat -> vec -> vec
+(** Solve a symmetric positive-definite system via {!cholesky}; this is
+    the path used by least-squares normal equations. *)
+
+type lu
+(** Reusable LU factorisation with partial pivoting. *)
+
+val lu_factor : mat -> lu
+(** Factor a square matrix once; the input is not modified.
+    @raise Failure if singular to working precision. *)
+
+val lu_solve : lu -> vec -> vec
+(** Solve against a previously computed factorisation — the inner loop of
+    the backward-Euler RC transient engine, where the system matrix is
+    constant across timesteps. *)
+
+val tridiag_solve : diag:vec -> lower:vec -> upper:vec -> vec -> vec
+(** Thomas algorithm for tridiagonal systems — the shape produced by
+    backward-Euler integration of RC ladder sections.  [lower] and [upper]
+    have length n−1. @raise Failure on a zero pivot. *)

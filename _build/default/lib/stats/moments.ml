@@ -1,0 +1,108 @@
+type t = {
+  n : int;
+  mean : float;
+  m2 : float;  (* Σ (x-μ)² *)
+  m3 : float;  (* Σ (x-μ)³ *)
+  m4 : float;  (* Σ (x-μ)⁴ *)
+}
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  skewness : float;
+  kurtosis : float;
+}
+
+let empty = { n = 0; mean = 0.0; m2 = 0.0; m3 = 0.0; m4 = 0.0 }
+
+(* Pébay's single-observation update of central moment sums. *)
+let add (acc : t) x =
+  let n1 = float_of_int acc.n in
+  let n = acc.n + 1 in
+  let nf = float_of_int n in
+  let delta = x -. acc.mean in
+  let delta_n = delta /. nf in
+  let delta_n2 = delta_n *. delta_n in
+  let term1 = delta *. delta_n *. n1 in
+  let mean = acc.mean +. delta_n in
+  let m4 =
+    acc.m4
+    +. (term1 *. delta_n2 *. ((nf *. nf) -. (3.0 *. nf) +. 3.0))
+    +. (6.0 *. delta_n2 *. acc.m2)
+    -. (4.0 *. delta_n *. acc.m3)
+  in
+  let m3 =
+    acc.m3 +. (term1 *. delta_n *. (nf -. 2.0)) -. (3.0 *. delta_n *. acc.m2)
+  in
+  let m2 = acc.m2 +. term1 in
+  { n; mean; m2; m3; m4 }
+
+let merge (a : t) (b : t) =
+  if a.n = 0 then b
+  else if b.n = 0 then a
+  else begin
+    let na = float_of_int a.n and nb = float_of_int b.n in
+    let n = a.n + b.n in
+    let nf = na +. nb in
+    let delta = b.mean -. a.mean in
+    let delta2 = delta *. delta in
+    let mean = a.mean +. (delta *. nb /. nf) in
+    let m2 = a.m2 +. b.m2 +. (delta2 *. na *. nb /. nf) in
+    let m3 =
+      a.m3 +. b.m3
+      +. (delta *. delta2 *. na *. nb *. (na -. nb) /. (nf *. nf))
+      +. (3.0 *. delta *. ((na *. b.m2) -. (nb *. a.m2)) /. nf)
+    in
+    let m4 =
+      a.m4 +. b.m4
+      +. (delta2 *. delta2 *. na *. nb
+          *. ((na *. na) -. (na *. nb) +. (nb *. nb))
+          /. (nf *. nf *. nf))
+      +. (6.0 *. delta2
+          *. ((na *. na *. b.m2) +. (nb *. nb *. a.m2))
+          /. (nf *. nf))
+      +. (4.0 *. delta *. ((na *. b.m3) -. (nb *. a.m3)) /. nf)
+    in
+    { n; mean; m2; m3; m4 }
+  end
+
+let of_array xs = Array.fold_left add empty xs
+
+let count (acc : t) = acc.n
+let mean (acc : t) = acc.mean
+
+let variance (acc : t) = if acc.n = 0 then 0.0 else acc.m2 /. float_of_int acc.n
+
+let std acc = sqrt (variance acc)
+
+let skewness (acc : t) =
+  if acc.n = 0 || acc.m2 = 0.0 then 0.0
+  else begin
+    let nf = float_of_int acc.n in
+    sqrt nf *. acc.m3 /. (acc.m2 ** 1.5)
+  end
+
+let kurtosis (acc : t) =
+  if acc.n = 0 || acc.m2 = 0.0 then 3.0
+  else begin
+    let nf = float_of_int acc.n in
+    nf *. acc.m4 /. (acc.m2 *. acc.m2)
+  end
+
+let excess_kurtosis acc = kurtosis acc -. 3.0
+
+let summary (acc : t) : summary =
+  {
+    n = acc.n;
+    mean = mean acc;
+    std = std acc;
+    skewness = skewness acc;
+    kurtosis = kurtosis acc;
+  }
+
+let summary_of_array xs = summary (of_array xs)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mu=%.6g sigma=%.6g gamma=%.4f kappa=%.4f" s.n s.mean
+    s.std s.skewness s.kurtosis

@@ -1,0 +1,58 @@
+(** Streaming computation of the first four statistical moments.
+
+    The N-sigma model of the paper is parameterised entirely by
+    [μ, σ, γ (skewness), κ (kurtosis)] of a delay sample, so this module is
+    the work-horse of characterisation.  Updates use the numerically stable
+    one-pass formulas of Pébay (2008); accumulators can be merged, which
+    lets Monte-Carlo batches be combined. *)
+
+type t
+(** Immutable accumulator of central moment sums. *)
+
+type summary = {
+  n : int;  (** sample count *)
+  mean : float;  (** first moment μ *)
+  std : float;  (** standard deviation σ (population) *)
+  skewness : float;  (** third standardised moment γ *)
+  kurtosis : float;  (** fourth standardised moment κ (Gaussian = 3) *)
+}
+(** The four moments the N-sigma model consumes. *)
+
+val empty : t
+(** Accumulator over zero samples. *)
+
+val add : t -> float -> t
+(** [add acc x] folds one observation into the accumulator. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators as if their samples were concatenated. *)
+
+val of_array : float array -> t
+(** Accumulate a whole sample. *)
+
+val count : t -> int
+val mean : t -> float
+
+val variance : t -> float
+(** Population variance (divides by n). *)
+
+val std : t -> float
+
+val skewness : t -> float
+(** 0 for symmetric data; > 0 for a right (long upper) tail.  Returns 0
+    when σ = 0. *)
+
+val kurtosis : t -> float
+(** Standardised fourth moment; 3 for a Gaussian.  Returns 3 when σ = 0 so
+    degenerate samples behave as "no excess tail". *)
+
+val excess_kurtosis : t -> float
+(** [kurtosis acc -. 3.0]. *)
+
+val summary : t -> summary
+(** All four moments at once. *)
+
+val summary_of_array : float array -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Render as [n=… μ=… σ=… γ=… κ=…]. *)

@@ -1,0 +1,143 @@
+let nelder_mead ?(max_iter = 2000) ?(tol = 1e-10) ~f ~init ?(step = 0.1) () =
+  let n = Array.length init in
+  if n = 0 then invalid_arg "Optimize.nelder_mead: empty initial point";
+  (* Build the initial simplex: init plus one perturbed vertex per axis. *)
+  let vertex i =
+    if i = 0 then Array.copy init
+    else begin
+      let v = Array.copy init in
+      let j = i - 1 in
+      let delta = if v.(j) = 0.0 then step else step *. Float.abs v.(j) in
+      v.(j) <- v.(j) +. delta;
+      v
+    end
+  in
+  let simplex = Array.init (n + 1) vertex in
+  let values = Array.map f simplex in
+  let order () =
+    let idx = Array.init (n + 1) Fun.id in
+    Array.sort (fun a b -> Float.compare values.(a) values.(b)) idx;
+    idx
+  in
+  let centroid except =
+    let c = Array.make n 0.0 in
+    Array.iteri
+      (fun i v ->
+        if i <> except then
+          for j = 0 to n - 1 do
+            c.(j) <- c.(j) +. v.(j)
+          done)
+      simplex;
+    Array.map (fun x -> x /. float_of_int n) c
+  in
+  let affine c x t = Array.init n (fun j -> c.(j) +. (t *. (x.(j) -. c.(j)))) in
+  let iter = ref 0 in
+  let continue = ref true in
+  while !continue && !iter < max_iter do
+    incr iter;
+    let idx = order () in
+    let best = idx.(0) and worst = idx.(n) and second_worst = idx.(n - 1) in
+    if Float.abs (values.(worst) -. values.(best)) <= tol *. (1.0 +. Float.abs values.(best))
+    then continue := false
+    else begin
+      let c = centroid worst in
+      let xr = affine c simplex.(worst) (-1.0) in
+      let fr = f xr in
+      if fr < values.(best) then begin
+        (* Try expansion. *)
+        let xe = affine c simplex.(worst) (-2.0) in
+        let fe = f xe in
+        if fe < fr then begin
+          simplex.(worst) <- xe;
+          values.(worst) <- fe
+        end
+        else begin
+          simplex.(worst) <- xr;
+          values.(worst) <- fr
+        end
+      end
+      else if fr < values.(second_worst) then begin
+        simplex.(worst) <- xr;
+        values.(worst) <- fr
+      end
+      else begin
+        (* Contraction (outside if reflected point improved on the worst). *)
+        let t = if fr < values.(worst) then -0.5 else 0.5 in
+        let xc = affine c simplex.(worst) t in
+        let fc = f xc in
+        if fc < Float.min fr values.(worst) then begin
+          simplex.(worst) <- xc;
+          values.(worst) <- fc
+        end
+        else
+          (* Shrink towards the best vertex. *)
+          Array.iteri
+            (fun i v ->
+              if i <> best then begin
+                let nv =
+                  Array.init n (fun j ->
+                      simplex.(best).(j) +. (0.5 *. (v.(j) -. simplex.(best).(j))))
+                in
+                simplex.(i) <- nv;
+                values.(i) <- f nv
+              end)
+            simplex
+      end
+    end
+  done;
+  let idx = order () in
+  (Array.copy simplex.(idx.(0)), values.(idx.(0)))
+
+let bisect ?(max_iter = 200) ?(tol = 1e-12) ~f ~lo ~hi () =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else begin
+    if (flo > 0.0) = (fhi > 0.0) then
+      invalid_arg "Optimize.bisect: endpoints do not bracket a root";
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let result = ref nan in
+    (try
+       for _ = 1 to max_iter do
+         let mid = 0.5 *. (!lo +. !hi) in
+         let fmid = f mid in
+         if fmid = 0.0 || 0.5 *. (!hi -. !lo) < tol then begin
+           result := mid;
+           raise Exit
+         end;
+         if (fmid > 0.0) = (!flo > 0.0) then begin
+           lo := mid;
+           flo := fmid
+         end
+         else hi := mid
+       done;
+       result := 0.5 *. (!lo +. !hi)
+     with Exit -> ());
+    !result
+  end
+
+let golden_section ?(max_iter = 200) ?(tol = 1e-10) ~f ~lo ~hi () =
+  let phi = (sqrt 5.0 -. 1.0) /. 2.0 in
+  let a = ref lo and b = ref hi in
+  let c = ref (!b -. (phi *. (!b -. !a))) in
+  let d = ref (!a +. (phi *. (!b -. !a))) in
+  let fc = ref (f !c) and fd = ref (f !d) in
+  let i = ref 0 in
+  while !b -. !a > tol && !i < max_iter do
+    incr i;
+    if !fc < !fd then begin
+      b := !d;
+      d := !c;
+      fd := !fc;
+      c := !b -. (phi *. (!b -. !a));
+      fc := f !c
+    end
+    else begin
+      a := !c;
+      c := !d;
+      fc := !fd;
+      d := !a +. (phi *. (!b -. !a));
+      fd := f !d
+    end
+  done;
+  0.5 *. (!a +. !b)

@@ -1,0 +1,38 @@
+(** Derivative-free optimisation and root finding.
+
+    Used to fit the Burr-XII baseline (whose parameters have no closed
+    moment inversion) and to invert distribution CDFs into quantiles. *)
+
+val nelder_mead :
+  ?max_iter:int ->
+  ?tol:float ->
+  f:(float array -> float) ->
+  init:float array ->
+  ?step:float ->
+  unit ->
+  float array * float
+(** [nelder_mead ~f ~init ()] minimises [f] starting from a simplex built
+    around [init] with relative size [step] (default 0.1).  Returns the
+    best point and its value.  Standard reflection/expansion/contraction/
+    shrink coefficients (1, 2, 0.5, 0.5). *)
+
+val bisect :
+  ?max_iter:int ->
+  ?tol:float ->
+  f:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  float
+(** Root of a continuous scalar function by bisection.
+    @raise Invalid_argument if [f lo] and [f hi] have the same sign. *)
+
+val golden_section :
+  ?max_iter:int ->
+  ?tol:float ->
+  f:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  float
+(** Minimiser of a unimodal function on \[lo, hi\]. *)

@@ -1,0 +1,29 @@
+let of_sorted xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Quantile.of_sorted: empty sample";
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg "Quantile.of_sorted: probability outside [0,1]";
+  (* Type-7 estimator: h = (n-1)p, interpolate between floor and ceil. *)
+  let h = float_of_int (n - 1) *. p in
+  let lo = int_of_float (Float.floor h) in
+  let hi = min (lo + 1) (n - 1) in
+  let frac = h -. float_of_int lo in
+  xs.(lo) +. (frac *. (xs.(hi) -. xs.(lo)))
+
+let of_sample xs p =
+  let copy = Array.copy xs in
+  Array.sort Float.compare copy;
+  of_sorted copy p
+
+let many_of_sample xs ps =
+  let copy = Array.copy xs in
+  Array.sort Float.compare copy;
+  List.map (fun p -> (p, of_sorted copy p)) ps
+
+let sigma_levels = [ -3; -2; -1; 0; 1; 2; 3 ]
+
+let probability_of_sigma n = Special.normal_cdf n
+let sigma_of_probability p = Special.normal_quantile p
+
+let empirical_sigma_level xs n =
+  of_sample xs (probability_of_sigma (float_of_int n))

@@ -1,0 +1,72 @@
+type fit = { coeffs : float array; r2 : float; residual_std : float }
+
+let fit ~design ~target =
+  let n = Array.length design in
+  if n = 0 then invalid_arg "Regression.fit: empty design";
+  if Array.length target <> n then
+    invalid_arg "Regression.fit: design/target size mismatch";
+  let k = Array.length design.(0) in
+  if k = 0 then invalid_arg "Regression.fit: no features";
+  (* Normal equations: XᵀX β = Xᵀ y. *)
+  let xtx = Linalg.make k k and xty = Array.make k 0.0 in
+  Array.iteri
+    (fun row x ->
+      if Array.length x <> k then invalid_arg "Regression.fit: ragged design";
+      let y = target.(row) in
+      for i = 0 to k - 1 do
+        xty.(i) <- xty.(i) +. (x.(i) *. y);
+        for j = 0 to k - 1 do
+          xtx.(i).(j) <- xtx.(i).(j) +. (x.(i) *. x.(j))
+        done
+      done)
+    design;
+  let coeffs =
+    try Linalg.solve_spd xtx xty
+    with Failure _ ->
+      (* Rank-deficient design (e.g. a constant feature over the grid):
+         regularise just enough to pick the minimum-norm-ish solution. *)
+      let ridge = 1e-9 *. (1.0 +. Float.abs xtx.(0).(0)) in
+      for i = 0 to k - 1 do
+        xtx.(i).(i) <- xtx.(i).(i) +. ridge
+      done;
+      Linalg.solve_spd xtx xty
+  in
+  let mean_y = Array.fold_left ( +. ) 0.0 target /. float_of_int n in
+  let ss_tot = ref 0.0 and ss_res = ref 0.0 in
+  Array.iteri
+    (fun row x ->
+      let pred = Linalg.dot coeffs x in
+      let dy = target.(row) -. mean_y in
+      let e = target.(row) -. pred in
+      ss_tot := !ss_tot +. (dy *. dy);
+      ss_res := !ss_res +. (e *. e))
+    design;
+  let r2 = if !ss_tot = 0.0 then 1.0 else 1.0 -. (!ss_res /. !ss_tot) in
+  { coeffs; r2; residual_std = sqrt (!ss_res /. float_of_int n) }
+
+let predict f x = Linalg.dot f.coeffs x
+
+let fit_with_intercept ~features ~target =
+  let design =
+    Array.map (fun row -> Array.append [| 1.0 |] row) features
+  in
+  fit ~design ~target
+
+let polynomial_features ~degree x =
+  let out = Array.make (degree + 1) 1.0 in
+  for i = 1 to degree do
+    out.(i) <- out.(i - 1) *. x
+  done;
+  out
+
+let polyfit ~degree ~xs ~ys =
+  let design = Array.map (polynomial_features ~degree) xs in
+  fit ~design ~target:ys
+
+let polyval coeffs x =
+  (* Horner, constant-first layout. *)
+  let acc = ref 0.0 in
+  for i = Array.length coeffs - 1 downto 0 do
+    acc := (!acc *. x) +. coeffs.(i)
+  done;
+  !acc

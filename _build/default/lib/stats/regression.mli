@@ -1,0 +1,35 @@
+(** Ordinary least squares, the fitting engine behind Table I of the paper
+    (quantile-model coefficients A_ni/B_nj) and the moment-calibration
+    surfaces of eqs. (2)–(3).
+
+    A fit minimises ‖Xβ − y‖² through the normal equations XᵀXβ = Xᵀy,
+    solved by Cholesky with a tiny ridge fallback when the design is
+    rank-deficient (which happens when a feature is constant across the
+    characterisation grid). *)
+
+type fit = {
+  coeffs : float array;  (** β, one entry per design-matrix column *)
+  r2 : float;  (** coefficient of determination on the training data *)
+  residual_std : float;  (** RMS residual *)
+}
+
+val fit : design:float array array -> target:float array -> fit
+(** Least-squares fit of [target] on the rows of [design].
+    @raise Invalid_argument on empty or mismatched data. *)
+
+val predict : fit -> float array -> float
+(** Apply fitted coefficients to one feature row. *)
+
+val fit_with_intercept :
+  features:float array array -> target:float array -> fit
+(** Convenience: prepends a constant-1 column, so [coeffs.(0)] is the
+    intercept. *)
+
+val polynomial_features : degree:int -> float -> float array
+(** [polynomial_features ~degree x] is [| 1; x; x²; …; x^degree |]. *)
+
+val polyfit : degree:int -> xs:float array -> ys:float array -> fit
+(** 1-D polynomial least squares of the given degree. *)
+
+val polyval : float array -> float -> float
+(** Evaluate coefficients (constant first) at a point. *)

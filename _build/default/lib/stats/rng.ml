@@ -1,0 +1,109 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  (* Cached second deviate of the polar method, if any. *)
+  mutable spare : float option;
+}
+
+(* splitmix64: used to expand the user seed into four state words, and to
+   derive child seeds in [split].  Constants from Steele et al. (2014). *)
+let splitmix64 state =
+  let z = Int64.add !state 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3; spare = None }
+
+let copy g = { g with spare = g.spare }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 g =
+  let result = Int64.add (rotl (Int64.add g.s0 g.s3) 23) g.s0 in
+  let t = Int64.shift_left g.s1 17 in
+  g.s2 <- Int64.logxor g.s2 g.s0;
+  g.s3 <- Int64.logxor g.s3 g.s1;
+  g.s1 <- Int64.logxor g.s1 g.s2;
+  g.s0 <- Int64.logxor g.s0 g.s3;
+  g.s2 <- Int64.logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g =
+  let st = ref (bits64 g) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3; spare = None }
+
+(* 53-bit mantissa of the raw output, mapped to [0,1). *)
+let uniform g =
+  let x = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float x *. 0x1.0p-53
+
+let float g b = uniform g *. b
+
+let uniform_range g ~lo ~hi = lo +. (uniform g *. (hi -. lo))
+
+let int g n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is < 2^-40 for n < 2^24,
+     which is far below Monte-Carlo noise; use masked rejection anyway. *)
+  let rec go () =
+    let x = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+    let x = x land max_int in
+    let r = x mod n in
+    if x - r + (n - 1) < 0 then go () else r
+  in
+  go ()
+
+let gaussian g =
+  match g.spare with
+  | Some v ->
+    g.spare <- None;
+    v
+  | None ->
+    let rec go () =
+      let u = (2.0 *. uniform g) -. 1.0 in
+      let v = (2.0 *. uniform g) -. 1.0 in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1.0 || s = 0.0 then go ()
+      else begin
+        let m = sqrt (-2.0 *. log s /. s) in
+        g.spare <- Some (v *. m);
+        u *. m
+      end
+    in
+    go ()
+
+let gaussian_mu_sigma g ~mu ~sigma = mu +. (sigma *. gaussian g)
+
+let lognormal g ~mu ~sigma = exp (gaussian_mu_sigma g ~mu ~sigma)
+
+let exponential g ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  -.log1p (-.uniform g) /. rate
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int g (Array.length a))

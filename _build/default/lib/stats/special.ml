@@ -1,0 +1,145 @@
+let sqrt2 = sqrt 2.0
+let sqrt_2pi = sqrt (2.0 *. Float.pi)
+
+(* erfc via the rational approximation of Numerical Recipes (erfccheb-like
+   single formula); max relative error ~1.2e-7, adequate for quantile work
+   once polished by the caller where needed. *)
+let erfc x =
+  let z = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.5 *. z)) in
+  let poly =
+    -1.26551223
+    +. t
+       *. (1.00002368
+          +. t
+             *. (0.37409196
+                +. t
+                   *. (0.09678418
+                      +. t
+                         *. (-0.18628806
+                            +. t
+                               *. (0.27886807
+                                  +. t
+                                     *. (-1.13520398
+                                        +. t
+                                           *. (1.48851587
+                                              +. t
+                                                 *. (-0.82215223
+                                                    +. (t *. 0.17087277)))))))))
+  in
+  let ans = t *. exp ((-.z *. z) +. poly) in
+  if x >= 0.0 then ans else 2.0 -. ans
+
+let erf x = 1.0 -. erfc x
+
+let normal_pdf x = exp (-0.5 *. x *. x) /. sqrt_2pi
+let normal_cdf x = 0.5 *. erfc (-.x /. sqrt2)
+
+(* Acklam's inverse normal CDF approximation followed by one Halley
+   refinement step using the accurate [normal_cdf]. *)
+let normal_quantile p =
+  if not (p > 0.0 && p < 1.0) then
+    invalid_arg "Special.normal_quantile: probability must lie in (0,1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let x =
+    if p < p_low then begin
+      let q = sqrt (-2.0 *. log p) in
+      (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+      *. q
+      +. c.(5)
+      |> fun num ->
+      num /. (((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+    end
+    else if p <= 1.0 -. p_low then begin
+      let q = p -. 0.5 in
+      let r = q *. q in
+      ((((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4))
+       *. r
+      +. a.(5))
+      *. q
+      /. ((((((b.(0) *. r) +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.0)
+    end
+    else begin
+      let q = sqrt (-2.0 *. log (1.0 -. p)) in
+      -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+         *. q
+        +. c.(5))
+      /. (((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+    end
+  in
+  (* One Halley step: u = (CDF(x) - p) / pdf(x). *)
+  let e = normal_cdf x -. p in
+  let u = e /. normal_pdf x in
+  x -. (u /. (1.0 +. (x *. u /. 2.0)))
+
+(* Lanczos approximation, g = 7, 9 coefficients. *)
+let lanczos_g = 7.0
+
+let lanczos_coeff =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec lgamma x =
+  if x < 0.5 then
+    (* Reflection formula. *)
+    log (Float.pi /. Float.abs (sin (Float.pi *. x))) -. lgamma (1.0 -. x)
+  else begin
+    let x = x -. 1.0 in
+    let a = ref lanczos_coeff.(0) in
+    let t = x +. lanczos_g +. 0.5 in
+    for i = 1 to 8 do
+      a := !a +. (lanczos_coeff.(i) /. (x +. float_of_int i))
+    done;
+    (0.5 *. log (2.0 *. Float.pi))
+    +. ((x +. 0.5) *. log t)
+    -. t
+    +. log !a
+  end
+
+let beta a b = exp (lgamma a +. lgamma b -. lgamma (a +. b))
+
+(* Adaptive Simpson quadrature for Owen's T.  The integrand is smooth and
+   rapidly decaying, so a modest tolerance is cheap and precise. *)
+let owen_t h a =
+  if a = 0.0 then 0.0
+  else begin
+    let h2 = h *. h in
+    let f x = exp (-0.5 *. h2 *. (1.0 +. (x *. x))) /. (1.0 +. (x *. x)) in
+    let simpson f a b =
+      let c = 0.5 *. (a +. b) in
+      (b -. a) /. 6.0 *. (f a +. (4.0 *. f c) +. f b)
+    in
+    let rec adapt f a b whole eps depth =
+      let c = 0.5 *. (a +. b) in
+      let left = simpson f a c and right = simpson f c b in
+      let delta = left +. right -. whole in
+      if depth <= 0 || Float.abs delta < 15.0 *. eps then
+        left +. right +. (delta /. 15.0)
+      else
+        adapt f a c left (eps /. 2.0) (depth - 1)
+        +. adapt f c b right (eps /. 2.0) (depth - 1)
+    in
+    let sign = if a < 0.0 then -1.0 else 1.0 in
+    let a = Float.abs a in
+    let whole = simpson f 0.0 a in
+    sign *. adapt f 0.0 a whole 1e-12 30 /. (2.0 *. Float.pi)
+  end
+
+let log1p_exp x = if x > 35.0 then x else if x < -35.0 then exp x else log1p (exp x)

@@ -1,0 +1,38 @@
+(** Special functions used by the statistical models.
+
+    Everything here is implemented from scratch (no external numerics
+    dependency): error function, normal distribution primitives, inverse
+    normal CDF, log-gamma/Beta for Burr-distribution moments, and Owen's T
+    function for the skew-normal CDF. *)
+
+val erf : float -> float
+(** Error function, |relative error| < 1.2e-7 (Abramowitz–Stegun 7.1.26
+    refined with one Newton step against [erfc]). *)
+
+val erfc : float -> float
+(** Complementary error function. *)
+
+val normal_pdf : float -> float
+(** Standard normal density. *)
+
+val normal_cdf : float -> float
+(** Standard normal cumulative distribution. *)
+
+val normal_quantile : float -> float
+(** Inverse standard normal CDF (Acklam's rational approximation polished
+    with one Halley step); accurate to ~1e-9 over (0, 1).
+    @raise Invalid_argument if the probability lies outside (0, 1). *)
+
+val lgamma : float -> float
+(** Natural log of the Gamma function (Lanczos, g = 7, n = 9). *)
+
+val beta : float -> float -> float
+(** Euler Beta function, computed through {!lgamma}. *)
+
+val owen_t : float -> float -> float
+(** [owen_t h a] is Owen's T function
+    (1/2π) ∫₀ᵃ exp(−h²(1+x²)/2)/(1+x²) dx, evaluated by adaptive Simpson
+    quadrature; used for the skew-normal CDF. *)
+
+val log1p_exp : float -> float
+(** Numerically stable log(1 + exp x), used by the EKV transistor model. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Filename Float Lazy List Nsigma_baselines Nsigma_liberty Nsigma_netlist Nsigma_process Nsigma_sta Nsigma_stats

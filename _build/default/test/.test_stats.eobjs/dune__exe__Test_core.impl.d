@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Filename Float Lazy List Nsigma Nsigma_liberty Nsigma_process Nsigma_rcnet Nsigma_stats Sys

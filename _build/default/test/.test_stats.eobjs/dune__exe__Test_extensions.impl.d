@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Filename Float Format Lazy List Nsigma Nsigma_liberty Nsigma_netlist Nsigma_process Nsigma_rcnet Nsigma_sta Nsigma_stats String

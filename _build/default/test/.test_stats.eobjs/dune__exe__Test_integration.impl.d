@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Filename Float Lazy List Nsigma Nsigma_baselines Nsigma_liberty Nsigma_netlist Nsigma_process Nsigma_sta Nsigma_stats Sys

@@ -1,0 +1,1 @@
+test/test_liberty.ml: Alcotest Array Filename Float Lazy List Nsigma_liberty Nsigma_process Nsigma_spice Nsigma_stats Sys

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Lazy List Nsigma_liberty Nsigma_netlist Printf QCheck QCheck_alcotest

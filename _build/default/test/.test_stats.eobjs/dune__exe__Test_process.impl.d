@@ -1,0 +1,1 @@
+test/test_process.ml: Alcotest Array Float Nsigma_process Nsigma_stats

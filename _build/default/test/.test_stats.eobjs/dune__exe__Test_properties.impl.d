@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Float Gen Hashtbl List Nsigma_liberty Nsigma_netlist Nsigma_process Nsigma_rcnet Nsigma_sta Nsigma_stats Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Array Float List Nsigma_process Nsigma_rcnet Nsigma_spice Nsigma_stats

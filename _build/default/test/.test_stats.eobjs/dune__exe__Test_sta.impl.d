@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Filename Float List Nsigma_liberty Nsigma_netlist Nsigma_process Nsigma_rcnet Nsigma_sta Nsigma_stats

@@ -1,0 +1,176 @@
+(* Tests for the baseline models: NN substrate, LSN/Burr fits,
+   PrimeTime-like and correction providers. *)
+
+module T = Nsigma_process.Technology
+module Rng = Nsigma_stats.Rng
+module Moments = Nsigma_stats.Moments
+module Quantile = Nsigma_stats.Quantile
+module Cell = Nsigma_liberty.Cell
+module Library = Nsigma_liberty.Library
+module Nn = Nsigma_baselines.Nn
+module Lsn = Nsigma_baselines.Lsn_model
+module Burr = Nsigma_baselines.Burr_model
+module Pt = Nsigma_baselines.Primetime_like
+module Correction = Nsigma_baselines.Correction_model
+module Provider = Nsigma_sta.Provider
+module Engine = Nsigma_sta.Engine
+module Design = Nsigma_sta.Design
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let tech = T.with_vdd T.default_28nm 0.6
+
+(* ---------- NN ---------- *)
+
+let test_nn_fits_linear () =
+  let g = Rng.create ~seed:201 in
+  let inputs = Array.init 200 (fun _ -> [| Rng.gaussian g; Rng.gaussian g |]) in
+  let targets = Array.map (fun x -> (2.0 *. x.(0)) -. (0.5 *. x.(1)) +. 1.0) inputs in
+  let net = Nn.create ~layers:[ 2; 8; 1 ] () in
+  let report = Nn.train ~epochs:300 net ~inputs ~targets in
+  Alcotest.(check bool) "converged" true (report.Nn.final_loss < 0.01);
+  let pred = Nn.predict net [| 0.5; -0.5 |] in
+  check_close ~eps:0.1 "linear prediction" 2.25 pred
+
+let test_nn_fits_nonlinear () =
+  let g = Rng.create ~seed:202 in
+  let inputs = Array.init 300 (fun _ -> [| Rng.uniform_range g ~lo:(-2.0) ~hi:2.0 |]) in
+  let targets = Array.map (fun x -> x.(0) *. x.(0)) inputs in
+  let net = Nn.create ~layers:[ 1; 12; 12; 1 ] () in
+  let report = Nn.train ~epochs:800 ~learning_rate:0.02 net ~inputs ~targets in
+  Alcotest.(check bool) "nonlinear converged" true (report.Nn.final_loss < 0.02);
+  check_close ~eps:0.15 "x^2 at 1.5" 2.25 (Nn.predict net [| 1.5 |])
+
+let test_nn_shape_checks () =
+  Alcotest.(check bool) "bad layer spec" true
+    (try
+       ignore (Nn.create ~layers:[ 3 ] ());
+       false
+     with Invalid_argument _ -> true);
+  let net = Nn.create ~layers:[ 2; 4; 1 ] () in
+  Alcotest.(check bool) "feature size mismatch" true
+    (try
+       ignore (Nn.train net ~inputs:[| [| 1.0 |] |] ~targets:[| 1.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- LSN / Burr ---------- *)
+
+let lognormal_sample () =
+  let g = Rng.create ~seed:203 in
+  Array.init 20_000 (fun _ -> Rng.lognormal g ~mu:(log 50e-12) ~sigma:0.25)
+
+let test_lsn_accurate_on_lognormal () =
+  let xs = lognormal_sample () in
+  let model = Lsn.fit xs in
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  List.iter
+    (fun n ->
+      let emp =
+        Nsigma_stats.Quantile.of_sorted sorted
+          (Quantile.probability_of_sigma (float_of_int n))
+      in
+      let pred = Lsn.quantile model ~sigma:n in
+      if Float.abs (pred -. emp) > 0.05 *. emp then
+        Alcotest.failf "LSN sigma %d: %.3g vs %.3g" n pred emp)
+    [ -3; -1; 0; 1; 3 ]
+
+let test_burr_fits_quantiles () =
+  let xs = lognormal_sample () in
+  let model = Burr.fit xs in
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  (* Burr can track the body well; tails may drift (that is its documented
+     weakness) — check the median tightly and the tails loosely. *)
+  let emp p = Nsigma_stats.Quantile.of_sorted sorted p in
+  check_close ~eps:0.05 "burr median" (emp 0.5) (Burr.quantile_p model 0.5);
+  let p3 = Quantile.probability_of_sigma 3.0 in
+  Alcotest.(check bool) "burr +3σ within 25%" true
+    (Float.abs (Burr.quantile_p model p3 -. emp p3) < 0.25 *. emp p3)
+
+let test_lsn_beats_burr_at_tail () =
+  (* The Table-II ordering: on a lognormal-like delay population the LSN
+     tail error is smaller than the Burr tail error. *)
+  let xs = lognormal_sample () in
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let p3 = Quantile.probability_of_sigma 3.0 in
+  let emp = Nsigma_stats.Quantile.of_sorted sorted p3 in
+  let lsn = Lsn.fit xs and burr = Burr.fit xs in
+  let e_lsn = Float.abs (Lsn.quantile_p lsn p3 -. emp) /. emp in
+  let e_burr = Float.abs (Burr.quantile_p burr p3 -. emp) /. emp in
+  Alcotest.(check bool) "LSN <= Burr at +3σ" true (e_lsn <= e_burr +. 0.01)
+
+(* ---------- Providers ---------- *)
+
+let small_library =
+  lazy
+    (let cells = [ Cell.make Cell.Inv ~strength:1; Cell.make Cell.Inv ~strength:2 ] in
+     Library.load_or_characterize ~n_mc:200
+       ~slews:[| 10e-12; 100e-12 |]
+       ~path:(Filename.concat (Filename.get_temp_dir_name ()) "nsigma_test_bl.lvf")
+       tech cells)
+
+let chain_design () =
+  let b = Nsigma_netlist.Builder.create ~name:"chain" in
+  let a = Nsigma_netlist.Builder.input b "a" in
+  let net = ref a in
+  for _ = 1 to 6 do
+    net := Nsigma_netlist.Builder.inv b !net
+  done;
+  Nsigma_netlist.Builder.output b !net;
+  Design.attach_parasitics tech (Nsigma_netlist.Builder.finish b)
+
+let test_pt_pessimistic () =
+  let lib = Lazy.force small_library in
+  let design = chain_design () in
+  let nominal = Engine.circuit_delay (Engine.analyze tech (Provider.nominal lib) design) in
+  let pt3 =
+    Engine.circuit_delay (Engine.analyze tech (Pt.provider lib ~sigma:3 ()) design)
+  in
+  Alcotest.(check bool) "PT +3σ above nominal" true (pt3 > nominal);
+  (* Per-stage μ+3σ accumulation: at least 20% above the mean timer for a
+     near-threshold chain. *)
+  Alcotest.(check bool) "PT margin substantial" true (pt3 > 1.2 *. nominal)
+
+let test_correction_calibrates () =
+  let lib = Lazy.force small_library in
+  let corr = Correction.calibrate ~n_reference:6 tech lib in
+  let residual, derate = Correction.factors corr in
+  Alcotest.(check bool) "residual positive" true (residual > 0.1 && residual < 5.0);
+  Alcotest.(check bool) "derate plausible" true (derate > 0.0 && derate < 1.0);
+  let design = chain_design () in
+  let d3 =
+    Engine.circuit_delay
+      (Engine.analyze tech (Correction.provider corr lib ~sigma:3) design)
+  in
+  let d0 =
+    Engine.circuit_delay
+      (Engine.analyze tech (Correction.provider corr lib ~sigma:0) design)
+  in
+  Alcotest.(check bool) "sigma ordering" true (d3 > d0)
+
+let () =
+  Alcotest.run "nsigma_baselines"
+    [
+      ( "nn",
+        [
+          Alcotest.test_case "linear" `Quick test_nn_fits_linear;
+          Alcotest.test_case "nonlinear" `Slow test_nn_fits_nonlinear;
+          Alcotest.test_case "shape checks" `Quick test_nn_shape_checks;
+        ] );
+      ( "distribution models",
+        [
+          Alcotest.test_case "LSN on lognormal" `Slow test_lsn_accurate_on_lognormal;
+          Alcotest.test_case "Burr quantiles" `Slow test_burr_fits_quantiles;
+          Alcotest.test_case "LSN vs Burr tail" `Slow test_lsn_beats_burr_at_tail;
+        ] );
+      ( "providers",
+        [
+          Alcotest.test_case "PT pessimism" `Slow test_pt_pessimistic;
+          Alcotest.test_case "correction" `Slow test_correction_calibrates;
+        ] );
+    ]

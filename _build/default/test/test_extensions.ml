@@ -1,0 +1,305 @@
+(* Tests for the extension modules: effective capacitance, timing
+   reports/slacks, the ±6σ extension, and the wire lab. *)
+
+module T = Nsigma_process.Technology
+module Cell = Nsigma_liberty.Cell
+module Library = Nsigma_liberty.Library
+module Rctree = Nsigma_rcnet.Rctree
+module Ceff = Nsigma_rcnet.Ceff
+module Wire_gen = Nsigma_rcnet.Wire_gen
+module B = Nsigma_netlist.Builder
+module Design = Nsigma_sta.Design
+module Engine = Nsigma_sta.Engine
+module Provider = Nsigma_sta.Provider
+module Timing_report = Nsigma_sta.Timing_report
+module Model = Nsigma.Model
+module Sigma_ext = Nsigma.Sigma_ext
+module Wire_lab = Nsigma.Wire_lab
+module Cell_model = Nsigma.Cell_model
+module Moments = Nsigma_stats.Moments
+module Quantile = Nsigma_stats.Quantile
+module Rng = Nsigma_stats.Rng
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let tech = T.with_vdd T.default_28nm 0.6
+
+(* ---------- Ceff ---------- *)
+
+let ladder = Rctree.ladder ~segments:10 ~res_per_seg:500.0 ~cap_per_seg:2e-15
+
+let test_ceff_bounds () =
+  let total = Rctree.total_cap ladder in
+  let ceff = Ceff.effective ~driver_resistance:1000.0 ladder in
+  Alcotest.(check bool) "0 < ceff < total" true (ceff > 0.0 && ceff < total)
+
+let test_ceff_monotone_in_driver () =
+  (* A weaker driver (larger R) sees more of the wire. *)
+  let c r = Ceff.effective ~driver_resistance:r ladder in
+  Alcotest.(check bool) "monotone" true (c 100.0 < c 1000.0 && c 1000.0 < c 100000.0)
+
+let test_ceff_approaches_total () =
+  let total = Rctree.total_cap ladder in
+  check_close ~eps:0.01 "huge driver resistance sees all"
+    total
+    (Ceff.effective ~driver_resistance:1e9 ladder)
+
+let test_ceff_no_resistance_no_shielding () =
+  (* A tree with only the root node has nothing to shield. *)
+  let lumped =
+    Rctree.create
+      ~nodes:[| { Rctree.name = "root"; parent = -1; res = 0.0; cap = 5e-15 } |]
+      ~taps:[| 0 |]
+  in
+  check_close "lumped cap unshielded" 5e-15
+    (Ceff.effective ~driver_resistance:50.0 lumped)
+
+let test_ceff_rejects_bad_resistance () =
+  Alcotest.(check bool) "non-positive resistance" true
+    (try
+       ignore (Ceff.effective ~driver_resistance:0.0 ladder);
+       false
+     with Invalid_argument _ -> true)
+
+let test_drive_resistance_scales () =
+  let r1 = Cell.drive_resistance tech (Cell.make Cell.Inv ~strength:1) in
+  let r4 = Cell.drive_resistance tech (Cell.make Cell.Inv ~strength:4) in
+  Alcotest.(check bool) "positive" true (r1 > 0.0);
+  check_close ~eps:0.05 "4x strength, R/4" (r1 /. 4.0) r4
+
+let test_effective_load_below_total () =
+  let b = B.create ~name:"eff" in
+  let a = B.input b "a" in
+  let n1 = B.inv b a in
+  B.output b (B.inv b n1);
+  let nl = B.finish b in
+  let design = Design.attach_parasitics tech nl in
+  let net = nl.Nsigma_netlist.Netlist.gates.(0).Nsigma_netlist.Netlist.output in
+  let total = Design.total_load tech design ~net in
+  let eff =
+    Design.effective_load tech design ~net ~driver:(Cell.make Cell.Inv ~strength:1)
+  in
+  Alcotest.(check bool) "eff <= total" true (eff <= total +. 1e-21);
+  Alcotest.(check bool) "eff > pin-only" true (eff > 0.0)
+
+(* ---------- Timing_report ---------- *)
+
+let unit_provider d =
+  {
+    Provider.label = "unit";
+    cell_delay = (fun _ ~edge:_ ~input_slew:_ ~load_cap:_ -> d);
+    cell_out_slew = (fun _ ~edge:_ ~input_slew ~load_cap:_ -> input_slew);
+    wire_delay = (fun ~net:_ ~driver:_ ~sink:_ ~tree:_ ~tap:_ -> 0.0);
+    wire_slew_degrade = (fun ~wire_delay:_ ~slew_at_root -> slew_at_root);
+  }
+
+let chain_design n =
+  let b = B.create ~name:"chain" in
+  let a = B.input b "a" in
+  let net = ref a in
+  for _ = 1 to n do
+    net := B.inv b !net
+  done;
+  B.output b !net;
+  Design.attach_parasitics tech (B.finish b)
+
+let test_slack_arithmetic () =
+  let design = chain_design 5 in
+  let report = Engine.analyze tech (unit_provider 10e-12) design in
+  let tr = Timing_report.of_report ~period:100e-12 report in
+  (* 5 cells x 10ps = 50ps arrival; slack 50ps. *)
+  check_close ~eps:1e-9 "wns" 50e-12 tr.Timing_report.wns;
+  check_close "tns zero when met" 0.0 tr.Timing_report.tns;
+  Alcotest.(check int) "no violations" 0 (List.length (Timing_report.violations tr))
+
+let test_slack_violation () =
+  let design = chain_design 5 in
+  let report = Engine.analyze tech (unit_provider 10e-12) design in
+  let tr = Timing_report.of_report ~period:30e-12 report in
+  Alcotest.(check bool) "violated" true (tr.Timing_report.wns < 0.0);
+  check_close ~eps:1e-9 "wns = 30 - 50" (-20e-12) tr.Timing_report.wns;
+  Alcotest.(check bool) "tns <= wns" true
+    (tr.Timing_report.tns <= tr.Timing_report.wns);
+  Alcotest.(check bool) "has violations" true
+    (List.length (Timing_report.violations tr) > 0)
+
+let test_report_renders () =
+  let design = chain_design 3 in
+  let report = Engine.analyze tech (unit_provider 10e-12) design in
+  let tr = Timing_report.of_report ~period:100e-12 report in
+  let nl = design.Design.netlist in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let text = Format.asprintf "%a" (Timing_report.pp nl) tr in
+  Alcotest.(check bool) "mentions WNS" true (contains text "WNS");
+  let path = Engine.critical_path report in
+  let path_text =
+    Format.asprintf "%a" (Timing_report.pp_path nl ~period:100e-12) path
+  in
+  Alcotest.(check bool) "path report mentions slack" true
+    (contains path_text "slack")
+
+(* ---------- Sigma_ext ---------- *)
+
+let synthetic_model =
+  lazy
+    (let g = Rng.create ~seed:404 in
+     (* Train on lognormal-family observations. *)
+     let obs =
+       List.map
+         (fun sigma_log ->
+           let xs =
+             Array.init 20_000 (fun _ ->
+                 Nsigma_stats.Rng.lognormal g ~mu:(log 50e-12) ~sigma:sigma_log)
+           in
+           Array.sort Float.compare xs;
+           let quantiles =
+             Array.of_list
+               (List.map
+                  (fun n ->
+                    Nsigma_stats.Quantile.of_sorted xs
+                      (Quantile.probability_of_sigma (float_of_int n)))
+                  Quantile.sigma_levels)
+           in
+           { Cell_model.moments = Moments.summary_of_array xs; quantiles })
+         [ 0.08; 0.12; 0.16; 0.2; 0.25 ]
+     in
+     (Cell_model.fit obs, List.nth obs 2))
+
+let test_sigma_ext_matches_integer_levels () =
+  let cm, obs = Lazy.force synthetic_model in
+  List.iter
+    (fun n ->
+      check_close ~eps:1e-9 "integer level = Cell_model"
+        (Cell_model.predict cm obs.Cell_model.moments ~sigma:n)
+        (Sigma_ext.quantile cm obs.Cell_model.moments ~level:(float_of_int n)))
+    [ -3; -1; 0; 2; 3 ]
+
+let test_sigma_ext_monotone () =
+  let cm, obs = Lazy.force synthetic_model in
+  let q l = Sigma_ext.quantile cm obs.Cell_model.moments ~level:l in
+  let levels = [ -6.0; -4.5; -3.0; -1.5; 0.0; 1.5; 3.0; 4.0; 5.0; 6.0 ] in
+  let values = List.map q levels in
+  let rec ascending = function
+    | a :: (b :: _ as r) -> a < b && ascending r
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone across the splice" true (ascending values)
+
+let test_sigma_ext_continuous_at_3 () =
+  let cm, obs = Lazy.force synthetic_model in
+  let q l = Sigma_ext.quantile cm obs.Cell_model.moments ~level:l in
+  check_close ~eps:0.02 "continuous at +3" (q 3.0) (q 3.001);
+  check_close ~eps:0.02 "continuous at -3" (q (-3.0)) (q (-3.001))
+
+let test_sigma_ext_tail_tracks_lognormal () =
+  (* For an exactly-lognormal population the +6σ extension should land
+     near the analytic lognormal quantile. *)
+  let cm, obs = Lazy.force synthetic_model in
+  let m = obs.Cell_model.moments in
+  let d = Nsigma_stats.Distribution.Lognormal.fit_moments m in
+  let truth =
+    Nsigma_stats.Distribution.Lognormal.quantile d
+      (Quantile.probability_of_sigma 6.0)
+  in
+  let got = Sigma_ext.quantile cm m ~level:6.0 in
+  if Float.abs (got -. truth) > 0.10 *. truth then
+    Alcotest.failf "+6s: got %.3g, lognormal truth %.3g" got truth
+
+let test_sigma_ext_rejects_out_of_range () =
+  let cm, obs = Lazy.force synthetic_model in
+  Alcotest.(check bool) "level 7 rejected" true
+    (try
+       ignore (Sigma_ext.quantile cm obs.Cell_model.moments ~level:7.0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Wire_lab ---------- *)
+
+let test_wire_lab_measurement () =
+  let tree = Wire_gen.point_to_point tech ~length_um:80.0 ~segments:6 in
+  let meas =
+    Wire_lab.measure ~n:200 ~seed:3 tech ~tree
+      ~driver:(Cell.make Cell.Inv ~strength:2)
+      ~load:(Cell.make Cell.Inv ~strength:2)
+      ()
+  in
+  Alcotest.(check bool) "positive mean" true
+    (meas.Wire_lab.moments.Moments.mean > 0.0);
+  Alcotest.(check bool) "elmore positive" true (meas.Wire_lab.elmore > 0.0);
+  Alcotest.(check bool) "variability sane" true
+    (Wire_lab.variability meas > 0.0 && Wire_lab.variability meas < 0.5);
+  Alcotest.(check bool) "quantiles ordered" true
+    (Wire_lab.quantile meas ~sigma:(-3) < Wire_lab.quantile meas ~sigma:3)
+
+let test_wire_lab_observations_cover_strengths () =
+  let obs = Wire_lab.standard_observations ~n_per_config:30 ~n_trees:1 tech () in
+  Alcotest.(check int) "4x4 configs" 16 (List.length obs);
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "variability positive" true
+        (o.Nsigma.Wire_model.measured_variability > 0.0))
+    obs
+
+(* ---------- Engine load models ---------- *)
+
+let test_effective_load_model_faster () =
+  (* With shielding the same provider must report smaller or equal
+     delays, because every lumped load shrinks. *)
+  let cells = [ Cell.make Cell.Inv ~strength:1 ] in
+  let lib =
+    Library.load_or_characterize ~n_mc:120
+      ~slews:[| 10e-12; 100e-12 |]
+      ~path:(Filename.concat (Filename.get_temp_dir_name ()) "nsigma_test_ext.lvf")
+      tech cells
+  in
+  let design = chain_design 4 in
+  let nom = Provider.nominal lib in
+  let total = Engine.circuit_delay (Engine.analyze tech nom design) in
+  let eff =
+    Engine.circuit_delay (Engine.analyze ~load_model:`Effective tech nom design)
+  in
+  Alcotest.(check bool) "ceff timing <= total-cap timing" true (eff <= total)
+
+let () =
+  Alcotest.run "nsigma_extensions"
+    [
+      ( "ceff",
+        [
+          Alcotest.test_case "bounds" `Quick test_ceff_bounds;
+          Alcotest.test_case "monotone" `Quick test_ceff_monotone_in_driver;
+          Alcotest.test_case "limit" `Quick test_ceff_approaches_total;
+          Alcotest.test_case "lumped" `Quick test_ceff_no_resistance_no_shielding;
+          Alcotest.test_case "bad args" `Quick test_ceff_rejects_bad_resistance;
+          Alcotest.test_case "drive resistance" `Quick test_drive_resistance_scales;
+          Alcotest.test_case "effective load" `Quick test_effective_load_below_total;
+        ] );
+      ( "timing_report",
+        [
+          Alcotest.test_case "slack arithmetic" `Quick test_slack_arithmetic;
+          Alcotest.test_case "violations" `Quick test_slack_violation;
+          Alcotest.test_case "rendering" `Quick test_report_renders;
+        ] );
+      ( "sigma_ext",
+        [
+          Alcotest.test_case "integer levels" `Slow test_sigma_ext_matches_integer_levels;
+          Alcotest.test_case "monotone" `Slow test_sigma_ext_monotone;
+          Alcotest.test_case "continuity" `Slow test_sigma_ext_continuous_at_3;
+          Alcotest.test_case "lognormal tail" `Slow test_sigma_ext_tail_tracks_lognormal;
+          Alcotest.test_case "range check" `Slow test_sigma_ext_rejects_out_of_range;
+        ] );
+      ( "wire_lab",
+        [
+          Alcotest.test_case "measurement" `Slow test_wire_lab_measurement;
+          Alcotest.test_case "observations" `Slow test_wire_lab_observations_cover_strengths;
+        ] );
+      ( "engine load models",
+        [
+          Alcotest.test_case "ceff analysis" `Slow test_effective_load_model_faster;
+        ] );
+    ]

@@ -1,0 +1,116 @@
+(* End-to-end integration: characterise a mini library, fit the N-sigma
+   model, run STA + path Monte-Carlo on a generated circuit, and verify
+   the model's sigma-level path estimates track the MC reference — a
+   miniature of the paper's Table III flow. *)
+
+module T = Nsigma_process.Technology
+module Cell = Nsigma_liberty.Cell
+module Library = Nsigma_liberty.Library
+module Model = Nsigma.Model
+module Design = Nsigma_sta.Design
+module Engine = Nsigma_sta.Engine
+module Provider = Nsigma_sta.Provider
+module Path = Nsigma_sta.Path
+module Path_mc = Nsigma_sta.Path_mc
+module Moments = Nsigma_stats.Moments
+module Bm = Nsigma_netlist.Benchmarks
+
+let tech = T.with_vdd T.default_28nm 0.6
+
+let library =
+  lazy
+    (let cells =
+       List.concat_map
+         (fun k ->
+           [ Cell.make k ~strength:1; Cell.make k ~strength:2;
+             Cell.make k ~strength:4; Cell.make k ~strength:8 ])
+         Cell.all_kinds
+     in
+     Library.load_or_characterize ~n_mc:250
+       ~slews:[| 10e-12; 50e-12; 150e-12; 300e-12 |]
+       ~path:(Filename.concat (Filename.get_temp_dir_name ()) "nsigma_test_integ.lvf")
+       tech cells)
+
+let test_full_flow_small_circuit () =
+  let lib = Lazy.force library in
+  let model = Model.build lib in
+  let bm = List.hd Bm.small_variants in
+  let design = Design.attach_parasitics tech (bm.Bm.generate ()) in
+  let report = Engine.analyze tech (Provider.nominal lib) design in
+  let path = Engine.critical_path report in
+  let mc = Path_mc.run ~n:250 ~steps:140 tech design path in
+  let rel n =
+    let model_q = Model.path_quantile_of_path model design path ~sigma:n in
+    let mc_q = mc.Path_mc.quantile n in
+    (model_q -. mc_q) /. mc_q
+  in
+  (* The paper's Table III keeps path errors below ~8%; with a small MC
+     population we allow ~15% before declaring breakage. *)
+  List.iter
+    (fun n ->
+      let e = rel n in
+      if Float.abs e > 0.15 then
+        Alcotest.failf "sigma %+d path error %.1f%% out of band" n (100.0 *. e))
+    [ -3; 0; 3 ];
+  (* The N-sigma model must at least match the PrimeTime-like corner
+     timer at +3σ (on this tiny circuit with a 250-sample MC reference
+     the two can land within the MC noise of each other, so allow a 5%
+     margin; Table III in the bench shows the real separation). *)
+  let pt3 =
+    Engine.circuit_delay
+      (Engine.analyze tech
+         (Nsigma_baselines.Primetime_like.provider lib ~sigma:3 ())
+         design)
+  in
+  let mc3 = mc.Path_mc.quantile 3 in
+  let model3 = Model.path_quantile_of_path model design path ~sigma:3 in
+  Alcotest.(check bool) "ours competitive with corner timer at +3σ" true
+    (Float.abs (model3 -. mc3) /. mc3
+    <= (Float.abs (pt3 -. mc3) /. mc3) +. 0.05)
+
+let test_sigma_monotonicity_full_circuit () =
+  let lib = Lazy.force library in
+  let model = Model.build lib in
+  let design =
+    Design.attach_parasitics tech
+      (Nsigma_netlist.Generators.size_for_fanout
+         (Nsigma_netlist.Generators.random_logic ~name:"mono" ~n_inputs:8
+            ~n_gates:60 ~depth:8 ~seed:7))
+  in
+  let q n = Model.path_quantile model design ~sigma:n in
+  let values = List.map q [ -3; -2; -1; 0; 1; 2; 3 ] in
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a < b && ascending rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "circuit quantiles ascend with sigma" true
+    (ascending values)
+
+let test_model_persistence_full () =
+  let lib = Lazy.force library in
+  let model = Model.build lib in
+  let path = Filename.temp_file "nsigma_integ" ".coeffs" in
+  Model.save model path;
+  let model2 = Model.load lib path in
+  Sys.remove path;
+  let design =
+    Design.attach_parasitics tech
+      (Nsigma_netlist.Generators.size_for_fanout
+         (Nsigma_netlist.Generators.random_logic ~name:"persist" ~n_inputs:6
+            ~n_gates:40 ~depth:6 ~seed:9))
+  in
+  let q1 = Model.path_quantile model design ~sigma:3 in
+  let q2 = Model.path_quantile model2 design ~sigma:3 in
+  if Float.abs (q1 -. q2) > 1e-6 *. q1 then
+    Alcotest.failf "persisted model diverges: %.6g vs %.6g" q1 q2
+
+let () =
+  Alcotest.run "nsigma_integration"
+    [
+      ( "full flow",
+        [
+          Alcotest.test_case "table-III miniature" `Slow test_full_flow_small_circuit;
+          Alcotest.test_case "sigma monotonicity" `Slow test_sigma_monotonicity_full_circuit;
+          Alcotest.test_case "model persistence" `Slow test_model_persistence_full;
+        ] );
+    ]

@@ -1,0 +1,239 @@
+(* Tests for the cell library: cell metadata, logic functions,
+   characterisation behaviour (Fig. 4 trends) and serialisation. *)
+
+module T = Nsigma_process.Technology
+module Cell = Nsigma_liberty.Cell
+module Ch = Nsigma_liberty.Characterize
+module Library = Nsigma_liberty.Library
+module Moments = Nsigma_stats.Moments
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let tech = T.with_vdd T.default_28nm 0.6
+
+(* Small shared characterisation tables (built once). *)
+let small_slews = [| 10e-12; 100e-12; 300e-12 |]
+
+let small_table =
+  lazy
+    (Ch.characterize ~n_mc:400 ~slews:small_slews
+       ~loads:[| 0.1e-15; 0.4e-15; 2e-15; 6e-15 |]
+       tech
+       (Cell.make Cell.Inv ~strength:1)
+       ~edge:`Fall)
+
+(* ---------- Cell ---------- *)
+
+let test_name_roundtrip () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun strength ->
+          let c = Cell.make kind ~strength in
+          let c2 = Cell.of_name (Cell.name c) in
+          Alcotest.(check bool) "roundtrip" true (c = c2))
+        Cell.standard_strengths)
+    Cell.all_kinds
+
+let test_of_name_paper_aliases () =
+  (* The paper writes AOI2 for AOI21. *)
+  let c = Cell.of_name "AOI2X4" in
+  Alcotest.(check bool) "AOI2 alias" true (c.Cell.kind = Cell.Aoi21 && c.Cell.strength = 4)
+
+let test_of_name_rejects () =
+  Alcotest.(check bool) "garbage rejected" true
+    (try
+       ignore (Cell.of_name "FOO2X1");
+       false
+     with Failure _ -> true)
+
+let test_eval_truth_tables () =
+  let t = true and f = false in
+  Alcotest.(check bool) "nand" true (Cell.eval Cell.Nand2 [| t; t |] = f);
+  Alcotest.(check bool) "nor" true (Cell.eval Cell.Nor2 [| f; f |] = t);
+  Alcotest.(check bool) "xor" true (Cell.eval Cell.Xor2 [| t; f |] = t);
+  Alcotest.(check bool) "xnor" true (Cell.eval Cell.Xnor2 [| t; f |] = f);
+  Alcotest.(check bool) "aoi21 (a&b)|c low" true
+    (Cell.eval Cell.Aoi21 [| t; t; f |] = f);
+  Alcotest.(check bool) "aoi21 all low" true (Cell.eval Cell.Aoi21 [| f; f; f |] = t);
+  Alcotest.(check bool) "oai21" true (Cell.eval Cell.Oai21 [| f; f; t |] = t)
+
+let test_eval_arity_check () =
+  Alcotest.check_raises "arity" (Invalid_argument "Cell.eval: arity mismatch")
+    (fun () -> ignore (Cell.eval Cell.Nand2 [| true |]))
+
+let test_stack_counts () =
+  Alcotest.(check int) "inv stack" 1 (Cell.stack_count (Cell.make Cell.Inv ~strength:1));
+  Alcotest.(check int) "nand stack" 2
+    (Cell.stack_count (Cell.make Cell.Nand2 ~strength:1));
+  Alcotest.(check int) "nor stack" 2 (Cell.stack_count (Cell.make Cell.Nor2 ~strength:1));
+  Alcotest.(check int) "aoi stack" 2
+    (Cell.stack_count (Cell.make Cell.Aoi21 ~strength:1))
+
+let test_input_cap_scales_with_strength () =
+  let c1 = Cell.input_cap tech (Cell.make Cell.Inv ~strength:1) in
+  let c4 = Cell.input_cap tech (Cell.make Cell.Inv ~strength:4) in
+  check_close "4x strength, 4x cap" (4.0 *. c1) c4
+
+let test_fo4_load () =
+  let c = Cell.make Cell.Inv ~strength:1 in
+  check_close "fo4 = 4 pins" (4.0 *. Cell.input_cap tech c) (Cell.fo4_load tech c)
+
+let test_arc_construction () =
+  let sample = Nsigma_process.Variation.nominal in
+  let nand = Cell.make Cell.Nand2 ~strength:2 in
+  let fall = Cell.arc tech sample nand ~output_edge:`Fall in
+  let rise = Cell.arc tech sample nand ~output_edge:`Rise in
+  Alcotest.(check int) "fall arc stack depth 2" 2
+    (Array.length fall.Nsigma_spice.Arc.devices);
+  Alcotest.(check int) "rise arc depth 1" 1
+    (Array.length rise.Nsigma_spice.Arc.devices);
+  Alcotest.(check bool) "fall pulls down" true
+    (fall.Nsigma_spice.Arc.pull = Nsigma_spice.Arc.Pull_down)
+
+(* ---------- Characterize ---------- *)
+
+let test_loads_for_contains_fo4 () =
+  let cell = Cell.make Cell.Nand2 ~strength:8 in
+  let loads = Ch.loads_for tech cell in
+  let fo4 = Cell.fo4_load tech cell in
+  Alcotest.(check bool) "FO4 on grid" true
+    (Array.exists (fun l -> Float.abs (l -. fo4) < 1e-20) loads);
+  (* Ascending. *)
+  let ascending = ref true in
+  Array.iteri (fun i l -> if i > 0 && l <= loads.(i - 1) then ascending := false) loads;
+  Alcotest.(check bool) "ascending" true !ascending
+
+let test_characterize_grid_shape () =
+  let table = Lazy.force small_table in
+  Alcotest.(check int) "slew rows" 3 (Array.length table.Ch.points);
+  Alcotest.(check int) "load cols" 4 (Array.length table.Ch.points.(0))
+
+let test_fig4_trends () =
+  (* μ and σ grow with both slew and load (Fig. 4 of the paper). *)
+  let table = Lazy.force small_table in
+  let m i j = table.Ch.points.(i).(j).Ch.moments in
+  Alcotest.(check bool) "mu grows with slew" true
+    ((m 2 1).Moments.mean > (m 0 1).Moments.mean);
+  Alcotest.(check bool) "mu grows with load" true
+    ((m 0 3).Moments.mean > (m 0 0).Moments.mean);
+  Alcotest.(check bool) "sigma grows with load" true
+    ((m 0 3).Moments.std > (m 0 0).Moments.std)
+
+let test_quantiles_ordered () =
+  let table = Lazy.force small_table in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun (p : Ch.point) ->
+          Array.iteri
+            (fun i q ->
+              if i > 0 && q < p.Ch.quantiles.(i - 1) then
+                Alcotest.fail "quantiles must ascend")
+            p.Ch.quantiles)
+        row)
+    table.Ch.points
+
+let test_moments_at_matches_grid_point () =
+  let table = Lazy.force small_table in
+  let p = table.Ch.points.(1).(2) in
+  let m = Ch.moments_at table ~slew:p.Ch.slew ~load:p.Ch.load in
+  check_close ~eps:1e-9 "interp at node = node" p.Ch.moments.Moments.mean
+    m.Moments.mean
+
+let test_characterize_deterministic () =
+  let t1 =
+    Ch.characterize ~n_mc:100 ~seed:5 ~slews:[| 10e-12 |] ~loads:[| 1e-15 |] tech
+      (Cell.make Cell.Inv ~strength:1)
+      ~edge:`Fall
+  in
+  let t2 =
+    Ch.characterize ~n_mc:100 ~seed:5 ~slews:[| 10e-12 |] ~loads:[| 1e-15 |] tech
+      (Cell.make Cell.Inv ~strength:1)
+      ~edge:`Fall
+  in
+  check_close "same seed, same mean" t1.Ch.points.(0).(0).Ch.moments.Moments.mean
+    t2.Ch.points.(0).(0).Ch.moments.Moments.mean
+
+(* ---------- Library ---------- *)
+
+let test_library_add_find () =
+  let lib = Library.create tech in
+  let table = Lazy.force small_table in
+  Library.add lib table;
+  Alcotest.(check bool) "find works" true
+    (Library.find_opt lib (Cell.make Cell.Inv ~strength:1) ~edge:`Fall <> None);
+  Alcotest.(check bool) "missing pair absent" true
+    (Library.find_opt lib (Cell.make Cell.Inv ~strength:1) ~edge:`Rise = None)
+
+let test_library_save_load_roundtrip () =
+  let lib = Library.create tech in
+  Library.add lib (Lazy.force small_table);
+  let path = Filename.temp_file "nsigma_test" ".lvf" in
+  Library.save lib path;
+  let lib2 = Library.load tech path in
+  Sys.remove path;
+  let t1 = Library.find lib (Cell.make Cell.Inv ~strength:1) ~edge:`Fall in
+  let t2 = Library.find lib2 (Cell.make Cell.Inv ~strength:1) ~edge:`Fall in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j (p : Ch.point) ->
+          let q : Ch.point = t2.Ch.points.(i).(j) in
+          check_close ~eps:1e-8 "mean preserved" p.Ch.moments.Moments.mean
+            q.Ch.moments.Moments.mean;
+          check_close ~eps:1e-8 "quantiles preserved" p.Ch.quantiles.(6)
+            q.Ch.quantiles.(6);
+          check_close ~eps:1e-8 "out slew preserved" p.Ch.mean_out_slew
+            q.Ch.mean_out_slew)
+        row)
+    t1.Ch.points
+
+let test_library_load_rejects_wrong_vdd () =
+  let lib = Library.create tech in
+  Library.add lib (Lazy.force small_table);
+  let path = Filename.temp_file "nsigma_test" ".lvf" in
+  Library.save lib path;
+  let wrong = T.with_vdd T.default_28nm 0.9 in
+  Alcotest.(check bool) "vdd mismatch rejected" true
+    (try
+       ignore (Library.load wrong path);
+       Sys.remove path;
+       false
+     with Failure _ ->
+       Sys.remove path;
+       true)
+
+let () =
+  Alcotest.run "nsigma_liberty"
+    [
+      ( "cell",
+        [
+          Alcotest.test_case "name roundtrip" `Quick test_name_roundtrip;
+          Alcotest.test_case "paper aliases" `Quick test_of_name_paper_aliases;
+          Alcotest.test_case "of_name rejects" `Quick test_of_name_rejects;
+          Alcotest.test_case "truth tables" `Quick test_eval_truth_tables;
+          Alcotest.test_case "arity check" `Quick test_eval_arity_check;
+          Alcotest.test_case "stack counts" `Quick test_stack_counts;
+          Alcotest.test_case "input cap scaling" `Quick test_input_cap_scales_with_strength;
+          Alcotest.test_case "fo4 load" `Quick test_fo4_load;
+          Alcotest.test_case "arc construction" `Quick test_arc_construction;
+        ] );
+      ( "characterize",
+        [
+          Alcotest.test_case "loads_for grid" `Quick test_loads_for_contains_fo4;
+          Alcotest.test_case "grid shape" `Slow test_characterize_grid_shape;
+          Alcotest.test_case "fig4 trends" `Slow test_fig4_trends;
+          Alcotest.test_case "quantiles ordered" `Slow test_quantiles_ordered;
+          Alcotest.test_case "interp at nodes" `Slow test_moments_at_matches_grid_point;
+          Alcotest.test_case "deterministic" `Quick test_characterize_deterministic;
+        ] );
+      ( "library",
+        [
+          Alcotest.test_case "add/find" `Slow test_library_add_find;
+          Alcotest.test_case "save/load" `Slow test_library_save_load_roundtrip;
+          Alcotest.test_case "vdd check" `Slow test_library_load_rejects_wrong_vdd;
+        ] );
+    ]

@@ -1,0 +1,261 @@
+(* Tests for netlist IR, generators (functional correctness of the
+   arithmetic circuits), benchmark registry and Verilog round-trip. *)
+
+module N = Nsigma_netlist.Netlist
+module B = Nsigma_netlist.Builder
+module G = Nsigma_netlist.Generators
+module Bm = Nsigma_netlist.Benchmarks
+module V = Nsigma_netlist.Verilog_lite
+module Cell = Nsigma_liberty.Cell
+
+let to_bits v width = Array.init width (fun i -> (v lsr i) land 1 = 1)
+
+let of_bits a =
+  let v = ref 0 in
+  Array.iteri (fun i b -> if b then v := !v lor (1 lsl i)) a;
+  !v
+
+(* ---------- Builder / IR ---------- *)
+
+let tiny_netlist () =
+  let b = B.create ~name:"tiny" in
+  let a = B.input b "a" and c = B.input b "c" in
+  let n1 = B.nand2 b a c in
+  let n2 = B.inv b n1 in
+  B.output b n2;
+  B.finish b
+
+let test_builder_basic () =
+  let nl = tiny_netlist () in
+  Alcotest.(check int) "two gates" 2 (N.n_cells nl);
+  Alcotest.(check int) "four nets" 4 nl.N.n_nets;
+  let out = N.eval nl [| true; true |] in
+  Alcotest.(check bool) "AND via NAND+INV" true out.(0)
+
+let test_validate_catches_double_driver () =
+  let nl = tiny_netlist () in
+  let bad =
+    {
+      nl with
+      N.gates =
+        Array.append nl.N.gates
+          [|
+            {
+              N.g_name = "dup";
+              cell = Cell.make Cell.Inv ~strength:1;
+              inputs = [| 0 |];
+              output = nl.N.gates.(0).N.output;
+            };
+          |];
+    }
+  in
+  Alcotest.(check bool) "double driver rejected" true
+    (try
+       N.validate bad;
+       false
+     with Invalid_argument _ -> true)
+
+let test_topo_order_valid () =
+  let nl = (Bm.find "c432").Bm.generate () in
+  let order = N.topo_order nl in
+  let drivers = N.driver_of nl in
+  let position = Array.make (N.n_cells nl) 0 in
+  Array.iteri (fun pos gi -> position.(gi) <- pos) order;
+  Array.iteri
+    (fun gi g ->
+      Array.iter
+        (fun net ->
+          let d = drivers.(net) in
+          if d >= 0 && position.(d) >= position.(gi) then
+            Alcotest.fail "driver must precede sink")
+        g.N.inputs)
+    nl.N.gates
+
+let test_logic_depth_spine () =
+  let nl = G.random_logic ~name:"d" ~n_inputs:4 ~n_gates:40 ~depth:10 ~seed:1 in
+  Alcotest.(check int) "spine guarantees depth" 10 (N.logic_depth nl)
+
+(* ---------- Arithmetic generators ---------- *)
+
+let test_ripple_adder_exhaustive_small () =
+  let nl = G.ripple_adder ~bits:4 in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      for cin = 0 to 1 do
+        let out =
+          N.eval nl (Array.concat [ to_bits a 4; to_bits b 4; [| cin = 1 |] ])
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "%d+%d+%d" a b cin)
+          (a + b + cin) (of_bits out)
+      done
+    done
+  done
+
+let test_kogge_stone_matches_ripple () =
+  let ks = G.kogge_stone_adder ~bits:8 in
+  let cases = [ (0, 0); (255, 255); (173, 99); (128, 128); (1, 254); (85, 170) ] in
+  List.iter
+    (fun (a, b) ->
+      let out = N.eval ks (Array.append (to_bits a 8) (to_bits b 8)) in
+      Alcotest.(check int) (Printf.sprintf "ks %d+%d" a b) (a + b) (of_bits out))
+    cases
+
+let test_subtractor () =
+  let nl = G.subtractor ~bits:8 in
+  List.iter
+    (fun (a, b) ->
+      let out = N.eval nl (Array.append (to_bits a 8) (to_bits b 8)) in
+      let diff = of_bits (Array.sub out 0 8) in
+      let no_borrow = out.(8) in
+      Alcotest.(check int) (Printf.sprintf "%d-%d" a b) ((a - b) land 255) diff;
+      Alcotest.(check bool) "borrow flag" (a >= b) no_borrow)
+    [ (200, 57); (57, 200); (0, 0); (255, 1); (100, 100) ]
+
+let test_multiplier () =
+  let nl = G.array_multiplier ~bits:5 in
+  List.iter
+    (fun (a, b) ->
+      let out = N.eval nl (Array.append (to_bits a 5) (to_bits b 5)) in
+      Alcotest.(check int) (Printf.sprintf "%d*%d" a b) (a * b) (of_bits out))
+    [ (0, 0); (31, 31); (17, 23); (1, 30); (16, 16); (21, 13) ]
+
+let test_divider () =
+  let nl = G.array_divider ~dividend_bits:8 ~divisor_bits:4 in
+  List.iter
+    (fun (a, b) ->
+      let out = N.eval nl (Array.append (to_bits a 8) (to_bits b 4)) in
+      let q = of_bits (Array.sub out 0 8) and r = of_bits (Array.sub out 8 4) in
+      Alcotest.(check int) (Printf.sprintf "%d/%d q" a b) (a / b) q;
+      Alcotest.(check int) (Printf.sprintf "%d/%d r" a b) (a mod b) r)
+    [ (157, 11); (255, 15); (8, 9); (100, 1); (0, 3); (144, 12) ]
+
+let ks16 = lazy (G.kogge_stone_adder ~bits:16)
+let mul8 = lazy (G.array_multiplier ~bits:8)
+let div12 = lazy (G.array_divider ~dividend_bits:12 ~divisor_bits:6)
+
+let prop_adder_random =
+  QCheck.Test.make ~count:60 ~name:"kogge-stone adds correctly"
+    QCheck.(pair (int_bound 65535) (int_bound 65535))
+    (fun (a, b) ->
+      let nl = Lazy.force ks16 in
+      let out = N.eval nl (Array.append (to_bits a 16) (to_bits b 16)) in
+      of_bits out = a + b)
+
+let prop_mul_random =
+  QCheck.Test.make ~count:40 ~name:"array multiplier multiplies"
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (a, b) ->
+      let nl = Lazy.force mul8 in
+      let out = N.eval nl (Array.append (to_bits a 8) (to_bits b 8)) in
+      of_bits out = a * b)
+
+let prop_div_random =
+  QCheck.Test.make ~count:40 ~name:"array divider divides"
+    QCheck.(pair (int_bound 4095) (int_range 1 63))
+    (fun (a, b) ->
+      let nl = Lazy.force div12 in
+      let out = N.eval nl (Array.append (to_bits a 12) (to_bits b 6)) in
+      let q = of_bits (Array.sub out 0 12) and r = of_bits (Array.sub out 12 6) in
+      q = a / b && r = a mod b)
+
+(* ---------- Sizing / benchmarks ---------- *)
+
+let test_size_for_fanout () =
+  let b = B.create ~name:"fo" in
+  let a = B.input b "a" in
+  let hub = B.inv b a in
+  (* 6 sinks on the hub net -> driver should get strength 8. *)
+  for _ = 1 to 6 do
+    B.output b (B.inv b hub)
+  done;
+  let nl = G.size_for_fanout (B.finish b) in
+  let hub_gate = nl.N.gates.(0) in
+  Alcotest.(check int) "hub upsized" 8 hub_gate.N.cell.Cell.strength
+
+let test_benchmarks_generate_and_match_scale () =
+  List.iter
+    (fun (bm : Bm.t) ->
+      let nl = bm.Bm.generate () in
+      N.validate nl;
+      let cells = N.n_cells nl in
+      let target = bm.Bm.paper.Bm.p_cells in
+      if
+        (* ISCAS85 random entries match exactly; arithmetic units within 35%. *)
+        cells < target * 65 / 100
+        || cells > target * 135 / 100
+      then
+        Alcotest.failf "%s: %d cells vs paper %d" bm.Bm.name cells target)
+    (Bm.iscas85 @ [ List.nth Bm.pulpino 0; List.nth Bm.pulpino 1 ])
+
+let test_benchmark_find () =
+  Alcotest.(check string) "find c432" "c432" (Bm.find "C432").Bm.name;
+  Alcotest.(check bool) "find missing raises" true
+    (try
+       ignore (Bm.find "c9999");
+       false
+     with Not_found -> true)
+
+let test_benchmark_determinism () =
+  let a = (Bm.find "c432").Bm.generate () in
+  let b = (Bm.find "c432").Bm.generate () in
+  Alcotest.(check int) "same size" (N.n_cells a) (N.n_cells b);
+  let ins = Array.make (Array.length a.N.primary_inputs) true in
+  Alcotest.(check bool) "same function" true (N.eval a ins = N.eval b ins)
+
+(* ---------- Verilog ---------- *)
+
+let test_verilog_roundtrip () =
+  let nl = (Bm.find "c1355").Bm.generate () in
+  let nl2 = V.of_string (V.to_string nl) in
+  Alcotest.(check int) "gates preserved" (N.n_cells nl) (N.n_cells nl2);
+  Alcotest.(check int) "nets preserved" nl.N.n_nets nl2.N.n_nets;
+  let ins = Array.make (Array.length nl.N.primary_inputs) false in
+  Alcotest.(check bool) "function preserved (all-0)" true (N.eval nl ins = N.eval nl2 ins);
+  let ins1 = Array.make (Array.length nl.N.primary_inputs) true in
+  Alcotest.(check bool) "function preserved (all-1)" true
+    (N.eval nl ins1 = N.eval nl2 ins1)
+
+let test_verilog_rejects_bad_pins () =
+  let text = "module m (a, y);\n input a;\n output y;\n INVX1 g0 (y, a, a);\nendmodule\n" in
+  Alcotest.(check bool) "pin count" true
+    (try
+       ignore (V.of_string text);
+       false
+     with Failure _ -> true)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "nsigma_netlist"
+    [
+      ( "ir",
+        [
+          Alcotest.test_case "builder" `Quick test_builder_basic;
+          Alcotest.test_case "double driver" `Quick test_validate_catches_double_driver;
+          Alcotest.test_case "topo order" `Quick test_topo_order_valid;
+          Alcotest.test_case "logic depth" `Quick test_logic_depth_spine;
+        ] );
+      ( "arithmetic",
+        [
+          Alcotest.test_case "ripple exhaustive" `Quick test_ripple_adder_exhaustive_small;
+          Alcotest.test_case "kogge-stone" `Quick test_kogge_stone_matches_ripple;
+          Alcotest.test_case "subtractor" `Quick test_subtractor;
+          Alcotest.test_case "multiplier" `Quick test_multiplier;
+          Alcotest.test_case "divider" `Quick test_divider;
+          qt prop_adder_random;
+          qt prop_mul_random;
+          qt prop_div_random;
+        ] );
+      ( "benchmarks",
+        [
+          Alcotest.test_case "fanout sizing" `Quick test_size_for_fanout;
+          Alcotest.test_case "scale match" `Slow test_benchmarks_generate_and_match_scale;
+          Alcotest.test_case "find" `Quick test_benchmark_find;
+          Alcotest.test_case "deterministic" `Quick test_benchmark_determinism;
+        ] );
+      ( "verilog",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_verilog_roundtrip;
+          Alcotest.test_case "bad pins" `Quick test_verilog_rejects_bad_pins;
+        ] );
+    ]

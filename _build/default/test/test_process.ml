@@ -1,0 +1,98 @@
+(* Tests for the technology / variation substrate. *)
+
+module T = Nsigma_process.Technology
+module Corner = Nsigma_process.Corner
+module Variation = Nsigma_process.Variation
+module Rng = Nsigma_stats.Rng
+module Moments = Nsigma_stats.Moments
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let tech = T.default_28nm
+
+let test_thermal_voltage () =
+  (* kT/q at 298.15 K ≈ 25.7 mV. *)
+  check_close ~eps:1e-3 "Ut at 25C" 0.0257 (T.thermal_voltage tech)
+
+let test_with_vdd () =
+  let t6 = T.with_vdd tech 0.6 in
+  check_close "vdd changed" 0.6 t6.T.vdd_nominal;
+  check_close "other fields preserved" tech.T.vth0_n t6.T.vth0_n
+
+let test_pelgrom_scaling () =
+  (* σ(Vth) halves when area quadruples. *)
+  let s1 = T.sigma_vth_local tech ~width:tech.T.width_n in
+  let s4 = T.sigma_vth_local tech ~width:(4.0 *. tech.T.width_n) in
+  check_close ~eps:1e-9 "1/√4 scaling" (s1 /. 2.0) s4;
+  Alcotest.(check bool) "x1 sigma in plausible mV range" true
+    (s1 > 0.005 && s1 < 0.05)
+
+let test_corner_apply () =
+  let ss = Corner.{ process = Slow; vdd = 0.6; temp_celsius = 125.0 } in
+  let t = Corner.apply tech ss in
+  check_close "corner vdd" 0.6 t.T.vdd_nominal;
+  check_close "corner temp" (125.0 +. 273.15) t.T.temp_kelvin;
+  Alcotest.(check bool) "slow corner raises vth" true (t.T.vth0_n > tech.T.vth0_n);
+  let ff = Corner.apply tech Corner.{ process = Fast; vdd = 0.6; temp_celsius = 25.0 } in
+  Alcotest.(check bool) "fast corner lowers vth" true (ff.T.vth0_n < tech.T.vth0_n)
+
+let test_corner_constants () =
+  check_close "near-threshold corner vdd" 0.6 Corner.near_threshold.Corner.vdd;
+  check_close "nominal corner vdd" 0.9 Corner.nominal.Corner.vdd
+
+let test_nominal_sample_is_zero () =
+  let s = Variation.nominal in
+  check_close "no global nmos shift" 0.0 s.Variation.global.Variation.dvth_n;
+  check_close "no local shift" 0.0
+    (Variation.local_dvth s tech ~width:tech.T.width_n)
+
+let test_global_distribution () =
+  let g = Rng.create ~seed:5 in
+  let samples = Variation.draw_many tech g 20_000 in
+  let dvths = Array.map (fun s -> s.Variation.global.Variation.dvth_n) samples in
+  let s = Moments.summary_of_array dvths in
+  check_close ~eps:0.02 "global dvth mean 0" 1.0 (1.0 +. s.Moments.mean);
+  check_close ~eps:0.03 "global dvth sigma" tech.T.sigma_vth_global s.Moments.std
+
+let test_local_distribution () =
+  let g = Rng.create ~seed:6 in
+  let sample = Variation.draw tech g in
+  let w = tech.T.width_n in
+  let locals = Array.init 20_000 (fun _ -> Variation.local_dvth sample tech ~width:w) in
+  let s = Moments.summary_of_array locals in
+  check_close ~eps:0.03 "local dvth sigma = Pelgrom" (T.sigma_vth_local tech ~width:w)
+    s.Moments.std
+
+let test_draw_determinism () =
+  let s1 = Variation.draw tech (Rng.create ~seed:9) in
+  let s2 = Variation.draw tech (Rng.create ~seed:9) in
+  check_close "same global from same seed" s1.Variation.global.Variation.dvth_n
+    s2.Variation.global.Variation.dvth_n;
+  check_close "same locals from same seed"
+    (Variation.local_dvth s1 tech ~width:1e-6)
+    (Variation.local_dvth s2 tech ~width:1e-6)
+
+let () =
+  Alcotest.run "nsigma_process"
+    [
+      ( "technology",
+        [
+          Alcotest.test_case "thermal voltage" `Quick test_thermal_voltage;
+          Alcotest.test_case "with_vdd" `Quick test_with_vdd;
+          Alcotest.test_case "pelgrom scaling" `Quick test_pelgrom_scaling;
+        ] );
+      ( "corner",
+        [
+          Alcotest.test_case "apply" `Quick test_corner_apply;
+          Alcotest.test_case "constants" `Quick test_corner_constants;
+        ] );
+      ( "variation",
+        [
+          Alcotest.test_case "nominal is zero" `Quick test_nominal_sample_is_zero;
+          Alcotest.test_case "global distribution" `Quick test_global_distribution;
+          Alcotest.test_case "local distribution" `Quick test_local_distribution;
+          Alcotest.test_case "determinism" `Quick test_draw_determinism;
+        ] );
+    ]

@@ -1,0 +1,242 @@
+(* Cross-module property tests: serialisation round-trips on random
+   structures, STA invariants on random designs, statistical identities. *)
+
+module T = Nsigma_process.Technology
+module Rng = Nsigma_stats.Rng
+module Moments = Nsigma_stats.Moments
+module Quantile = Nsigma_stats.Quantile
+module Cell = Nsigma_liberty.Cell
+module Rctree = Nsigma_rcnet.Rctree
+module Elmore = Nsigma_rcnet.Elmore
+module Spef = Nsigma_rcnet.Spef
+module Wire_gen = Nsigma_rcnet.Wire_gen
+module Ceff = Nsigma_rcnet.Ceff
+module N = Nsigma_netlist.Netlist
+module G = Nsigma_netlist.Generators
+module V = Nsigma_netlist.Verilog_lite
+module Design = Nsigma_sta.Design
+module Engine = Nsigma_sta.Engine
+module Provider = Nsigma_sta.Provider
+module Path = Nsigma_sta.Path
+
+let tech = T.with_vdd T.default_28nm 0.6
+
+(* Random structure generators driven by a seed, so shrinking works on
+   the seed. *)
+let tree_of_seed seed =
+  let g = Rng.create ~seed in
+  let spec =
+    {
+      Wire_gen.min_length_um = 2.0;
+      max_length_um = 80.0;
+      segments = 1 + Rng.int g 15;
+      branch_prob = Rng.uniform g *. 0.5;
+    }
+  in
+  Wire_gen.random_tree tech spec g
+
+let netlist_of_seed seed =
+  let g = Rng.create ~seed in
+  G.random_logic
+    ~name:(Printf.sprintf "p%d" seed)
+    ~n_inputs:(2 + Rng.int g 10)
+    ~n_gates:(8 + Rng.int g 60)
+    ~depth:(2 + Rng.int g 8)
+    ~seed
+
+let seed_arb = QCheck.int_bound 100_000
+
+let prop_spef_roundtrip =
+  QCheck.Test.make ~count:60 ~name:"SPEF round-trip preserves Elmore"
+    seed_arb
+    (fun seed ->
+      let tree = tree_of_seed seed in
+      match Spef.of_string (Spef.to_string ~name:"n" tree) with
+      | [ (_, tree2) ] ->
+        (* %.12g text carries ~1e-12 relative error per segment; sums
+           over segments accumulate it. *)
+        let close a b = Float.abs (a -. b) <= 1e-8 *. (1.0 +. Float.abs a) in
+        close (Rctree.total_cap tree) (Rctree.total_cap tree2)
+        && close (Rctree.total_res tree) (Rctree.total_res tree2)
+        && Array.length tree.Rctree.taps = Array.length tree2.Rctree.taps
+        && (let e1 = Elmore.delays tree and e2 = Elmore.delays tree2 in
+            (* Same multiset of tap Elmore delays (node order may differ). *)
+            let taps d (t : Rctree.t) =
+              Array.to_list (Array.map (fun i -> d.(i)) t.Rctree.taps)
+              |> List.sort Float.compare
+            in
+            List.for_all2 close (taps e1 tree) (taps e2 tree2))
+      | _ -> false)
+
+let prop_verilog_roundtrip =
+  QCheck.Test.make ~count:40 ~name:"Verilog round-trip preserves function"
+    seed_arb
+    (fun seed ->
+      let nl = netlist_of_seed seed in
+      let nl2 = V.of_string (V.to_string nl) in
+      let g = Rng.create ~seed:(seed + 1) in
+      let ok = ref (N.n_cells nl = N.n_cells nl2) in
+      for _ = 1 to 5 do
+        let ins =
+          Array.init (Array.length nl.N.primary_inputs) (fun _ -> Rng.uniform g < 0.5)
+        in
+        if N.eval nl ins <> N.eval nl2 ins then ok := false
+      done;
+      !ok)
+
+let prop_elmore_additive_along_path =
+  QCheck.Test.make ~count:60 ~name:"Elmore grows along any root-to-leaf path"
+    seed_arb
+    (fun seed ->
+      let tree = tree_of_seed seed in
+      let delays = Elmore.delays tree in
+      Array.for_all
+        (fun tap ->
+          let path = Rctree.path_to_root tree tap in
+          let rec decreasing = function
+            | a :: (b :: _ as rest) -> delays.(a) >= delays.(b) && decreasing rest
+            | _ -> true
+          in
+          decreasing path)
+        tree.Rctree.taps)
+
+let prop_ceff_bounded =
+  QCheck.Test.make ~count:60 ~name:"Ceff within (0, total]" seed_arb
+    (fun seed ->
+      let tree = tree_of_seed seed in
+      let total = Rctree.total_cap tree in
+      let ceff = Ceff.effective ~driver_resistance:800.0 tree in
+      ceff > 0.0 && ceff <= total +. 1e-21)
+
+let prop_scale_linearity =
+  QCheck.Test.make ~count:40 ~name:"Elmore scales linearly with R and C"
+    seed_arb
+    (fun seed ->
+      let tree = tree_of_seed seed in
+      let tap = tree.Rctree.taps.(0) in
+      let base = Elmore.delay_at tree tap in
+      let doubled =
+        Elmore.delay_at (Rctree.scale tree ~res_factor:2.0 ~cap_factor:1.0) tap
+      in
+      Float.abs (doubled -. (2.0 *. base)) < 1e-9 *. (1.0 +. doubled))
+
+(* Engine invariants under a positive random-delay provider. *)
+let random_provider seed =
+  let delay_of gate ~edge ~input_slew ~load_cap =
+    (* Deterministic pseudo-random positive delay per lookup context. *)
+    let h =
+      Hashtbl.hash
+        (gate.N.g_name, edge = Provider.Rise, int_of_float (input_slew *. 1e15),
+         int_of_float (load_cap *. 1e18), seed)
+    in
+    1e-12 *. (1.0 +. float_of_int (h mod 50))
+  in
+  {
+    Provider.label = "random";
+    cell_delay = delay_of;
+    cell_out_slew = (fun _ ~edge:_ ~input_slew ~load_cap:_ -> input_slew);
+    wire_delay =
+      (fun ~net ~driver:_ ~sink:_ ~tree:_ ~tap ->
+        1e-13 *. float_of_int (1 + ((net + tap) mod 7)));
+    wire_slew_degrade = (fun ~wire_delay:_ ~slew_at_root -> slew_at_root);
+  }
+
+let prop_critical_path_consistent =
+  QCheck.Test.make ~count:30 ~name:"critical path total = circuit delay"
+    seed_arb
+    (fun seed ->
+      let nl = netlist_of_seed seed in
+      let design = Design.attach_parasitics tech nl in
+      let report = Engine.analyze tech (random_provider seed) design in
+      let delay = Engine.circuit_delay report in
+      let path = Engine.critical_path report in
+      Float.abs (path.Path.total -. delay) < 1e-15 +. (1e-9 *. delay))
+
+let prop_path_sums_to_total =
+  QCheck.Test.make ~count:30 ~name:"hop delays sum to the path total"
+    seed_arb
+    (fun seed ->
+      let nl = netlist_of_seed seed in
+      let design = Design.attach_parasitics tech nl in
+      let report = Engine.analyze tech (random_provider seed) design in
+      let path = Engine.critical_path report in
+      let total =
+        List.fold_left
+          (fun acc (h : Path.hop) -> acc +. h.Path.wire_delay +. h.Path.cell_delay)
+          path.Path.end_wire_delay path.Path.hops
+      in
+      Float.abs (total -. path.Path.total) < 1e-15 +. (1e-9 *. path.Path.total))
+
+let prop_arrivals_nonnegative =
+  QCheck.Test.make ~count:30 ~name:"all arrivals are non-negative" seed_arb
+    (fun seed ->
+      let nl = netlist_of_seed seed in
+      let design = Design.attach_parasitics tech nl in
+      let report = Engine.analyze tech (random_provider seed) design in
+      let ok = ref true in
+      for net = 0 to nl.N.n_nets - 1 do
+        List.iter
+          (fun edge ->
+            match Engine.arrival report ~net ~edge with
+            | Some a -> if a.Engine.time < 0.0 then ok := false
+            | None -> ())
+          [ Provider.Rise; Provider.Fall ]
+      done;
+      !ok)
+
+let prop_moments_merge_commutative =
+  QCheck.Test.make ~count:100 ~name:"moment merge is commutative"
+    QCheck.(pair (list_of_size (Gen.int_range 1 30) (float_range (-5.) 5.))
+              (list_of_size (Gen.int_range 1 30) (float_range (-5.) 5.)))
+    (fun (xs, ys) ->
+      let a = Moments.of_array (Array.of_list xs) in
+      let b = Moments.of_array (Array.of_list ys) in
+      let m1 = Moments.summary (Moments.merge a b) in
+      let m2 = Moments.summary (Moments.merge b a) in
+      Float.abs (m1.Moments.mean -. m2.Moments.mean) < 1e-9
+      && Float.abs (m1.Moments.std -. m2.Moments.std) < 1e-9)
+
+let prop_quantile_bounds =
+  QCheck.Test.make ~count:100 ~name:"quantiles stay within sample range"
+    QCheck.(pair (list_of_size (Gen.int_range 2 50) (float_range (-100.) 100.))
+              (float_range 0.0 1.0))
+    (fun (xs, p) ->
+      let a = Array.of_list xs in
+      let q = Quantile.of_sample a p in
+      let lo = Array.fold_left Float.min a.(0) a in
+      let hi = Array.fold_left Float.max a.(0) a in
+      q >= lo -. 1e-12 && q <= hi +. 1e-12)
+
+let prop_fanout_sizing_monotone =
+  QCheck.Test.make ~count:30 ~name:"fanout sizing never shrinks a driver"
+    seed_arb
+    (fun seed ->
+      let nl = netlist_of_seed seed in
+      let sized = G.size_for_fanout nl in
+      Array.for_all2
+        (fun (a : N.gate) (b : N.gate) ->
+          b.N.cell.Cell.strength >= a.N.cell.Cell.strength)
+        nl.N.gates sized.N.gates)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "nsigma_properties"
+    [
+      ( "serialisation",
+        [ qt prop_spef_roundtrip; qt prop_verilog_roundtrip ] );
+      ( "interconnect",
+        [
+          qt prop_elmore_additive_along_path;
+          qt prop_ceff_bounded;
+          qt prop_scale_linearity;
+        ] );
+      ( "sta",
+        [
+          qt prop_critical_path_consistent;
+          qt prop_path_sums_to_total;
+          qt prop_arrivals_nonnegative;
+        ] );
+      ( "stats",
+        [ qt prop_moments_merge_commutative; qt prop_quantile_bounds ] );
+      ( "netlist", [ qt prop_fanout_sizing_monotone ] );
+    ]
