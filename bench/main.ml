@@ -44,6 +44,7 @@ module Cell_model = Nsigma.Cell_model
 module Wire_model = Nsigma.Wire_model
 module Wire_lab = Nsigma.Wire_lab
 module Calibration = Nsigma.Calibration
+module Executor = Nsigma_exec.Executor
 module Lsn = Nsigma_baselines.Lsn_model
 module Burr = Nsigma_baselines.Burr_model
 module Pt = Nsigma_baselines.Primetime_like
@@ -886,13 +887,84 @@ Inside +/-3s the values are the fitted Table-I quantiles; beyond,
      (P(+6s) ~ 1e-9 is unobservable by characterisation MC).
 "
 
+(* ------------------------------------------------------------------ *)
+(* Executor: characterisation wall-clock, sequential vs domain pool.   *)
+(* ------------------------------------------------------------------ *)
+
+let exec_speedup () =
+  header "Executor — full-library characterisation, sequential vs domain pool";
+  let pool = Executor.domain_pool () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "characterising %d cells x 2 edges (mc=%d per grid point)\n%!"
+    (List.length all_cells) lib_mc;
+  let lib_seq, t_seq =
+    time (fun () ->
+        Library.characterize_all ~n_mc:lib_mc ~exec:Executor.sequential tech
+          all_cells)
+  in
+  Printf.printf "  sequential       %8.2fs\n%!" t_seq;
+  let lib_par, t_par =
+    time (fun () ->
+        Library.characterize_all ~n_mc:lib_mc ~exec:pool tech all_cells)
+  in
+  let speedup = t_seq /. Float.max 1e-9 t_par in
+  Printf.printf "  %2d-domain pool   %8.2fs   speedup %.2fx\n%!"
+    (Executor.jobs pool) t_par speedup;
+  let identical =
+    List.for_all
+      (fun (cell, edge) ->
+        let a = Library.find lib_seq cell ~edge in
+        let b = Library.find lib_par cell ~edge in
+        a.Ch.points = b.Ch.points)
+      (Library.cells lib_seq)
+  in
+  Printf.printf "  bit-identical tables across backends: %b\n" identical;
+  let cores = Domain.recommended_domain_count () in
+  let note =
+    if Executor.jobs pool > cores then
+      "jobs exceed available cores: OCaml 5 stop-the-world minor GC makes \
+       oversubscription counterproductive, run with jobs <= cores"
+    else ""
+  in
+  let json =
+    Printf.sprintf
+      {|{"experiment": "exec_speedup", "cells": %d, "edges": 2, "n_mc": %d, "jobs": %d, "cores_available": %d, "seq_seconds": %.3f, "pool_seconds": %.3f, "speedup": %.3f, "bit_identical": %b, "note": "%s"}|}
+      (List.length all_cells) lib_mc (Executor.jobs pool) cores t_seq t_par
+      speedup identical note
+  in
+  (* Append, one JSON object per line, so successive runs accumulate. *)
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_exec.json"
+  in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Printf.printf "  appended to BENCH_exec.json\n"
+
 let usage () =
   print_endline
-    "usage: main.exe [fig2|fig3|fig4|table1|table2|fig7|fig8|fig9|fig10|fig11|table3 \
-     [circuits...]|speedup|ablation|highsigma|micro|all]"
+    "usage: main.exe [--jobs N] [fig2|fig3|fig4|table1|table2|fig7|fig8|fig9|fig10|fig11|table3 \
+     [circuits...]|speedup|exec|ablation|highsigma|micro|all]"
+
+(* [--jobs N] (or [-j N]) installs itself as NSIGMA_JOBS so every
+   sampling loop — characterisation, path MC, wire lab — picks it up
+   through [Executor.default] without further plumbing. *)
+let rec extract_jobs acc = function
+  | [] -> (List.rev acc, None)
+  | ("--jobs" | "-j") :: v :: rest -> (List.rev_append acc rest, Some v)
+  | a :: rest when String.starts_with ~prefix:"--jobs=" a ->
+    (List.rev_append acc rest, Some (String.sub a 7 (String.length a - 7)))
+  | a :: rest -> extract_jobs (a :: acc) rest
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let args, jobs = extract_jobs [] args in
+  Option.iter (Unix.putenv "NSIGMA_JOBS") jobs;
+  Printf.printf "[exec] %d worker domain(s)\n%!"
+    (Executor.jobs (Executor.default ()));
   let t0 = Unix.gettimeofday () in
   (match args with
   | [] | [ "all" ] ->
@@ -923,6 +995,7 @@ let () =
   | "table3" :: [] -> table3 ()
   | "table3" :: circuits -> table3 ~circuits ()
   | "speedup" :: _ -> speedup ()
+  | "exec" :: _ -> exec_speedup ()
   | "ablation" :: _ -> ablation ()
   | "highsigma" :: _ -> highsigma ()
   | "micro" :: _ -> micro ()

@@ -27,6 +27,7 @@ module Provider = Nsigma_sta.Provider
 module Path = Nsigma_sta.Path
 module Path_mc = Nsigma_sta.Path_mc
 module Moments = Nsigma_stats.Moments
+module Executor = Nsigma_exec.Executor
 
 open Cmdliner
 
@@ -51,6 +52,18 @@ let mc_arg default =
   let doc = "Monte-Carlo samples." in
   Arg.(value & opt int default & info [ "mc" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for Monte-Carlo sampling: 1 runs sequentially, 0 \
+     auto-detects the core count.  Defaults to $(b,NSIGMA_JOBS) (unset: \
+     sequential).  Results are bit-identical at every setting."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let exec_of_jobs = function
+  | None -> Executor.default ()
+  | Some j -> Executor.domain_pool ~jobs:j ()
+
 (* ---- characterize ---- *)
 
 let characterize_cmd =
@@ -64,8 +77,9 @@ let characterize_cmd =
     let doc = "Comma-separated cell names (default: the whole library)." in
     Arg.(value & opt (some string) None & info [ "cells" ] ~docv:"LIST" ~doc)
   in
-  let run vdd mc output cells =
+  let run vdd mc output cells jobs =
     let tech = tech_of_vdd vdd in
+    let exec = exec_of_jobs jobs in
     let cells =
       match cells with
       | None -> all_cells
@@ -74,14 +88,18 @@ let characterize_cmd =
         |> List.filter (fun s -> s <> "")
         |> List.map Cell.of_name
     in
-    Printf.printf "characterising %d cells at %.2f V with %d MC samples/point...\n%!"
-      (List.length cells) vdd mc;
+    Printf.printf
+      "characterising %d cells at %.2f V with %d MC samples/point (%d \
+       worker domain(s))...\n%!"
+      (List.length cells) vdd mc (Executor.jobs exec);
     let t0 = Unix.gettimeofday () in
-    let lib = Library.characterize_all ~n_mc:mc tech cells in
+    let lib = Library.characterize_all ~n_mc:mc ~exec tech cells in
     Library.save lib output;
     Printf.printf "wrote %s in %.1fs\n" output (Unix.gettimeofday () -. t0)
   in
-  let term = Term.(const run $ vdd_arg $ mc_arg 2000 $ output $ cells_arg) in
+  let term =
+    Term.(const run $ vdd_arg $ mc_arg 2000 $ output $ cells_arg $ jobs_arg)
+  in
   Cmd.v
     (Cmd.info "characterize"
        ~doc:"Monte-Carlo characterisation of the cell library (LVF-style moments).")
@@ -131,12 +149,19 @@ let analyze_cmd =
     let doc = "Use a stored coefficients file instead of refitting." in
     Arg.(value & opt (some string) None & info [ "coeffs" ] ~docv:"FILE" ~doc)
   in
-  let run vdd library circuit verilog sigma mc coeffs =
+  let run vdd library circuit verilog sigma mc coeffs jobs =
     let tech = tech_of_vdd vdd in
+    let exec = exec_of_jobs jobs in
     let lib = Library.load tech library in
     let nl =
       match (circuit, verilog) with
-      | Some name, _ -> (Bm.find name).Bm.generate ()
+      | Some name, _ -> (
+        match Bm.find name with
+        | bm -> bm.Bm.generate ()
+        | exception Not_found ->
+          failwith
+            (Printf.sprintf "unknown circuit %S (available: %s)" name
+               (String.concat ", " (List.map (fun b -> b.Bm.name) Bm.all))))
       | None, Some file -> V.read_file file
       | None, None -> failwith "pass --circuit or --verilog"
     in
@@ -156,7 +181,7 @@ let analyze_cmd =
       [ -sigma; 0; sigma ];
     if mc > 0 then begin
       Printf.printf "path Monte-Carlo (%d samples)...\n%!" mc;
-      let stats = Path_mc.run ~n:mc tech design path in
+      let stats = Path_mc.run ~n:mc ~exec tech design path in
       Printf.printf "MC: mu=%.1f ps, %+dσ=%.1f ps, %+dσ=%.1f ps\n"
         (stats.Path_mc.moments.Moments.mean *. 1e12)
         (-sigma)
@@ -168,7 +193,7 @@ let analyze_cmd =
   let term =
     Term.(
       const run $ vdd_arg $ library_arg $ circuit_arg $ verilog_arg $ sigma_arg
-      $ mc_arg 0 $ coeffs_arg)
+      $ mc_arg 0 $ coeffs_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -207,4 +232,9 @@ let main_cmd =
   let info = Cmd.info "nsigma" ~version:"1.0.0" ~doc in
   Cmd.group info [ characterize_cmd; fit_cmd; analyze_cmd; report_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  match Cmd.eval ~catch:false main_cmd with
+  | code -> exit code
+  | exception Failure msg ->
+    Printf.eprintf "nsigma: %s\n" msg;
+    exit 1

@@ -8,6 +8,7 @@ module Rc_sim = Nsigma_spice.Rc_sim
 module Rng = Nsigma_stats.Rng
 module Moments = Nsigma_stats.Moments
 module Quantile = Nsigma_stats.Quantile
+module Monte_carlo = Nsigma_spice.Monte_carlo
 
 type measurement = {
   driver : Cell.t;
@@ -17,7 +18,8 @@ type measurement = {
   moments : Moments.summary;
 }
 
-let measure ?(n = 300) ?(seed = 17) ?(steps = 200) tech ~tree ~driver ~load () =
+let measure ?(n = 300) ?(seed = 17) ?(steps = 200) ?exec tech ~tree ~driver
+    ~load () =
   let g = Rng.create ~seed in
   let tap = tree.Rctree.taps.(0) in
   let load_cap_nom = Cell.input_cap tech load in
@@ -25,23 +27,21 @@ let measure ?(n = 300) ?(seed = 17) ?(steps = 200) tech ~tree ~driver ~load () =
     T.sigma_beta_local tech
       ~width:(float_of_int load.Cell.strength *. tech.T.width_n)
   in
-  let out = ref [] in
-  for _ = 1 to n do
-    let sample = Variation.draw tech g in
-    let arc = Cell.arc tech sample driver ~output_edge:`Rise in
-    let tree_v = Wire_gen.vary tech sample tree in
-    let load_cap =
-      load_cap_nom *. (1.0 +. Variation.local_relative sample ~sigma:cap_sigma)
-    in
-    match
-      Rc_sim.simulate ~steps tech ~driver:arc ~tree:tree_v
-        ~load_caps:[ (tap, load_cap) ]
-        ~input_slew:Nsigma_sta.Provider.input_slew_default
-    with
-    | r -> out := (Array.to_list r.Rc_sim.tap_delays |> List.assoc tap) :: !out
-    | exception Failure _ -> ()
-  done;
-  let samples = Array.of_list !out in
+  let samples =
+    Monte_carlo.delays ?exec tech g ~n (fun sample ->
+        let arc = Cell.arc tech sample driver ~output_edge:`Rise in
+        let tree_v = Wire_gen.vary tech sample tree in
+        let load_cap =
+          load_cap_nom
+          *. (1.0 +. Variation.local_relative sample ~sigma:cap_sigma)
+        in
+        let r =
+          Rc_sim.simulate ~steps tech ~driver:arc ~tree:tree_v
+            ~load_caps:[ (tap, load_cap) ]
+            ~input_slew:Nsigma_sta.Provider.input_slew_default
+        in
+        Array.to_list r.Rc_sim.tap_delays |> List.assoc tap)
+  in
   Array.sort Float.compare samples;
   {
     driver;

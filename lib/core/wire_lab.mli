@@ -20,6 +20,7 @@ val measure :
   ?n:int ->
   ?seed:int ->
   ?steps:int ->
+  ?exec:Nsigma_exec.Executor.t ->
   Nsigma_process.Technology.t ->
   tree:Nsigma_rcnet.Rctree.t ->
   driver:Nsigma_liberty.Cell.t ->

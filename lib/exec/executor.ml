@@ -1,0 +1,84 @@
+type t = Sequential | Pool of { jobs : int }
+
+let env_jobs () =
+  match Sys.getenv_opt "NSIGMA_JOBS" with
+  | None -> None
+  | Some s -> ( try Some (int_of_string (String.trim s)) with _ -> None)
+
+let auto_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let of_jobs jobs = if jobs <= 1 then Sequential else Pool { jobs }
+
+let sequential = Sequential
+
+let domain_pool ?jobs () =
+  let jobs =
+    match jobs with
+    | Some j when j > 0 -> j
+    | Some _ -> auto_jobs ()
+    | None -> (
+      match env_jobs () with
+      | Some j when j > 0 -> j
+      | Some _ (* 0 or negative: auto *) -> auto_jobs ()
+      | None -> auto_jobs ())
+  in
+  of_jobs jobs
+
+let default () =
+  match env_jobs () with
+  | None -> Sequential
+  | Some j when j = 0 -> of_jobs (auto_jobs ())
+  | Some j -> of_jobs j
+
+let jobs = function Sequential -> 1 | Pool { jobs } -> jobs
+
+(* The pool is a work-stealing-free shared queue: an atomic cursor over
+   [0, n).  Workers claim [chunk] indices per fetch and write results
+   into distinct slots of a shared array, which is race-free because no
+   two workers ever hold the same index.  The first exception is stored
+   and drains the queue so every worker exits; it is re-raised with its
+   original backtrace after the join. *)
+let pool_run ~jobs ~chunk ~n f =
+  let results = Array.make n None in
+  let cursor = Atomic.make 0 in
+  let failure = Atomic.make None in
+  let worker () =
+    let running = ref true in
+    while !running do
+      let start = Atomic.fetch_and_add cursor chunk in
+      if start >= n || Atomic.get failure <> None then running := false
+      else
+        let stop = min n (start + chunk) in
+        try
+          for i = start to stop - 1 do
+            results.(i) <- Some (f i)
+          done
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+          running := false
+    done
+  in
+  let workers = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join workers;
+  (match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  Array.map (function Some v -> v | None -> assert false) results
+
+let run t ~chunk f ~n =
+  if n < 0 then invalid_arg "Executor: n must be non-negative";
+  match t with
+  | Sequential -> Array.init n f
+  | Pool { jobs } -> pool_run ~jobs ~chunk ~n f
+
+let map_array t f ~n = run t ~chunk:1 f ~n
+
+let map_chunked t ?chunk f ~n =
+  let chunk =
+    match chunk with
+    | Some c when c > 0 -> c
+    | Some _ -> invalid_arg "Executor.map_chunked: chunk must be positive"
+    | None -> max 1 (n / (8 * jobs t))
+  in
+  run t ~chunk f ~n

@@ -1,0 +1,52 @@
+(** Deterministic work scheduling for Monte-Carlo sampling.
+
+    Every sampling loop in the library routes through an executor: a value
+    of type [t] that maps an index-addressed task set to an array of
+    results.  Two interchangeable backends are provided — a sequential
+    reference backend and a pool of OCaml 5 domains — with the invariant
+    that they produce *bit-identical* results for the same task function.
+
+    The invariant holds because of the RNG discipline enforced at call
+    sites: each work item derives its own generator from the item index
+    ({!Nsigma_stats.Rng.derive}) instead of threading one mutable
+    generator through the loop, so the value of item [i] is a pure
+    function of [i] and no scheduling order can perturb it.  New sampling
+    code must follow the same discipline. *)
+
+type t
+(** An execution backend.  Immutable and reusable across calls. *)
+
+val sequential : t
+(** Runs every task in submission order on the calling domain.  The
+    reference backend: all other backends must match its output. *)
+
+val domain_pool : ?jobs:int -> unit -> t
+(** A fixed-size pool of worker domains pulling indices from a shared
+    work queue.  [jobs] is the number of workers: omitted, it is taken
+    from the [NSIGMA_JOBS] environment variable, falling back to
+    [Domain.recommended_domain_count ()]; [jobs <= 0] also means
+    auto-detect; [jobs = 1] degrades to {!sequential}. *)
+
+val default : unit -> t
+(** The backend selected by the environment: [NSIGMA_JOBS] unset or [1]
+    gives {!sequential}; [NSIGMA_JOBS = n > 1] gives a pool of [n]
+    workers; [NSIGMA_JOBS = 0] auto-detects the core count.  Read at
+    call time, so a CLI [--jobs] flag can install itself by setting the
+    variable before sampling starts. *)
+
+val jobs : t -> int
+(** Number of workers the backend will use ([1] for {!sequential}). *)
+
+val map_array : t -> (int -> 'a) -> n:int -> 'a array
+(** [map_array exec f ~n] is [[| f 0; f 1; ...; f (n-1) |]].  Tasks are
+    claimed one index at a time, which load-balances well when each task
+    is heavy (a transient simulation, a full Monte-Carlo study).  Any
+    exception raised by [f] stops the remaining work and is re-raised on
+    the calling domain with its backtrace — workers never deadlock on a
+    failed task. *)
+
+val map_chunked : t -> ?chunk:int -> (int -> 'a) -> n:int -> 'a array
+(** Like {!map_array} but workers claim [chunk] consecutive indices per
+    queue round-trip, amortising dispatch for large populations of cheap
+    tasks.  [chunk] defaults to [n / (8 * jobs)] (at least 1).  Output is
+    identical to {!map_array}. *)

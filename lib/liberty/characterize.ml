@@ -5,6 +5,7 @@ module Rng = Nsigma_stats.Rng
 module Interpolate = Nsigma_stats.Interpolate
 module Cell_sim = Nsigma_spice.Cell_sim
 module Monte_carlo = Nsigma_spice.Monte_carlo
+module Executor = Nsigma_exec.Executor
 
 type point = {
   slew : float;
@@ -53,15 +54,19 @@ let sigma_probs =
   |> Array.of_list
 
 let characterize ?(n_mc = 2000) ?(seed = 1) ?(slews = default_slews) ?loads
-    tech cell ~edge =
+    ?(exec = Executor.default ()) tech cell ~edge =
   let loads = match loads with Some l -> l | None -> loads_for tech cell in
   let g = Rng.create ~seed in
-  let measure_point slew load =
-    (* Each grid point gets its own decorrelated stream so adding grid
-       points never perturbs other points' samples. *)
-    let gp = Rng.split g in
+  let measure_point ~index slew load =
+    (* Each grid point derives its own stream from its grid index, so
+       neither adding grid points nor the scheduling order of the
+       executor perturbs other points' samples. *)
+    let gp = Rng.derive g ~index in
     let results =
-      Monte_carlo.samples tech gp ~n:n_mc (fun sample ->
+      (* Grid points are the parallel unit; the inner sampling loop runs
+         sequentially to keep one level of domain spawning. *)
+      Monte_carlo.samples ~exec:Executor.sequential tech gp ~n:n_mc
+        (fun sample ->
           let arc = Cell.arc tech sample cell ~output_edge:edge in
           try Some (Cell_sim.simulate tech arc ~input_slew:slew ~load_cap:load)
           with Failure _ -> None)
@@ -81,8 +86,16 @@ let characterize ?(n_mc = 2000) ?(seed = 1) ?(slews = default_slews) ?loads
     in
     { slew; load; moments; quantiles; mean_out_slew }
   in
+  let n_loads = Array.length loads in
+  let flat =
+    Executor.map_array exec
+      (fun idx ->
+        measure_point ~index:idx slews.(idx / n_loads) loads.(idx mod n_loads))
+      ~n:(Array.length slews * n_loads)
+  in
   let points =
-    Array.map (fun s -> Array.map (fun l -> measure_point s l) loads) slews
+    Array.init (Array.length slews) (fun si ->
+        Array.sub flat (si * n_loads) n_loads)
   in
   {
     cell;
@@ -93,6 +106,21 @@ let characterize ?(n_mc = 2000) ?(seed = 1) ?(slews = default_slews) ?loads
     loads;
     points;
   }
+
+let grid_signature =
+  let axis name a =
+    name ^ ":"
+    ^ String.concat "," (Array.to_list (Array.map (Printf.sprintf "%.17g") a))
+  in
+  String.concat ";"
+    [
+      axis "slews" default_slews;
+      axis "loads" default_loads;
+      axis "fo4_fractions" fo4_fractions;
+      Printf.sprintf "ref:%.17g,%.17g" reference_slew reference_load;
+      Printf.sprintf "sigma_levels:%s"
+        (String.concat "," (List.map string_of_int Quantile.sigma_levels));
+    ]
 
 let nearest axis v =
   let best = ref 0 in

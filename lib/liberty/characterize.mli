@@ -48,13 +48,23 @@ val characterize :
   ?seed:int ->
   ?slews:float array ->
   ?loads:float array ->
+  ?exec:Nsigma_exec.Executor.t ->
   Nsigma_process.Technology.t ->
   Cell.t ->
   edge:[ `Rise | `Fall ] ->
   table
 (** Run the characterisation ([n_mc] defaults to 2000 samples per grid
-    point; [loads] defaults to {!loads_for}).  Deterministic for a fixed
-    seed. *)
+    point; [loads] defaults to {!loads_for}).  Grid points are
+    independent work items scheduled on [exec] (default
+    [Executor.default ()]), each deriving its sample stream from its own
+    grid index: the table is bit-identical for a fixed seed on every
+    backend and pool size. *)
+
+val grid_signature : string
+(** Canonical dump of the characterisation-grid constants (default slew
+    axis, FO4 load fractions, reference condition, sigma levels).  Mixed
+    into the library cache fingerprint so a cache characterised under an
+    older grid is detected as stale. *)
 
 val point_at : table -> slew:float -> load:float -> point
 (** Nearest grid point (exact match expected; nearest otherwise). *)

@@ -32,8 +32,8 @@ let cells t =
       (table.Characterize.cell, table.Characterize.edge))
     t.order
 
-let characterize_all ?n_mc ?seed ?slews ?loads ?(edges = [ `Rise; `Fall ]) tech
-    cell_list =
+let characterize_all ?n_mc ?seed ?slews ?loads ?(edges = [ `Rise; `Fall ])
+    ?exec tech cell_list =
   let lib = create tech in
   List.iteri
     (fun i cell ->
@@ -43,7 +43,9 @@ let characterize_all ?n_mc ?seed ?slews ?loads ?(edges = [ `Rise; `Fall ]) tech
             (* Distinct deterministic seed per (cell, edge). *)
             match seed with Some s -> s + (i * 17) | None -> 1 + (i * 17)
           in
-          add lib (Characterize.characterize ?n_mc ~seed ?slews ?loads tech cell ~edge))
+          add lib
+            (Characterize.characterize ?n_mc ~seed ?slews ?loads ?exec tech
+               cell ~edge))
         edges)
     cell_list;
   lib
@@ -52,13 +54,21 @@ let characterize_all ?n_mc ?seed ?slews ?loads ?(edges = [ `Rise; `Fall ]) tech
 
 let edge_name = function `Rise -> "RISE" | `Fall -> "FALL"
 
+(* What the cached tables depend on besides the corner voltage: every
+   technology parameter and the characterisation-grid constants.  Stored
+   in the header so [load] can detect a stale cache. *)
+let cache_fingerprint tech =
+  Digest.to_hex
+    (Digest.string
+       (Technology.fingerprint tech ^ "|" ^ Characterize.grid_signature))
+
 let save t path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Printf.fprintf oc "NSIGMA_LIB 1 %s %.6f\n" t.tech.Technology.name
-        t.tech.Technology.vdd_nominal;
+      Printf.fprintf oc "NSIGMA_LIB 2 %s %.6f %s\n" t.tech.Technology.name
+        t.tech.Technology.vdd_nominal (cache_fingerprint t.tech);
       List.iter
         (fun (cell, edge) ->
           let table = find t cell ~edge in
@@ -145,12 +155,20 @@ let load tech path =
            in
            match words with
            | [] -> ()
-           | [ "NSIGMA_LIB"; "1"; _name; vdd ] ->
+           | [ "NSIGMA_LIB"; "1"; _name; _vdd ] ->
+             fail !lineno
+               "legacy library without a technology fingerprint; \
+                re-characterise to refresh the cache"
+           | [ "NSIGMA_LIB"; "2"; _name; vdd; fp ] ->
              let vdd = float_of_string vdd in
              if Float.abs (vdd -. tech.Technology.vdd_nominal) > 1e-3 then
                fail !lineno
                  (Printf.sprintf "library characterised at %.3f V, technology is %.3f V"
-                    vdd tech.Technology.vdd_nominal)
+                    vdd tech.Technology.vdd_nominal);
+             if fp <> cache_fingerprint tech then
+               fail !lineno
+                 "library characterised under different technology parameters \
+                  or grid (stale cache); re-characterise to refresh it"
            | [ "TABLE"; cell_name; edge; n_mc ] ->
              let p_edge =
                match edge with
@@ -210,7 +228,8 @@ let load tech path =
       if !current <> None then failwith (path ^ ": missing END");
       lib)
 
-let load_or_characterize ?n_mc ?seed ?slews ?loads ?edges ~path tech cell_list =
+let load_or_characterize ?n_mc ?seed ?slews ?loads ?edges ?exec ~path tech
+    cell_list =
   let covers lib =
     let edges = Option.value edges ~default:[ `Rise; `Fall ] in
     List.for_all
@@ -224,6 +243,8 @@ let load_or_characterize ?n_mc ?seed ?slews ?loads ?edges ~path tech cell_list =
   match from_disk with
   | Some lib when covers lib -> lib
   | _ ->
-    let lib = characterize_all ?n_mc ?seed ?slews ?loads ?edges tech cell_list in
+    let lib =
+      characterize_all ?n_mc ?seed ?slews ?loads ?edges ?exec tech cell_list
+    in
     save lib path;
     lib

@@ -25,19 +25,31 @@ val characterize_all :
   ?slews:float array ->
   ?loads:float array ->
   ?edges:[ `Rise | `Fall ] list ->
+  ?exec:Nsigma_exec.Executor.t ->
   Nsigma_process.Technology.t ->
   Cell.t list ->
   t
 (** Build a library by characterising every cell (both edges by
-    default). *)
+    default).  [exec] schedules each cell's grid points; results are
+    bit-identical across backends and pool sizes. *)
+
+val cache_fingerprint : Nsigma_process.Technology.t -> string
+(** Digest of the technology parameters and the characterisation-grid
+    constants, written into the file header by {!save} and verified by
+    {!load}. *)
 
 val save : t -> string -> unit
-(** Write the library to a text file. *)
+(** Write the library to a text file (format version 2, carrying
+    {!cache_fingerprint}). *)
 
 val load : Nsigma_process.Technology.t -> string -> t
 (** Read a library back.  The stored VDD must match the technology's
-    (within 1 mV) — characterisation data is corner-specific.
-    @raise Failure on parse errors or corner mismatch. *)
+    (within 1 mV) and the stored fingerprint must equal
+    [cache_fingerprint tech] — characterisation data is specific to the
+    corner, the device/parasitic parameters and the grid, so a stale
+    cache fails loudly instead of polluting results.
+    @raise Failure on parse errors, corner mismatch, or a stale/legacy
+    fingerprint. *)
 
 val load_or_characterize :
   ?n_mc:int ->
@@ -45,9 +57,11 @@ val load_or_characterize :
   ?slews:float array ->
   ?loads:float array ->
   ?edges:[ `Rise | `Fall ] list ->
+  ?exec:Nsigma_exec.Executor.t ->
   path:string ->
   Nsigma_process.Technology.t ->
   Cell.t list ->
   t
-(** Cache wrapper: load [path] if it exists and covers the requested
-    cells; otherwise characterise and save. *)
+(** Cache wrapper: load [path] if it exists, carries the current
+    fingerprint and covers the requested cells; otherwise (including any
+    stale-cache failure) characterise and save. *)

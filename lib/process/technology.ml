@@ -59,3 +59,17 @@ let with_vdd t vdd = { t with vdd_nominal = vdd }
 let sigma_vth_local t ~width = t.avt /. sqrt (width *. t.length)
 
 let sigma_beta_local t ~width = t.abeta /. sqrt (width *. t.length)
+
+let fingerprint t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b t.name;
+  List.iter
+    (fun v -> Buffer.add_string b (Printf.sprintf " %.17g" v))
+    [
+      t.vdd_nominal; t.temp_kelvin; t.vth0_n; t.vth0_p; t.subthreshold_n;
+      t.i_spec_n; t.i_spec_p; t.early_voltage; t.width_n; t.width_p; t.length;
+      t.avt; t.abeta; t.sigma_vth_global; t.sigma_beta_global;
+      t.cap_gate_per_width; t.cap_drain_per_width; t.wire_res_per_um;
+      t.wire_cap_per_um; t.sigma_wire_res; t.sigma_wire_cap;
+    ];
+  Digest.to_hex (Digest.string (Buffer.contents b))

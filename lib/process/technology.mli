@@ -54,3 +54,9 @@ val sigma_vth_local : t -> width:float -> float
 
 val sigma_beta_local : t -> width:float -> float
 (** Pelgrom: Aβ / √(W·L), relative. *)
+
+val fingerprint : t -> string
+(** Stable hex digest over every parameter of the technology.  Library
+    caches embed it (mixed with the characterisation-grid signature) so
+    a cache characterised under different device or parasitic parameters
+    is detected as stale instead of silently reused. *)

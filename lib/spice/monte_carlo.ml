@@ -1,25 +1,35 @@
 module Variation = Nsigma_process.Variation
 module Moments = Nsigma_stats.Moments
+module Rng = Nsigma_stats.Rng
+module Executor = Nsigma_exec.Executor
 
-let samples tech g ~n f =
-  Array.init n (fun _ -> f (Variation.draw tech g))
+type run = { delays : float array; n_failed : int }
 
-let delays tech g ~n f =
-  let out = ref [] in
-  let kept = ref 0 in
-  for _ = 1 to n do
-    let sample = Variation.draw tech g in
-    match f sample with
-    | d ->
-      out := d :: !out;
-      incr kept
-    | exception Failure _ -> ()
-  done;
-  let arr = Array.make !kept 0.0 in
-  List.iteri (fun i d -> arr.(!kept - 1 - i) <- d) !out;
-  arr
+(* [split] advances the caller's generator exactly once, so successive
+   studies on the same [g] stay decorrelated; each work item then derives
+   its own stream from its index, making sample [i] a pure function of
+   (base state, i) — the invariant that lets any Executor backend return
+   bit-identical populations. *)
+let samples ?(exec = Executor.default ()) tech g ~n f =
+  let base = Rng.split g in
+  Executor.map_array exec
+    (fun i -> f (Variation.draw tech (Rng.derive base ~index:i)))
+    ~n
 
-let study tech g ~n f =
-  let arr = delays tech g ~n f in
-  Array.sort Float.compare arr;
-  (Moments.summary_of_array arr, arr)
+let delays_counted ?exec tech g ~n f =
+  let measured =
+    samples ?exec tech g ~n (fun sample ->
+        (* Only [Failure] marks simulator non-convergence (a non-functional
+           variation corner); anything else is a programming error and
+           propagates out of the executor. *)
+        match f sample with d -> Some d | exception Failure _ -> None)
+  in
+  let kept = Array.to_list measured |> List.filter_map Fun.id in
+  { delays = Array.of_list kept; n_failed = n - List.length kept }
+
+let delays ?exec tech g ~n f = (delays_counted ?exec tech g ~n f).delays
+
+let study ?exec tech g ~n f =
+  let r = delays_counted ?exec tech g ~n f in
+  Array.sort Float.compare r.delays;
+  (Moments.summary_of_array r.delays, r.delays)

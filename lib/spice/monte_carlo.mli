@@ -2,9 +2,21 @@
 
     Mirrors the paper's methodology: N independent global+local samples,
     a user-supplied measurement per sample, and moment/quantile reduction
-    of the resulting delay population. *)
+    of the resulting delay population.
+
+    All entry points take an optional {!Nsigma_exec.Executor.t} and
+    produce bit-identical populations on every backend: the caller's
+    generator is advanced once, and sample [i] draws from a child stream
+    derived from the item index ([Rng.derive]), never from a generator
+    shared across the loop. *)
+
+type run = {
+  delays : float array;  (** measurements that converged, in sample order *)
+  n_failed : int;  (** samples dropped because the simulator raised [Failure] *)
+}
 
 val samples :
+  ?exec:Nsigma_exec.Executor.t ->
   Nsigma_process.Technology.t ->
   Nsigma_stats.Rng.t ->
   n:int ->
@@ -12,17 +24,31 @@ val samples :
   'a array
 (** Draw [n] variation samples and measure each. *)
 
+val delays_counted :
+  ?exec:Nsigma_exec.Executor.t ->
+  Nsigma_process.Technology.t ->
+  Nsigma_stats.Rng.t ->
+  n:int ->
+  (Nsigma_process.Variation.t -> float) ->
+  run
+(** {!samples} specialised to scalar measurements.  A measurement that
+    raises [Failure _] is simulator non-convergence (reported failures
+    are < 0.1% in practice and correspond to non-functional variation
+    corners): it is skipped and counted in [n_failed] so callers can
+    report the attrition instead of silently losing it.  Any other
+    exception propagates. *)
+
 val delays :
+  ?exec:Nsigma_exec.Executor.t ->
   Nsigma_process.Technology.t ->
   Nsigma_stats.Rng.t ->
   n:int ->
   (Nsigma_process.Variation.t -> float) ->
   float array
-(** {!samples} specialised to scalar measurements, skipping samples whose
-    simulation fails to converge (reported failures are < 0.1% in
-    practice and correspond to non-functional variation corners). *)
+(** [delays_counted] keeping only the surviving population. *)
 
 val study :
+  ?exec:Nsigma_exec.Executor.t ->
   Nsigma_process.Technology.t ->
   Nsigma_stats.Rng.t ->
   n:int ->

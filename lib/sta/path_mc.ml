@@ -6,6 +6,7 @@ module Variation = Nsigma_process.Variation
 module Moments = Nsigma_stats.Moments
 module Quantile = Nsigma_stats.Quantile
 module Rng = Nsigma_stats.Rng
+module Executor = Nsigma_exec.Executor
 
 type stats = {
   samples : float array;
@@ -58,16 +59,21 @@ let simulate_sample_record ?(steps = 200) tech (design : Design.t)
 let simulate_sample ?steps tech design path sample =
   simulate_sample_record ?steps tech design path sample ~record_wire:(fun _ _ -> ())
 
-let run ?steps ?(n = 1000) ?(seed = 11) tech design path =
+let run ?steps ?(n = 1000) ?(seed = 11) ?(exec = Executor.default ()) tech
+    design path =
   let g = Rng.create ~seed in
-  let out = ref [] in
-  for _ = 1 to n do
-    let sample = Variation.draw tech g in
-    match simulate_sample ?steps tech design path sample with
-    | d -> out := d :: !out
-    | exception Failure _ -> ()
-  done;
-  let samples = Array.of_list !out in
+  let measured =
+    Executor.map_array exec
+      (fun i ->
+        let sample = Variation.draw tech (Rng.derive g ~index:i) in
+        match simulate_sample ?steps tech design path sample with
+        | d -> Some d
+        | exception Failure _ -> None)
+      ~n
+  in
+  let samples =
+    Array.to_list measured |> List.filter_map Fun.id |> Array.of_list
+  in
   Array.sort Float.compare samples;
   let moments = Moments.summary_of_array samples in
   let quantile sigma =
@@ -76,20 +82,25 @@ let run ?steps ?(n = 1000) ?(seed = 11) tech design path =
   in
   { samples; moments; quantile }
 
-let per_wire_quantiles ?steps ?(n = 1000) ?(seed = 11) tech design path ~sigma =
+let per_wire_quantiles ?steps ?(n = 1000) ?(seed = 11)
+    ?(exec = Executor.default ()) tech design path ~sigma =
   let n_hops = Path.n_stages path in
-  let per_wire = Array.make n_hops [] in
   let g = Rng.create ~seed in
-  for _ = 1 to n do
-    let sample = Variation.draw tech g in
-    (try
-       ignore
-         (simulate_sample_record ?steps tech design path sample
-            ~record_wire:(fun i d -> per_wire.(i) <- d :: per_wire.(i)))
-     with Failure _ -> ())
-  done;
-  Array.to_list per_wire
-  |> List.map (fun ds ->
-         let arr = Array.of_list ds in
-         Nsigma_stats.Quantile.of_sample arr
-           (Quantile.probability_of_sigma (float_of_int sigma)))
+  let rows =
+    Executor.map_array exec
+      (fun i ->
+        let sample = Variation.draw tech (Rng.derive g ~index:i) in
+        let wires = Array.make n_hops nan in
+        match
+          simulate_sample_record ?steps tech design path sample
+            ~record_wire:(fun k d -> wires.(k) <- d)
+        with
+        | (_ : float) -> Some wires
+        | exception Failure _ -> None)
+      ~n
+  in
+  let rows = Array.to_list rows |> List.filter_map Fun.id in
+  List.init n_hops (fun k ->
+      let arr = Array.of_list (List.map (fun w -> w.(k)) rows) in
+      Nsigma_stats.Quantile.of_sample arr
+        (Quantile.probability_of_sigma (float_of_int sigma)))

@@ -27,16 +27,21 @@ val run :
   ?steps:int ->
   ?n:int ->
   ?seed:int ->
+  ?exec:Nsigma_exec.Executor.t ->
   Nsigma_process.Technology.t ->
   Design.t ->
   Path.t ->
   stats
-(** [n] (default 1000) full-path samples. *)
+(** [n] (default 1000) full-path samples, scheduled on [exec] (default
+    [Executor.default ()]).  Sample [i] derives its variation stream
+    from index [i], so the population is bit-identical on every backend
+    and pool size. *)
 
 val per_wire_quantiles :
   ?steps:int ->
   ?n:int ->
   ?seed:int ->
+  ?exec:Nsigma_exec.Executor.t ->
   Nsigma_process.Technology.t ->
   Design.t ->
   Path.t ->

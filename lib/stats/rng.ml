@@ -48,6 +48,24 @@ let split g =
   let s3 = splitmix64 st in
   { s0; s1; s2; s3; spare = None }
 
+let derive g ~index =
+  if index < 0 then invalid_arg "Rng.derive: index must be non-negative";
+  (* Hash the index, then fold each parent state word into the seeding
+     stream so distinct parents and distinct indices both decorrelate.
+     [g] is not advanced: the child depends only on (state, index), which
+     is what makes index-addressed parallel sampling order-independent. *)
+  let st = ref (Int64.of_int index) in
+  let h = splitmix64 st in
+  st := Int64.logxor h g.s0;
+  let s0 = splitmix64 st in
+  st := Int64.logxor !st g.s1;
+  let s1 = splitmix64 st in
+  st := Int64.logxor !st g.s2;
+  let s2 = splitmix64 st in
+  st := Int64.logxor !st g.s3;
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3; spare = None }
+
 (* 53-bit mantissa of the raw output, mapped to [0,1). *)
 let uniform g =
   let x = Int64.shift_right_logical (bits64 g) 11 in

@@ -21,6 +21,14 @@ val split : t -> t
 (** [split g] advances [g] and returns a new generator whose stream is
     decorrelated from the remainder of [g]'s stream. *)
 
+val derive : t -> index:int -> t
+(** [derive g ~index] is a child generator that is a pure function of
+    [g]'s current state and [index]; [g] is {e not} advanced.  Children
+    at distinct indices are mutually decorrelated.  This is the RNG
+    discipline behind deterministic parallel sampling: work item [i]
+    samples from [derive base ~index:i], so its draws are independent of
+    how items are scheduled across domains.  Requires [index >= 0]. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
