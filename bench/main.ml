@@ -12,6 +12,7 @@
      NSIGMA_BENCH_MC       library characterisation samples/point (default 3000)
      NSIGMA_BENCH_PATH_MC  path Monte-Carlo samples (default 500)
      NSIGMA_BENCH_CELL_MC  per-cell verification samples (default 8000)
+     NSIGMA_BENCH_KERNEL_MC  kernel-bench samples/point (default 500)
 
    The library characterisation is cached in ./bench_cache_*.lvf; delete
    it to re-characterise.  Absolute numbers depend on the synthetic
@@ -944,10 +945,151 @@ let exec_speedup () =
   close_out oc;
   Printf.printf "  appended to BENCH_exec.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* Kernel: fast analytic path vs the RK4 reference.                    *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_mc = env_int "NSIGMA_BENCH_KERNEL_MC" 500
+
+let kernel_bench () =
+  header "Kernel — fast effective-current path vs the RK4 reference";
+  (* One cell per kind: the fast path's accuracy is already covered for
+     every strength by test_kernel; here the subset keeps the RK4 side
+     of the timing run affordable. *)
+  let cells = List.map (fun k -> Cell.make k ~strength:1) Cell.all_kinds in
+  (* Wall-clock on a shared box is noisy on a minutes scale: compact
+     before each pass, interleave the two kernels so they see the same
+     contention epochs, and keep each kernel's faster pass. *)
+  let once kernel =
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    let lib =
+      Library.characterize_all ~n_mc:kernel_mc ~exec:Executor.sequential
+        ~kernel tech cells
+    in
+    (lib, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "characterising %d cells x 2 edges, mc=%d per grid point\n%!"
+    (List.length cells) kernel_mc;
+  let _, r1 = once Cell_sim.Rk4 in
+  let lib_fast, f1 = once Cell_sim.Fast in
+  let _, r2 = once Cell_sim.Rk4 in
+  let _, f2 = once Cell_sim.Fast in
+  let t_rk4 = Float.min r1 r2 and t_fast = Float.min f1 f2 in
+  Printf.printf "  rk4  (reference) %8.2fs\n%!" t_rk4;
+  let speedup = t_rk4 /. Float.max 1e-9 t_fast in
+  Printf.printf "  fast (analytic)  %8.2fs   speedup %.2fx\n%!" t_fast speedup;
+  (* Determinism: the fast kernel must give bit-identical tables on a
+     domain pool, exactly like the reference. *)
+  let lib_fast_pool =
+    Library.characterize_all ~n_mc:kernel_mc
+      ~exec:(Executor.domain_pool ~jobs:2 ())
+      ~kernel:Cell_sim.Fast tech cells
+  in
+  let bit_identical =
+    List.for_all
+      (fun (cell, edge) ->
+        let a = Library.find lib_fast cell ~edge in
+        let b = Library.find lib_fast_pool cell ~edge in
+        a.Ch.points = b.Ch.points)
+      (Library.cells lib_fast)
+  in
+  Printf.printf "  bit-identical fast tables across pool sizes: %b\n%!"
+    bit_identical;
+  (* Agreement at the reference operating point (S_ref, FO4 — the same
+     conditions as test_kernel): population mean and ±3σ quantiles, fast
+     vs RK4 on identical variation streams, so the comparison measures
+     kernel bias rather than Monte-Carlo noise. *)
+  let population kernel cell edge =
+    let g = Rng.create ~seed:42 in
+    let results =
+      Monte_carlo.arc_results ~kernel tech g ~n:kernel_mc
+        ~arc_of:(fun sample -> Cell.arc tech sample cell ~output_edge:edge)
+        ~input_slew:Ch.reference_slew ~load_cap:(Cell.fo4_load tech cell)
+    in
+    let delays =
+      Array.to_list results
+      |> List.filter_map (Option.map (fun r -> r.Cell_sim.delay))
+      |> Array.of_list
+    in
+    Array.sort Float.compare delays;
+    delays
+  in
+  let q_p3 = Quantile.probability_of_sigma 3.0 in
+  let q_m3 = Quantile.probability_of_sigma (-3.0) in
+  let max_mu = ref 0.0 and max_q3 = ref 0.0 in
+  List.iter
+    (fun cell ->
+      List.iter
+        (fun edge ->
+          let fast = population Cell_sim.Fast cell edge in
+          let rk4 = population Cell_sim.Rk4 cell edge in
+          let rel x y = Float.abs (x -. y) /. Float.abs y in
+          let mu d = (Moments.summary_of_array d).Moments.mean in
+          max_mu := Float.max !max_mu (rel (mu fast) (mu rk4));
+          List.iter
+            (fun p ->
+              max_q3 :=
+                Float.max !max_q3
+                  (rel (Quantile.of_sorted fast p) (Quantile.of_sorted rk4 p)))
+            [ q_p3; q_m3 ])
+        [ `Rise; `Fall ])
+    cells;
+  (* Nominal-delay agreement across the same grid, straight off the two
+     simulators (no Monte-Carlo noise involved). *)
+  let max_nom = ref 0.0 in
+  List.iter
+    (fun cell ->
+      List.iter
+        (fun edge ->
+          let arc = Cell.arc tech Variation.nominal cell ~output_edge:edge in
+          let loads = Ch.loads_for tech cell in
+          Array.iter
+            (fun slew ->
+              Array.iter
+                (fun load ->
+                  let r = Cell_sim.simulate tech arc ~input_slew:slew ~load_cap:load in
+                  let f =
+                    Cell_sim.simulate_fast tech arc ~input_slew:slew ~load_cap:load
+                  in
+                  max_nom :=
+                    Float.max !max_nom
+                      (Float.abs (f.Cell_sim.delay -. r.Cell_sim.delay)
+                      /. Float.abs r.Cell_sim.delay))
+                loads)
+            Ch.default_slews)
+        [ `Rise; `Fall ])
+    cells;
+  Printf.printf
+    "  agreement: nominal %.2f%% (tol 2%%), mean %.2f%% (tol 1%%), ±3σ \
+     quantiles %.2f%% (tol 3%%)\n%!"
+    (pct !max_nom) (pct !max_mu) (pct !max_q3);
+  let pass =
+    speedup >= 5.0 && bit_identical && !max_nom <= 0.02 && !max_mu <= 0.01
+    && !max_q3 <= 0.03
+  in
+  let json =
+    Printf.sprintf
+      {|{"experiment": "kernel", "cells": %d, "edges": 2, "n_mc": %d, "rk4_seconds": %.3f, "fast_seconds": %.3f, "speedup": %.3f, "bit_identical_pools": %b, "max_nominal_err_pct": %.4f, "max_mean_err_pct": %.4f, "max_q3_err_pct": %.4f, "pass": %b}|}
+      (List.length cells) kernel_mc t_rk4 t_fast speedup bit_identical
+      (pct !max_nom) (pct !max_mu) (pct !max_q3) pass
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_kernel.json" in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Printf.printf "  appended to BENCH_kernel.json\n";
+  if not pass then begin
+    Printf.eprintf
+      "kernel bench FAILED: speedup %.2fx (need >= 5x), bit_identical %b, \
+       nominal %.2f%%, mean %.2f%%, q3 %.2f%%\n"
+      speedup bit_identical (pct !max_nom) (pct !max_mu) (pct !max_q3);
+    exit 1
+  end
+
 let usage () =
   print_endline
     "usage: main.exe [--jobs N] [fig2|fig3|fig4|table1|table2|fig7|fig8|fig9|fig10|fig11|table3 \
-     [circuits...]|speedup|exec|ablation|highsigma|micro|all]"
+     [circuits...]|speedup|exec|kernel|ablation|highsigma|micro|all]"
 
 (* [--jobs N] (or [-j N]) installs itself as NSIGMA_JOBS so every
    sampling loop — characterisation, path MC, wire lab — picks it up
@@ -996,6 +1138,7 @@ let () =
   | "table3" :: circuits -> table3 ~circuits ()
   | "speedup" :: _ -> speedup ()
   | "exec" :: _ -> exec_speedup ()
+  | "kernel" :: _ -> kernel_bench ()
   | "ablation" :: _ -> ablation ()
   | "highsigma" :: _ -> highsigma ()
   | "micro" :: _ -> micro ()

@@ -28,6 +28,7 @@ module Path = Nsigma_sta.Path
 module Path_mc = Nsigma_sta.Path_mc
 module Moments = Nsigma_stats.Moments
 module Executor = Nsigma_exec.Executor
+module Cell_sim = Nsigma_spice.Cell_sim
 
 open Cmdliner
 
@@ -64,6 +65,15 @@ let exec_of_jobs = function
   | None -> Executor.default ()
   | Some j -> Executor.domain_pool ~jobs:j ()
 
+let kernel_arg =
+  let doc =
+    "Simulation kernel: $(b,fast) (analytic effective-current), $(b,rk4) \
+     (adaptive Runge-Kutta reference) or $(b,auto) (fast with RK4 \
+     fallback).  Defaults to $(b,NSIGMA_KERNEL) (unset: fast for \
+     characterisation, rk4 for path Monte-Carlo)."
+  in
+  Arg.(value & opt (some string) None & info [ "kernel" ] ~docv:"NAME" ~doc)
+
 (* ---- characterize ---- *)
 
 let characterize_cmd =
@@ -77,9 +87,14 @@ let characterize_cmd =
     let doc = "Comma-separated cell names (default: the whole library)." in
     Arg.(value & opt (some string) None & info [ "cells" ] ~docv:"LIST" ~doc)
   in
-  let run vdd mc output cells jobs =
+  let run vdd mc output cells jobs kernel =
     let tech = tech_of_vdd vdd in
     let exec = exec_of_jobs jobs in
+    let kernel =
+      match kernel with
+      | Some name -> Cell_sim.kernel_of_string name
+      | None -> Cell_sim.default_kernel ()
+    in
     let cells =
       match cells with
       | None -> all_cells
@@ -89,16 +104,19 @@ let characterize_cmd =
         |> List.map Cell.of_name
     in
     Printf.printf
-      "characterising %d cells at %.2f V with %d MC samples/point (%d \
-       worker domain(s))...\n%!"
-      (List.length cells) vdd mc (Executor.jobs exec);
+      "characterising %d cells at %.2f V with %d MC samples/point (%s \
+       kernel, %d worker domain(s))...\n%!"
+      (List.length cells) vdd mc (Cell_sim.kernel_name kernel)
+      (Executor.jobs exec);
     let t0 = Unix.gettimeofday () in
-    let lib = Library.characterize_all ~n_mc:mc ~exec tech cells in
+    let lib = Library.characterize_all ~n_mc:mc ~exec ~kernel tech cells in
     Library.save lib output;
     Printf.printf "wrote %s in %.1fs\n" output (Unix.gettimeofday () -. t0)
   in
   let term =
-    Term.(const run $ vdd_arg $ mc_arg 2000 $ output $ cells_arg $ jobs_arg)
+    Term.(
+      const run $ vdd_arg $ mc_arg 2000 $ output $ cells_arg $ jobs_arg
+      $ kernel_arg)
   in
   Cmd.v
     (Cmd.info "characterize"
@@ -149,9 +167,10 @@ let analyze_cmd =
     let doc = "Use a stored coefficients file instead of refitting." in
     Arg.(value & opt (some string) None & info [ "coeffs" ] ~docv:"FILE" ~doc)
   in
-  let run vdd library circuit verilog sigma mc coeffs jobs =
+  let run vdd library circuit verilog sigma mc coeffs jobs kernel =
     let tech = tech_of_vdd vdd in
     let exec = exec_of_jobs jobs in
+    let kernel = Option.map Cell_sim.kernel_of_string kernel in
     let lib = Library.load tech library in
     let nl =
       match (circuit, verilog) with
@@ -181,7 +200,7 @@ let analyze_cmd =
       [ -sigma; 0; sigma ];
     if mc > 0 then begin
       Printf.printf "path Monte-Carlo (%d samples)...\n%!" mc;
-      let stats = Path_mc.run ~n:mc ~exec tech design path in
+      let stats = Path_mc.run ?kernel ~n:mc ~exec tech design path in
       Printf.printf "MC: mu=%.1f ps, %+dσ=%.1f ps, %+dσ=%.1f ps\n"
         (stats.Path_mc.moments.Moments.mean *. 1e12)
         (-sigma)
@@ -193,7 +212,7 @@ let analyze_cmd =
   let term =
     Term.(
       const run $ vdd_arg $ library_arg $ circuit_arg $ verilog_arg $ sigma_arg
-      $ mc_arg 0 $ coeffs_arg $ jobs_arg)
+      $ mc_arg 0 $ coeffs_arg $ jobs_arg $ kernel_arg)
   in
   Cmd.v
     (Cmd.info "analyze"

@@ -7,7 +7,30 @@ let env_jobs () =
 
 let auto_jobs () = max 1 (Domain.recommended_domain_count ())
 
-let of_jobs jobs = if jobs <= 1 then Sequential else Pool { jobs }
+(* With OCaml 5's stop-the-world minor GC, more domains than cores is a
+   slowdown, never a speedup (BENCH_exec.json).  Requests above the
+   recommended count are clamped; the warning fires once per process so
+   batch sweeps don't flood stderr. *)
+let oversubscription_warned = Atomic.make false
+
+let clamp_jobs jobs =
+  let cores = auto_jobs () in
+  if jobs > cores then begin
+    if not (Atomic.exchange oversubscription_warned true) then
+      Printf.eprintf
+        "nsigma: %d worker domains requested but only %d available core(s); \
+         clamping to %d (oversubscribing OCaml 5 domains degrades \
+         throughput)\n%!"
+        jobs cores cores;
+    cores
+  end
+  else jobs
+
+let of_jobs jobs =
+  if jobs <= 1 then Sequential
+  else
+    let jobs = clamp_jobs jobs in
+    if jobs <= 1 then Sequential else Pool { jobs }
 
 let sequential = Sequential
 

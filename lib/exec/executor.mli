@@ -25,12 +25,17 @@ val domain_pool : ?jobs:int -> unit -> t
     work queue.  [jobs] is the number of workers: omitted, it is taken
     from the [NSIGMA_JOBS] environment variable, falling back to
     [Domain.recommended_domain_count ()]; [jobs <= 0] also means
-    auto-detect; [jobs = 1] degrades to {!sequential}. *)
+    auto-detect; [jobs = 1] degrades to {!sequential}.  Requests above
+    [Domain.recommended_domain_count ()] are clamped to it (with a
+    once-per-process warning on stderr): OCaml 5's stop-the-world minor
+    GC makes oversubscription a slowdown, never a speedup.  Results are
+    unaffected — every backend and pool size is bit-identical. *)
 
 val default : unit -> t
 (** The backend selected by the environment: [NSIGMA_JOBS] unset or [1]
     gives {!sequential}; [NSIGMA_JOBS = n > 1] gives a pool of [n]
-    workers; [NSIGMA_JOBS = 0] auto-detects the core count.  Read at
+    workers (clamped to the core count, as with {!domain_pool});
+    [NSIGMA_JOBS = 0] auto-detects the core count.  Read at
     call time, so a CLI [--jobs] flag can install itself by setting the
     variable before sampling starts. *)
 

@@ -20,6 +20,7 @@ type table = {
   edge : [ `Rise | `Fall ];
   vdd : float;
   n_mc : int;
+  kernel : Cell_sim.kernel;
   slews : float array;
   loads : float array;
   points : point array array;
@@ -54,8 +55,11 @@ let sigma_probs =
   |> Array.of_list
 
 let characterize ?(n_mc = 2000) ?(seed = 1) ?(slews = default_slews) ?loads
-    ?(exec = Executor.default ()) tech cell ~edge =
+    ?(exec = Executor.default ()) ?kernel tech cell ~edge =
   let loads = match loads with Some l -> l | None -> loads_for tech cell in
+  let kernel =
+    match kernel with Some k -> k | None -> Cell_sim.default_kernel ()
+  in
   let g = Rng.create ~seed in
   let measure_point ~index slew load =
     (* Each grid point derives its own stream from its grid index, so
@@ -65,11 +69,10 @@ let characterize ?(n_mc = 2000) ?(seed = 1) ?(slews = default_slews) ?loads
     let results =
       (* Grid points are the parallel unit; the inner sampling loop runs
          sequentially to keep one level of domain spawning. *)
-      Monte_carlo.samples ~exec:Executor.sequential tech gp ~n:n_mc
-        (fun sample ->
-          let arc = Cell.arc tech sample cell ~output_edge:edge in
-          try Some (Cell_sim.simulate tech arc ~input_slew:slew ~load_cap:load)
-          with Failure _ -> None)
+      Monte_carlo.arc_results ~exec:Executor.sequential ~kernel tech gp
+        ~n:n_mc
+        ~arc_of:(fun sample -> Cell.arc tech sample cell ~output_edge:edge)
+        ~input_slew:slew ~load_cap:load
     in
     let ok = Array.to_list results |> List.filter_map Fun.id in
     let delays = Array.of_list (List.map (fun r -> r.Cell_sim.delay) ok) in
@@ -102,6 +105,7 @@ let characterize ?(n_mc = 2000) ?(seed = 1) ?(slews = default_slews) ?loads
     edge;
     vdd = tech.Technology.vdd_nominal;
     n_mc;
+    kernel;
     slews;
     loads;
     points;

@@ -20,6 +20,8 @@ type table = {
   edge : [ `Rise | `Fall ];
   vdd : float;
   n_mc : int;
+  kernel : Nsigma_spice.Cell_sim.kernel;
+      (** the simulation kernel the population was measured with *)
   slews : float array;  (** ascending *)
   loads : float array;  (** ascending *)
   points : point array array;  (** indexed [slew][load] *)
@@ -49,6 +51,7 @@ val characterize :
   ?slews:float array ->
   ?loads:float array ->
   ?exec:Nsigma_exec.Executor.t ->
+  ?kernel:Nsigma_spice.Cell_sim.kernel ->
   Nsigma_process.Technology.t ->
   Cell.t ->
   edge:[ `Rise | `Fall ] ->
@@ -58,7 +61,10 @@ val characterize :
     independent work items scheduled on [exec] (default
     [Executor.default ()]), each deriving its sample stream from its own
     grid index: the table is bit-identical for a fixed seed on every
-    backend and pool size. *)
+    backend and pool size.  [kernel] selects the simulation engine
+    (default {!Nsigma_spice.Cell_sim.default_kernel}[ ()], i.e. the fast
+    analytic path unless [NSIGMA_KERNEL] says otherwise); the choice is
+    recorded in the table and in the .lvf cache fingerprint. *)
 
 val grid_signature : string
 (** Canonical dump of the characterisation-grid constants (default slew

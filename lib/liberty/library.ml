@@ -1,5 +1,6 @@
 module Technology = Nsigma_process.Technology
 module Moments = Nsigma_stats.Moments
+module Cell_sim = Nsigma_spice.Cell_sim
 
 type t = {
   tech : Technology.t;
@@ -33,7 +34,7 @@ let cells t =
     t.order
 
 let characterize_all ?n_mc ?seed ?slews ?loads ?(edges = [ `Rise; `Fall ])
-    ?exec tech cell_list =
+    ?exec ?kernel tech cell_list =
   let lib = create tech in
   List.iteri
     (fun i cell ->
@@ -44,8 +45,8 @@ let characterize_all ?n_mc ?seed ?slews ?loads ?(edges = [ `Rise; `Fall ])
             match seed with Some s -> s + (i * 17) | None -> 1 + (i * 17)
           in
           add lib
-            (Characterize.characterize ?n_mc ~seed ?slews ?loads ?exec tech
-               cell ~edge))
+            (Characterize.characterize ?n_mc ~seed ?slews ?loads ?exec ?kernel
+               tech cell ~edge))
         edges)
     cell_list;
   lib
@@ -55,20 +56,42 @@ let characterize_all ?n_mc ?seed ?slews ?loads ?(edges = [ `Rise; `Fall ])
 let edge_name = function `Rise -> "RISE" | `Fall -> "FALL"
 
 (* What the cached tables depend on besides the corner voltage: every
-   technology parameter and the characterisation-grid constants.  Stored
-   in the header so [load] can detect a stale cache. *)
-let cache_fingerprint tech =
+   technology parameter, the characterisation-grid constants and the
+   simulation kernel that produced the populations.  Stored in the
+   header so [load] can detect a stale cache — fast- and
+   RK4-characterised tables never alias. *)
+let cache_fingerprint tech ~kernel =
   Digest.to_hex
     (Digest.string
-       (Technology.fingerprint tech ^ "|" ^ Characterize.grid_signature))
+       (Technology.fingerprint tech ^ "|" ^ Characterize.grid_signature
+      ^ "|kernel=" ^ Cell_sim.kernel_name kernel))
+
+(* The kernel all of a library's tables were characterised with; mixing
+   kernels in one file would make the header fingerprint a lie. *)
+let library_kernel t =
+  match cells t with
+  | [] -> Cell_sim.default_kernel ()
+  | (c0, e0) :: rest ->
+    let k = (find t c0 ~edge:e0).Characterize.kernel in
+    List.iter
+      (fun (c, e) ->
+        if (find t c ~edge:e).Characterize.kernel <> k then
+          failwith
+            "Library.save: tables characterised with different kernels \
+             cannot share one cache file")
+      rest;
+    k
 
 let save t path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Printf.fprintf oc "NSIGMA_LIB 2 %s %.6f %s\n" t.tech.Technology.name
-        t.tech.Technology.vdd_nominal (cache_fingerprint t.tech);
+      let kernel = library_kernel t in
+      Printf.fprintf oc "NSIGMA_LIB 3 %s %.6f %s %s\n" t.tech.Technology.name
+        t.tech.Technology.vdd_nominal
+        (Cell_sim.kernel_name kernel)
+        (cache_fingerprint t.tech ~kernel);
       List.iter
         (fun (cell, edge) ->
           let table = find t cell ~edge in
@@ -104,13 +127,14 @@ type partial = {
   mutable p_points : (int * int * Characterize.point) list;
 }
 
-let load tech path =
+let load ?expect_kernel tech path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let lib = create tech in
       let current = ref None in
+      let file_kernel = ref None in
       let fail lineno msg = failwith (Printf.sprintf "%s:%d: %s" path lineno msg) in
       let finish lineno =
         match !current with
@@ -132,12 +156,18 @@ let load tech path =
                   row)
               points
           in
+          let kernel =
+            match !file_kernel with
+            | Some k -> k
+            | None -> fail lineno "TABLE before the NSIGMA_LIB header"
+          in
           add lib
             {
               Characterize.cell = p.p_cell;
               edge = p.p_edge;
               vdd = tech.Technology.vdd_nominal;
               n_mc = p.p_n_mc;
+              kernel;
               slews = p.p_slews;
               loads = p.p_loads;
               points;
@@ -155,20 +185,33 @@ let load tech path =
            in
            match words with
            | [] -> ()
-           | [ "NSIGMA_LIB"; "1"; _name; _vdd ] ->
+           | "NSIGMA_LIB" :: ("1" | "2") :: _ ->
              fail !lineno
-               "legacy library without a technology fingerprint; \
-                re-characterise to refresh the cache"
-           | [ "NSIGMA_LIB"; "2"; _name; vdd; fp ] ->
+               "legacy library format (v1/v2) predates the two-tier \
+                simulation kernel; re-characterise to refresh the cache"
+           | [ "NSIGMA_LIB"; "3"; _name; vdd; kernel; fp ] ->
              let vdd = float_of_string vdd in
              if Float.abs (vdd -. tech.Technology.vdd_nominal) > 1e-3 then
                fail !lineno
                  (Printf.sprintf "library characterised at %.3f V, technology is %.3f V"
                     vdd tech.Technology.vdd_nominal);
-             if fp <> cache_fingerprint tech then
+             let kernel =
+               try Cell_sim.kernel_of_string kernel
+               with Failure msg -> fail !lineno msg
+             in
+             if fp <> cache_fingerprint tech ~kernel then
                fail !lineno
-                 "library characterised under different technology parameters \
-                  or grid (stale cache); re-characterise to refresh it"
+                 "library characterised under different technology parameters, \
+                  grid or kernel (stale cache); re-characterise to refresh it";
+             (match expect_kernel with
+             | Some k when k <> kernel ->
+               fail !lineno
+                 (Printf.sprintf
+                    "library characterised with the %s kernel, the %s kernel \
+                     was requested (stale cache); re-characterise to refresh it"
+                    (Cell_sim.kernel_name kernel) (Cell_sim.kernel_name k))
+             | _ -> ());
+             file_kernel := Some kernel
            | [ "TABLE"; cell_name; edge; n_mc ] ->
              let p_edge =
                match edge with
@@ -228,8 +271,11 @@ let load tech path =
       if !current <> None then failwith (path ^ ": missing END");
       lib)
 
-let load_or_characterize ?n_mc ?seed ?slews ?loads ?edges ?exec ~path tech
-    cell_list =
+let load_or_characterize ?n_mc ?seed ?slews ?loads ?edges ?exec ?kernel ~path
+    tech cell_list =
+  let kernel =
+    match kernel with Some k -> k | None -> Cell_sim.default_kernel ()
+  in
   let covers lib =
     let edges = Option.value edges ~default:[ `Rise; `Fall ] in
     List.for_all
@@ -237,14 +283,16 @@ let load_or_characterize ?n_mc ?seed ?slews ?loads ?edges ?exec ~path tech
       cell_list
   in
   let from_disk =
-    if Sys.file_exists path then (try Some (load tech path) with Failure _ -> None)
+    if Sys.file_exists path then
+      try Some (load ~expect_kernel:kernel tech path) with Failure _ -> None
     else None
   in
   match from_disk with
   | Some lib when covers lib -> lib
   | _ ->
     let lib =
-      characterize_all ?n_mc ?seed ?slews ?loads ?edges ?exec tech cell_list
+      characterize_all ?n_mc ?seed ?slews ?loads ?edges ?exec ~kernel tech
+        cell_list
     in
     save lib path;
     lib

@@ -26,30 +26,45 @@ val characterize_all :
   ?loads:float array ->
   ?edges:[ `Rise | `Fall ] list ->
   ?exec:Nsigma_exec.Executor.t ->
+  ?kernel:Nsigma_spice.Cell_sim.kernel ->
   Nsigma_process.Technology.t ->
   Cell.t list ->
   t
 (** Build a library by characterising every cell (both edges by
     default).  [exec] schedules each cell's grid points; results are
-    bit-identical across backends and pool sizes. *)
+    bit-identical across backends and pool sizes.  [kernel] selects the
+    simulation engine for every table (default
+    {!Nsigma_spice.Cell_sim.default_kernel}[ ()]). *)
 
-val cache_fingerprint : Nsigma_process.Technology.t -> string
-(** Digest of the technology parameters and the characterisation-grid
-    constants, written into the file header by {!save} and verified by
-    {!load}. *)
+val cache_fingerprint :
+  Nsigma_process.Technology.t -> kernel:Nsigma_spice.Cell_sim.kernel -> string
+(** Digest of the technology parameters, the characterisation-grid
+    constants and the simulation kernel, written into the file header by
+    {!save} and verified by {!load}.  Including the kernel guarantees
+    fast- and RK4-characterised caches never alias. *)
 
 val save : t -> string -> unit
-(** Write the library to a text file (format version 2, carrying
-    {!cache_fingerprint}). *)
+(** Write the library to a text file (format version 3, carrying the
+    kernel name and {!cache_fingerprint}).
+    @raise Failure if the library mixes tables characterised with
+    different kernels. *)
 
-val load : Nsigma_process.Technology.t -> string -> t
+val load :
+  ?expect_kernel:Nsigma_spice.Cell_sim.kernel ->
+  Nsigma_process.Technology.t ->
+  string ->
+  t
 (** Read a library back.  The stored VDD must match the technology's
     (within 1 mV) and the stored fingerprint must equal
-    [cache_fingerprint tech] — characterisation data is specific to the
-    corner, the device/parasitic parameters and the grid, so a stale
-    cache fails loudly instead of polluting results.
-    @raise Failure on parse errors, corner mismatch, or a stale/legacy
-    fingerprint. *)
+    [cache_fingerprint tech ~kernel] for the stored kernel —
+    characterisation data is specific to the corner, the
+    device/parasitic parameters, the grid and the simulation engine, so
+    a stale cache fails loudly instead of polluting results.
+    [expect_kernel] additionally requires the stored kernel to be that
+    one (the [load_or_characterize] staleness rule); without it any
+    kernel is accepted and recorded in the loaded tables.
+    @raise Failure on parse errors, corner mismatch, a stale/legacy
+    (v1/v2) fingerprint, or a kernel mismatch. *)
 
 val load_or_characterize :
   ?n_mc:int ->
@@ -58,10 +73,13 @@ val load_or_characterize :
   ?loads:float array ->
   ?edges:[ `Rise | `Fall ] list ->
   ?exec:Nsigma_exec.Executor.t ->
+  ?kernel:Nsigma_spice.Cell_sim.kernel ->
   path:string ->
   Nsigma_process.Technology.t ->
   Cell.t list ->
   t
 (** Cache wrapper: load [path] if it exists, carries the current
-    fingerprint and covers the requested cells; otherwise (including any
-    stale-cache failure) characterise and save. *)
+    fingerprint, was characterised with [kernel] (default
+    {!Nsigma_spice.Cell_sim.default_kernel}[ ()]) and covers the
+    requested cells; otherwise (including any stale-cache failure)
+    characterise with [kernel] and save. *)

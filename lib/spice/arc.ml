@@ -95,3 +95,92 @@ let current tech arc ~vin ~vout =
   Float.max 0.0 (drive -. short_circuit)
 
 let input_cap tech arc = Device.gate_cap tech arc.devices.(arc.switching)
+
+(* ----- compiled form ----- *)
+
+(* Both pulls are the same ODE once expressed in (gate drive, travel):
+   [gate] is the source-referred drive of the switching device (= vin for
+   Pull_down, VDD − vin for Pull_up) and [travel] the distance the output
+   has moved from its starting rail.  The stack drop is VDD − travel and
+   divides evenly, so the per-device saturation and CLM terms factor out
+   of the harmonic sum and the non-switching devices collapse into one
+   precomputed constant [c_s_fixed] = Σ 1/(βWI_spec·f²) at full drive. *)
+type compiled = {
+  c_vdd : float;
+  c_cap_intrinsic : float;
+  c_parallel : float;  (* parallel stack multiplicity *)
+  c_inv_depth : float;  (* 1/n: drop per series device *)
+  c_s_fixed : float;  (* harmonic weight of the fully-on devices *)
+  c_k_sw : float;  (* βWI_spec of the switching device *)
+  c_vth_sw : float;
+  c_inv_2nut : float;  (* 1/(2nU_T): inverse of twice the e-fold slope *)
+  c_nut : float;  (* nU_T *)
+  c_inv_ut : float;
+  c_inv_va : float;
+  c_k_opp : float;  (* βWI_spec of the opposing device; 0 when absent *)
+  c_vth_opp : float;
+}
+
+let compile tech arc =
+  let vdd = tech.Technology.vdd_nominal in
+  let ut = Technology.thermal_voltage tech in
+  let nut = tech.Technology.subthreshold_n *. ut in
+  let inv_2nut = 1.0 /. (2.0 *. nut) in
+  let s_fixed = ref 0.0 in
+  Array.iteri
+    (fun i d ->
+      if i <> arc.switching then begin
+        let f = Nsigma_stats.Special.log1p_exp ((vdd -. d.Device.vth) *. inv_2nut) in
+        s_fixed := !s_fixed +. (1.0 /. Float.max (Device.i_factor tech d *. f *. f) 1e-30)
+      end)
+    arc.devices;
+  let sw = arc.devices.(arc.switching) in
+  let k_opp, vth_opp =
+    match arc.opposing with
+    | Some d -> (Device.i_factor tech d, d.Device.vth)
+    | None -> (0.0, 0.0)
+  in
+  {
+    c_vdd = vdd;
+    c_cap_intrinsic = arc.cap_intrinsic;
+    c_parallel = float_of_int arc.parallel;
+    c_inv_depth = 1.0 /. float_of_int (Array.length arc.devices);
+    c_s_fixed = !s_fixed;
+    c_k_sw = Device.i_factor tech sw;
+    c_vth_sw = sw.Device.vth;
+    c_inv_2nut = inv_2nut;
+    c_nut = nut;
+    c_inv_ut = 1.0 /. ut;
+    c_inv_va = 1.0 /. tech.Technology.early_voltage;
+    c_k_opp = k_opp;
+    c_vth_opp = vth_opp;
+  }
+
+let cap_intrinsic_of c = c.c_cap_intrinsic
+
+let drive c ~gate ~travel =
+  let drop = c.c_vdd -. travel in
+  if drop <= 0.0 then 0.0
+  else begin
+    let vds = drop *. c.c_inv_depth in
+    let sat = 1.0 -. exp (-.vds *. c.c_inv_ut) in
+    let clm = 1.0 +. (vds *. c.c_inv_va) in
+    let f = Nsigma_stats.Special.log1p_exp ((gate -. c.c_vth_sw) *. c.c_inv_2nut) in
+    let stack =
+      c.c_parallel *. sat *. clm
+      /. (c.c_s_fixed +. (1.0 /. Float.max (c.c_k_sw *. f *. f) 1e-300))
+    in
+    let short_circuit =
+      if c.c_k_opp = 0.0 || travel <= 0.0 then 0.0
+      else begin
+        let fo =
+          Nsigma_stats.Special.log1p_exp
+            ((c.c_vdd -. gate -. c.c_vth_opp) *. c.c_inv_2nut)
+        in
+        c.c_k_opp *. fo *. fo
+        *. (1.0 -. exp (-.travel *. c.c_inv_ut))
+        *. (1.0 +. (travel *. c.c_inv_va))
+      end
+    in
+    Float.max 0.0 (stack -. short_circuit)
+  end

@@ -56,3 +56,28 @@ val current :
 val input_cap : Nsigma_process.Technology.t -> t -> float
 (** Gate capacitance presented to the driving net by the switching
     device (F). *)
+
+type compiled
+(** An arc with every bias-independent constant hoisted: device
+    prefactors (β·W·I_spec), 1/(2nU_T), the harmonic weight of the
+    fully-on stack devices, 1/U_T, 1/V_A.  Both simulation kernels
+    ({!Cell_sim.simulate} and {!Cell_sim.simulate_fast}) evaluate their
+    inner loops through this closure-free form. *)
+
+val compile : Nsigma_process.Technology.t -> t -> compiled
+(** Precompute the arc's constants.  The result is valid as long as the
+    arc and technology are unchanged (they are immutable). *)
+
+val cap_intrinsic_of : compiled -> float
+(** The arc's intrinsic output capacitance (F), carried for callers that
+    only hold the compiled form. *)
+
+val drive : compiled -> gate:float -> travel:float -> float
+(** Net output current (A) in unified coordinates: [gate] is the
+    source-referred drive of the switching device (= vin for a falling
+    output, VDD − vin for a rising one) and [travel] the distance the
+    output has moved from its starting rail, both in [0, VDD].
+    Algebraically equal to {!current} — the per-device saturation/CLM
+    terms share one V_DS = (VDD − travel)/depth and factor out of the
+    harmonic stack sum — but ~depth× cheaper, and identical for both
+    pull directions. *)

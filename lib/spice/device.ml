@@ -40,6 +40,8 @@ let i_spec (tech : Technology.t) = function
   | Nmos -> tech.i_spec_n
   | Pmos -> tech.i_spec_p
 
+let i_factor tech d = d.beta *. d.width *. i_spec tech d.kind
+
 let current (tech : Technology.t) d ~vgs ~vds =
   if vds <= 0.0 then 0.0
   else begin
@@ -49,7 +51,7 @@ let current (tech : Technology.t) d ~vgs ~vds =
     let f = Nsigma_stats.Special.log1p_exp x in
     let saturation = 1.0 -. exp (-.vds /. ut) in
     let clm = 1.0 +. (vds /. tech.early_voltage) in
-    d.beta *. d.width *. i_spec tech d.kind *. f *. f *. saturation *. clm
+    i_factor tech d *. f *. f *. saturation *. clm
   end
 
 let gate_cap (tech : Technology.t) d = d.width *. tech.cap_gate_per_width

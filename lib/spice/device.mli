@@ -34,6 +34,12 @@ val make :
 val nominal : Nsigma_process.Technology.t -> kind -> width_mult:float -> t
 (** Same device without any variation. *)
 
+val i_factor : Nsigma_process.Technology.t -> t -> float
+(** β · W · I_spec — the bias-independent current prefactor.  Exposed so
+    per-arc compiled kernels ({!Arc.compile}) can hoist it out of their
+    inner loops; [current] multiplies exactly this factor by the
+    bias-dependent terms. *)
+
 val current :
   Nsigma_process.Technology.t -> t -> vgs:float -> vds:float -> float
 (** Drain current (A); both voltages are magnitudes w.r.t. the source

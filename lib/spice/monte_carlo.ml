@@ -16,6 +16,21 @@ let samples ?(exec = Executor.default ()) tech g ~n f =
     (fun i -> f (Variation.draw tech (Rng.derive base ~index:i)))
     ~n
 
+(* Compact an option array without going through an intermediate list. *)
+let compact measured =
+  let kept = ref 0 in
+  Array.iter (function Some _ -> incr kept | None -> ()) measured;
+  let out = Array.make !kept 0.0 in
+  let j = ref 0 in
+  Array.iter
+    (function
+      | Some d ->
+        out.(!j) <- d;
+        incr j
+      | None -> ())
+    measured;
+  out
+
 let delays_counted ?exec tech g ~n f =
   let measured =
     samples ?exec tech g ~n (fun sample ->
@@ -24,8 +39,8 @@ let delays_counted ?exec tech g ~n f =
            propagates out of the executor. *)
         match f sample with d -> Some d | exception Failure _ -> None)
   in
-  let kept = Array.to_list measured |> List.filter_map Fun.id in
-  { delays = Array.of_list kept; n_failed = n - List.length kept }
+  let delays = compact measured in
+  { delays; n_failed = n - Array.length delays }
 
 let delays ?exec tech g ~n f = (delays_counted ?exec tech g ~n f).delays
 
@@ -33,3 +48,9 @@ let study ?exec tech g ~n f =
   let r = delays_counted ?exec tech g ~n f in
   Array.sort Float.compare r.delays;
   (Moments.summary_of_array r.delays, r.delays)
+
+let arc_results ?exec ?kernel tech g ~n ~arc_of ~input_slew ~load_cap =
+  samples ?exec tech g ~n (fun sample ->
+      match Cell_sim.run ?kernel tech (arc_of sample) ~input_slew ~load_cap with
+      | r -> Some r
+      | exception Failure _ -> None)

@@ -55,3 +55,20 @@ val study :
   (Nsigma_process.Variation.t -> float) ->
   Nsigma_stats.Moments.summary * float array
 (** Moments plus the sorted sample array (ready for quantile lookup). *)
+
+val arc_results :
+  ?exec:Nsigma_exec.Executor.t ->
+  ?kernel:Cell_sim.kernel ->
+  Nsigma_process.Technology.t ->
+  Nsigma_stats.Rng.t ->
+  n:int ->
+  arc_of:(Nsigma_process.Variation.t -> Arc.t) ->
+  input_slew:float ->
+  load_cap:float ->
+  Cell_sim.result option array
+(** Per-sample transient results of the arc built by [arc_of], measured
+    through {!Cell_sim.run} with the requested [kernel] (default
+    {!Cell_sim.default_kernel}[ ()]).  [None] marks a sample whose
+    simulation raised [Failure] (non-convergence).  This is the sampling
+    primitive characterisation is built on; like every entry point here,
+    the population is bit-identical on every executor backend. *)

@@ -1,7 +1,10 @@
 module Netlist = Nsigma_netlist.Netlist
 module Cell = Nsigma_liberty.Cell
 module Wire_gen = Nsigma_rcnet.Wire_gen
+module Rctree = Nsigma_rcnet.Rctree
+module Elmore = Nsigma_rcnet.Elmore
 module Rc_sim = Nsigma_spice.Rc_sim
+module Cell_sim = Nsigma_spice.Cell_sim
 module Variation = Nsigma_process.Variation
 module Moments = Nsigma_stats.Moments
 module Quantile = Nsigma_stats.Quantile
@@ -26,14 +29,45 @@ let out_taps (path : Path.t) =
   in
   go path.Path.hops
 
+(* Full-swing-equivalent 20–80% slew of a single-pole response with time
+   constant RC: (ln(0.8/0.2)·RC)/0.6 = 2.31·RC.  Used by the fast hop
+   model to turn an Elmore time constant into the slew convention the
+   next stage's cell simulation expects. *)
+let peri_slew_factor = Float.log 4.0 /. 0.6
+
+(* One hop of the fast path model: the driver cell is simulated with the
+   analytic kernel into the net's total (lumped) capacitance, the wire
+   adds its D2M delay at the exit tap, and the tap slew degrades the
+   driver's output slew PERI-style (root-sum-square with the single-pole
+   slew of the wire's Elmore constant).  The cell/wire interaction is
+   thus approximated, not co-simulated — which is why [Auto] maps to the
+   transient reference here. *)
+let fast_hop tech arc ~tree ~load_caps ~tap ~input_slew =
+  let loaded =
+    List.fold_left (fun tr (node, c) -> Rctree.add_cap tr node c) tree load_caps
+  in
+  let r =
+    Cell_sim.run ~kernel:Cell_sim.Fast tech arc ~input_slew
+      ~load_cap:(Rctree.total_cap loaded)
+  in
+  let wire = Elmore.d2m_at loaded tap in
+  let elmore = Elmore.delay_at loaded tap in
+  let wire_slew = peri_slew_factor *. elmore in
+  let out_slew =
+    sqrt ((r.Cell_sim.output_slew *. r.Cell_sim.output_slew)
+         +. (wire_slew *. wire_slew))
+  in
+  (r.Cell_sim.delay, wire, out_slew)
+
 (* Simulate one sample; [record_wire i d] is called with each hop's
    outgoing wire delay. *)
-let simulate_sample_record ?(steps = 200) tech (design : Design.t)
-    (path : Path.t) sample ~record_wire =
+let simulate_sample_record ?(steps = 200) ?(kernel = Cell_sim.Rk4) tech
+    (design : Design.t) (path : Path.t) sample ~record_wire =
   let nl = design.Design.netlist in
   let taps = out_taps path in
   let slew = ref Provider.input_slew_default in
   let total = ref 0.0 in
+  let fast = kernel = Cell_sim.Fast in
   List.iteri
     (fun i (hop, tap) ->
       let gate = nl.Netlist.gates.(hop.Path.gate) in
@@ -42,31 +76,41 @@ let simulate_sample_record ?(steps = 200) tech (design : Design.t)
       in
       let tree = Wire_gen.vary tech sample design.Design.parasitics.(hop.Path.out_net) in
       let load_caps = Design.sink_caps tech design ~net:hop.Path.out_net in
-      let r =
-        Rc_sim.simulate ~steps tech ~driver:arc ~tree ~load_caps ~input_slew:!slew
+      let driver_delay, wire, out_slew =
+        if fast then fast_hop tech arc ~tree ~load_caps ~tap ~input_slew:!slew
+        else begin
+          let r =
+            Rc_sim.simulate ~steps tech ~driver:arc ~tree ~load_caps
+              ~input_slew:!slew
+          in
+          let find_tap pairs =
+            let _, v =
+              Array.to_list pairs |> List.find (fun (node, _) -> node = tap)
+            in
+            v
+          in
+          let wire = find_tap r.Rc_sim.tap_delays in
+          (r.Rc_sim.driver_delay, wire, find_tap r.Rc_sim.tap_slews)
+        end
       in
-      let find_tap pairs =
-        let _, v = Array.to_list pairs |> List.find (fun (node, _) -> node = tap) in
-        v
-      in
-      let wire = find_tap r.Rc_sim.tap_delays in
       record_wire i wire;
-      total := !total +. r.Rc_sim.driver_delay +. wire;
-      slew := Float.max 1e-12 (find_tap r.Rc_sim.tap_slews))
+      total := !total +. driver_delay +. wire;
+      slew := Float.max 1e-12 out_slew)
     (List.combine path.Path.hops taps);
   !total
 
-let simulate_sample ?steps tech design path sample =
-  simulate_sample_record ?steps tech design path sample ~record_wire:(fun _ _ -> ())
+let simulate_sample ?steps ?kernel tech design path sample =
+  simulate_sample_record ?steps ?kernel tech design path sample
+    ~record_wire:(fun _ _ -> ())
 
-let run ?steps ?(n = 1000) ?(seed = 11) ?(exec = Executor.default ()) tech
-    design path =
+let run ?steps ?kernel ?(n = 1000) ?(seed = 11) ?(exec = Executor.default ())
+    tech design path =
   let g = Rng.create ~seed in
   let measured =
     Executor.map_array exec
       (fun i ->
         let sample = Variation.draw tech (Rng.derive g ~index:i) in
-        match simulate_sample ?steps tech design path sample with
+        match simulate_sample ?steps ?kernel tech design path sample with
         | d -> Some d
         | exception Failure _ -> None)
       ~n
@@ -82,7 +126,7 @@ let run ?steps ?(n = 1000) ?(seed = 11) ?(exec = Executor.default ()) tech
   in
   { samples; moments; quantile }
 
-let per_wire_quantiles ?steps ?(n = 1000) ?(seed = 11)
+let per_wire_quantiles ?steps ?kernel ?(n = 1000) ?(seed = 11)
     ?(exec = Executor.default ()) tech design path ~sigma =
   let n_hops = Path.n_stages path in
   let g = Rng.create ~seed in
@@ -92,7 +136,7 @@ let per_wire_quantiles ?steps ?(n = 1000) ?(seed = 11)
         let sample = Variation.draw tech (Rng.derive g ~index:i) in
         let wires = Array.make n_hops nan in
         match
-          simulate_sample_record ?steps tech design path sample
+          simulate_sample_record ?steps ?kernel tech design path sample
             ~record_wire:(fun k d -> wires.(k) <- d)
         with
         | (_ : float) -> Some wires

@@ -16,15 +16,25 @@ type stats = {
 
 val simulate_sample :
   ?steps:int ->
+  ?kernel:Nsigma_spice.Cell_sim.kernel ->
   Nsigma_process.Technology.t ->
   Design.t ->
   Path.t ->
   Nsigma_process.Variation.t ->
   float
-(** One fabrication outcome's path delay. *)
+(** One fabrication outcome's path delay.  [kernel] defaults to [Rk4]:
+    the golden reference co-simulates each driver into its varied RC
+    tree ({!Nsigma_spice.Rc_sim}).  [Fast] swaps in the analytic hop
+    model — driver into the lumped net capacitance with the fast cell
+    kernel, D2M wire delay at the exit tap, PERI (root-sum-square) slew
+    propagation — trading the cell/wire co-simulation for a large
+    speedup.  [Auto] is conservative here and behaves like [Rk4],
+    because the fast hop model approximates exactly the interaction this
+    simulation exists to capture. *)
 
 val run :
   ?steps:int ->
+  ?kernel:Nsigma_spice.Cell_sim.kernel ->
   ?n:int ->
   ?seed:int ->
   ?exec:Nsigma_exec.Executor.t ->
@@ -39,6 +49,7 @@ val run :
 
 val per_wire_quantiles :
   ?steps:int ->
+  ?kernel:Nsigma_spice.Cell_sim.kernel ->
   ?n:int ->
   ?seed:int ->
   ?exec:Nsigma_exec.Executor.t ->

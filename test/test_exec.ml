@@ -57,12 +57,18 @@ let test_empty_and_small () =
     (Executor.map_array pool (fun i -> i) ~n:3 = [| 0; 1; 2 |])
 
 let test_jobs_accessor () =
+  (* Pool sizes are clamped to the recommended domain count:
+     oversubscribing OCaml 5 domains is always a slowdown. *)
+  let cores = max 1 (Domain.recommended_domain_count ()) in
   Alcotest.(check int) "sequential" 1 (Executor.jobs Executor.sequential);
-  Alcotest.(check int) "pool of 4" 4 (Executor.jobs (Executor.domain_pool ~jobs:4 ()));
+  Alcotest.(check int) "pool of 4 (clamped to cores)" (min 4 cores)
+    (Executor.jobs (Executor.domain_pool ~jobs:4 ()));
   Alcotest.(check int) "jobs 1 degrades" 1
     (Executor.jobs (Executor.domain_pool ~jobs:1 ()));
   Alcotest.(check bool) "jobs 0 auto-detects" true
-    (Executor.jobs (Executor.domain_pool ~jobs:0 ()) >= 1)
+    (Executor.jobs (Executor.domain_pool ~jobs:0 ()) >= 1);
+  Alcotest.(check int) "oversubscription clamped" cores
+    (Executor.jobs (Executor.domain_pool ~jobs:(cores + 7) ()))
 
 (* ---------- Exception propagation ---------- *)
 

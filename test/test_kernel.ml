@@ -1,0 +1,170 @@
+(* Fast-kernel vs RK4-reference agreement: the property the two-tier
+   simulation kernel stands on.  The fast analytic path must track the
+   reference within 2% in nominal delay across the default slew/load
+   grid for every cell in the library (both edges), and within 1% in
+   population mean / 3% at the ±3σ quantiles over a Monte-Carlo
+   population drawn from identical variation streams. *)
+
+module T = Nsigma_process.Technology
+module Variation = Nsigma_process.Variation
+module Rng = Nsigma_stats.Rng
+module Moments = Nsigma_stats.Moments
+module Quantile = Nsigma_stats.Quantile
+module Cell_sim = Nsigma_spice.Cell_sim
+module Monte_carlo = Nsigma_spice.Monte_carlo
+module Cell = Nsigma_liberty.Cell
+module Characterize = Nsigma_liberty.Characterize
+
+let tech = T.with_vdd T.default_28nm 0.6
+
+let all_cells =
+  List.concat_map
+    (fun k -> List.map (fun s -> Cell.make k ~strength:s) Cell.standard_strengths)
+    Cell.all_kinds
+
+let edges = [ `Rise; `Fall ]
+
+let edge_name = function `Rise -> "rise" | `Fall -> "fall"
+
+(* ---------- nominal agreement across the default grid ---------- *)
+
+let test_nominal_agreement () =
+  let worst = ref 0.0 and worst_where = ref "" in
+  List.iter
+    (fun cell ->
+      List.iter
+        (fun edge ->
+          let arc = Cell.arc tech Variation.nominal cell ~output_edge:edge in
+          let loads = Characterize.loads_for tech cell in
+          Array.iter
+            (fun slew ->
+              Array.iter
+                (fun load ->
+                  let r =
+                    Cell_sim.simulate tech arc ~input_slew:slew ~load_cap:load
+                  in
+                  let f =
+                    Cell_sim.simulate_fast tech arc ~input_slew:slew
+                      ~load_cap:load
+                  in
+                  let err =
+                    Float.abs (f.Cell_sim.delay -. r.Cell_sim.delay)
+                    /. Float.max (Float.abs r.Cell_sim.delay) 1e-13
+                  in
+                  if err > !worst then begin
+                    worst := err;
+                    worst_where :=
+                      Printf.sprintf "%s %s slew=%.0fps load=%.2ffF"
+                        (Cell.name cell) (edge_name edge) (slew *. 1e12)
+                        (load *. 1e15)
+                  end)
+                loads)
+            Characterize.default_slews)
+        edges)
+    all_cells;
+  if !worst > 0.02 then
+    Alcotest.failf "fast vs rk4 nominal delay off by %.2f%% at %s"
+      (100.0 *. !worst) !worst_where
+
+(* ---------- Monte-Carlo population agreement ---------- *)
+
+(* Delay population of one (cell, edge, kernel) at the given grid point,
+   from the variation streams of [seed] — the same seed gives the two
+   kernels identical samples, so the comparison measures kernel bias,
+   not Monte-Carlo noise. *)
+let population kernel cell edge ~slew ~load ~seed ~n =
+  let g = Rng.create ~seed in
+  let results =
+    Monte_carlo.arc_results ~kernel tech g ~n
+      ~arc_of:(fun sample -> Cell.arc tech sample cell ~output_edge:edge)
+      ~input_slew:slew ~load_cap:load
+  in
+  let delays =
+    Array.to_list results
+    |> List.filter_map (Option.map (fun r -> r.Cell_sim.delay))
+    |> Array.of_list
+  in
+  Array.sort Float.compare delays;
+  delays
+
+let test_mc_agreement () =
+  let n = 250 in
+  let q3 = Quantile.probability_of_sigma 3.0 in
+  let qm3 = Quantile.probability_of_sigma (-3.0) in
+  List.iter
+    (fun cell ->
+      List.iter
+        (fun edge ->
+          let slew = Characterize.reference_slew in
+          let load = Cell.fo4_load tech cell in
+          let fast =
+            population Cell_sim.Fast cell edge ~slew ~load ~seed:42 ~n
+          in
+          let rk4 = population Cell_sim.Rk4 cell edge ~slew ~load ~seed:42 ~n in
+          let where = Printf.sprintf "%s %s" (Cell.name cell) (edge_name edge) in
+          if Array.length fast < n - 5 || Array.length rk4 < n - 5 then
+            Alcotest.failf "%s: too many non-converged samples" where;
+          let mu_f = (Moments.summary_of_array fast).Moments.mean in
+          let mu_r = (Moments.summary_of_array rk4).Moments.mean in
+          let mu_err = Float.abs (mu_f -. mu_r) /. Float.abs mu_r in
+          if mu_err > 0.01 then
+            Alcotest.failf "%s: population mean off by %.2f%%" where
+              (100.0 *. mu_err);
+          List.iter
+            (fun (name, p) ->
+              let qf = Quantile.of_sorted fast p in
+              let qr = Quantile.of_sorted rk4 p in
+              let err = Float.abs (qf -. qr) /. Float.abs qr in
+              if err > 0.03 then
+                Alcotest.failf "%s: %s quantile off by %.2f%%" where name
+                  (100.0 *. err))
+            [ ("+3sigma", q3); ("-3sigma", qm3) ])
+        edges)
+    all_cells
+
+(* ---------- kernel plumbing ---------- *)
+
+let test_kernel_names () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        "name round-trips" true
+        (Cell_sim.kernel_of_string (Cell_sim.kernel_name k) = k))
+    [ Cell_sim.Fast; Cell_sim.Rk4; Cell_sim.Auto ];
+  Alcotest.check_raises "unknown kernel rejected"
+    (Failure
+       "unknown simulation kernel \"spice\" (expected \"fast\", \"rk4\" or \
+        \"auto\")") (fun () -> ignore (Cell_sim.kernel_of_string "spice"))
+
+(* Auto must agree with one of its two constituent kernels at every
+   nominal grid point (it is a dispatch, never a third algorithm). *)
+let test_auto_dispatch () =
+  let cell = Cell.make Cell.Nand2 ~strength:1 in
+  let arc = Cell.arc tech Variation.nominal cell ~output_edge:`Fall in
+  Array.iter
+    (fun slew ->
+      let load = Cell.fo4_load tech cell in
+      let a = Cell_sim.run ~kernel:Cell_sim.Auto tech arc ~input_slew:slew ~load_cap:load in
+      let f = Cell_sim.simulate_fast tech arc ~input_slew:slew ~load_cap:load in
+      let r = Cell_sim.simulate tech arc ~input_slew:slew ~load_cap:load in
+      Alcotest.(check bool)
+        "auto equals fast or rk4" true
+        (a.Cell_sim.delay = f.Cell_sim.delay || a.Cell_sim.delay = r.Cell_sim.delay))
+    Characterize.default_slews
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "nominal grid, every cell, both edges" `Slow
+            test_nominal_agreement;
+          Alcotest.test_case "MC mean and ±3σ quantiles" `Slow
+            test_mc_agreement;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "kernel names" `Quick test_kernel_names;
+          Alcotest.test_case "auto dispatches" `Quick test_auto_dispatch;
+        ] );
+    ]

@@ -6,6 +6,7 @@ module Cell = Nsigma_liberty.Cell
 module Ch = Nsigma_liberty.Characterize
 module Library = Nsigma_liberty.Library
 module Moments = Nsigma_stats.Moments
+module Cell_sim = Nsigma_spice.Cell_sim
 
 let check_close ?(eps = 1e-9) msg expected actual =
   if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
@@ -191,6 +192,55 @@ let test_library_save_load_roundtrip () =
         row)
     t1.Ch.points
 
+let test_library_roundtrip_keeps_kernel () =
+  let lib = Library.create tech in
+  Library.add lib (Lazy.force small_table);
+  let path = Filename.temp_file "nsigma_test" ".lvf" in
+  Library.save lib path;
+  let t1 = Library.find lib (Cell.make Cell.Inv ~strength:1) ~edge:`Fall in
+  let lib2 = Library.load tech path in
+  let lib3 = Library.load ~expect_kernel:t1.Ch.kernel tech path in
+  Sys.remove path;
+  let t2 = Library.find lib2 (Cell.make Cell.Inv ~strength:1) ~edge:`Fall in
+  let t3 = Library.find lib3 (Cell.make Cell.Inv ~strength:1) ~edge:`Fall in
+  Alcotest.(check bool) "kernel preserved" true (t2.Ch.kernel = t1.Ch.kernel);
+  Alcotest.(check bool) "expected kernel accepted" true
+    (t3.Ch.kernel = t1.Ch.kernel)
+
+let test_library_load_rejects_kernel_mismatch () =
+  let lib = Library.create tech in
+  Library.add lib (Lazy.force small_table);
+  let path = Filename.temp_file "nsigma_test" ".lvf" in
+  Library.save lib path;
+  let saved = (Library.find lib (Cell.make Cell.Inv ~strength:1) ~edge:`Fall).Ch.kernel in
+  let other =
+    match saved with Cell_sim.Rk4 -> Cell_sim.Fast | _ -> Cell_sim.Rk4
+  in
+  Alcotest.(check bool) "kernel mismatch rejected" true
+    (try
+       ignore (Library.load ~expect_kernel:other tech path);
+       Sys.remove path;
+       false
+     with Failure _ ->
+       Sys.remove path;
+       true)
+
+let test_library_load_rejects_v2 () =
+  (* A pre-kernel cache (v2 header) must be detected as stale. *)
+  let path = Filename.temp_file "nsigma_test" ".lvf" in
+  let oc = open_out path in
+  Printf.fprintf oc "NSIGMA_LIB 2 %s %.6f %s\n" tech.T.name
+    tech.T.vdd_nominal (String.make 32 'a');
+  close_out oc;
+  Alcotest.(check bool) "v2 cache rejected as stale" true
+    (try
+       ignore (Library.load tech path);
+       Sys.remove path;
+       false
+     with Failure _ ->
+       Sys.remove path;
+       true)
+
 let test_library_load_rejects_wrong_vdd () =
   let lib = Library.create tech in
   Library.add lib (Lazy.force small_table);
@@ -234,6 +284,9 @@ let () =
         [
           Alcotest.test_case "add/find" `Slow test_library_add_find;
           Alcotest.test_case "save/load" `Slow test_library_save_load_roundtrip;
+          Alcotest.test_case "kernel roundtrip" `Slow test_library_roundtrip_keeps_kernel;
+          Alcotest.test_case "kernel mismatch" `Slow test_library_load_rejects_kernel_mismatch;
+          Alcotest.test_case "v2 cache stale" `Quick test_library_load_rejects_v2;
           Alcotest.test_case "vdd check" `Slow test_library_load_rejects_wrong_vdd;
         ] );
     ]

@@ -148,6 +148,28 @@ let test_rejects_bad_args () =
     (Invalid_argument "Cell_sim.simulate: slew must be positive") (fun () ->
       ignore (Cell_sim.simulate tech arc ~input_slew:(-1.0) ~load_cap:1e-15))
 
+let test_stuck_failure_is_descriptive () =
+  (* An opposing network far stronger than the stack clamps the net
+     current to zero for almost the whole (very slow) input ramp: the
+     step budget runs out with the output still at the rail, and the
+     simulator must say so with the operating point, not a bare "did not
+     converge". *)
+  let arc =
+    Arc.make tech Variation.nominal ~pull:Arc.Pull_down ~depth:1 ~strength:1.0
+      ~opposing_width_mult:500.0 ()
+  in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  match Cell_sim.simulate tech arc ~input_slew:1e-6 ~load_cap:fo4_load with
+  | _ -> Alcotest.fail "expected the stuck output to raise"
+  | exception Failure msg ->
+      Alcotest.(check bool) "names the phase" true (contains msg "output stuck");
+      Alcotest.(check bool) "reports the slew" true (contains msg "input_slew=");
+      Alcotest.(check bool) "reports the load" true (contains msg "load_cap=")
+
 let test_near_threshold_skew () =
   (* The motivating observation of the paper: at 0.6 V the delay
      distribution is right-skewed with a heavy tail. *)
@@ -331,6 +353,8 @@ let () =
           Alcotest.test_case "step convergence" `Quick test_step_convergence;
           Alcotest.test_case "strength speedup" `Quick test_strength_speeds_up;
           Alcotest.test_case "argument checks" `Quick test_rejects_bad_args;
+          Alcotest.test_case "stuck failure is descriptive" `Quick
+            test_stuck_failure_is_descriptive;
           Alcotest.test_case "near-threshold skew" `Slow test_near_threshold_skew;
           Alcotest.test_case "vdd vs skew" `Slow test_nominal_voltage_less_skewed;
           Alcotest.test_case "stack averaging" `Slow test_stack_averaging;
