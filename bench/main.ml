@@ -46,6 +46,8 @@ module Wire_model = Nsigma.Wire_model
 module Wire_lab = Nsigma.Wire_lab
 module Calibration = Nsigma.Calibration
 module Executor = Nsigma_exec.Executor
+module Metrics = Nsigma_obs.Metrics
+module Obs_report = Nsigma_obs.Report
 module Lsn = Nsigma_baselines.Lsn_model
 module Burr = Nsigma_baselines.Burr_model
 module Pt = Nsigma_baselines.Primetime_like
@@ -1086,10 +1088,117 @@ let kernel_bench () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Observability: metrics-registry overhead on the hot sampling loop.  *)
+(* ------------------------------------------------------------------ *)
+
+let obs_mc = env_int "NSIGMA_BENCH_OBS_MC" 300
+
+(* Overhead tolerance in percent.  2% is the acceptance bar on a quiet
+   machine; CI runners share cores, so their smoke run loosens it. *)
+let obs_tol =
+  match Sys.getenv_opt "NSIGMA_BENCH_OBS_TOL" with
+  | Some v -> (try float_of_string v with _ -> 2.0)
+  | None -> 2.0
+
+let obs_reps = env_int "NSIGMA_BENCH_OBS_REPS" 5
+
+let obs_bench () =
+  header "Observability — metrics registry overhead on characterisation";
+  let cells = List.map (fun k -> Cell.make k ~strength:1) Cell.all_kinds in
+  let was_enabled = Metrics.enabled () in
+  (* Overhead is measured in process CPU time, not wall clock: on a
+     shared box wall-clock A/B passes at the one-second scale swing
+     several percent either way from scheduler preemption alone, far
+     above the effect being measured.  CPU time charges only what this
+     process executed. *)
+  let cpu_time () =
+    let t = Unix.times () in
+    t.Unix.tms_utime +. t.Unix.tms_stime
+  in
+  (* Per-operation cost measured directly on a tight recording loop. *)
+  let ns_per_incr enabled =
+    Metrics.set_enabled enabled;
+    let c = Metrics.counter "obs.bench.incr" in
+    for _ = 1 to 1000 do Metrics.incr c done;
+    let n = 20_000_000 in
+    let t0 = cpu_time () in
+    for _ = 1 to n do Metrics.incr c done;
+    let dt = cpu_time () -. t0 in
+    Metrics.set_enabled was_enabled;
+    dt /. float_of_int n *. 1e9
+  in
+  let ns_on = ns_per_incr true in
+  let ns_off = ns_per_incr false in
+  Printf.printf "  counter incr: %.1f ns enabled, %.1f ns disabled\n%!" ns_on
+    ns_off;
+  (* End-to-end A/B: compact before each pass, alternate off/on so both
+     sides age the heap the same way, keep each side's fastest of
+     [obs_reps] passes. *)
+  let once enabled =
+    Gc.compact ();
+    Metrics.set_enabled enabled;
+    let t0 = cpu_time () in
+    let lib =
+      Library.characterize_all ~n_mc:obs_mc ~exec:Executor.sequential
+        ~kernel:Cell_sim.Fast tech cells
+    in
+    let dt = cpu_time () -. t0 in
+    Metrics.set_enabled was_enabled;
+    (lib, dt)
+  in
+  Printf.printf "characterising %d cells x 2 edges, mc=%d per grid point, %d reps\n%!"
+    (List.length cells) obs_mc obs_reps;
+  let lib_off, off1 = once false in
+  let lib_on, on1 = once true in
+  let t_off = ref off1 and t_on = ref on1 in
+  for _ = 2 to obs_reps do
+    let _, off = once false in
+    let _, on = once true in
+    t_off := Float.min !t_off off;
+    t_on := Float.min !t_on on
+  done;
+  let t_off = !t_off and t_on = !t_on in
+  let overhead = 100.0 *. ((t_on -. t_off) /. Float.max 1e-9 t_off) in
+  Printf.printf "  metrics off %8.2fs\n  metrics on  %8.2fs   overhead %+.2f%%\n%!"
+    t_off t_on overhead;
+  (* The regression oracle: instrumentation must never perturb sampled
+     values, so the characterised tables agree bit for bit. *)
+  let identical =
+    List.for_all
+      (fun (cell, edge) ->
+        let a = Library.find lib_off cell ~edge in
+        let b = Library.find lib_on cell ~edge in
+        a.Ch.points = b.Ch.points)
+      (Library.cells lib_off)
+  in
+  Printf.printf "  bit-identical tables with metrics on vs off: %b\n%!" identical;
+  let fast_calls = Metrics.find_counter "kernel.fast.calls" in
+  Printf.printf "  kernel.fast.calls recorded while on: %d\n%!" fast_calls;
+  let pass = identical && overhead <= obs_tol && fast_calls > 0 in
+  let json =
+    Printf.sprintf
+      {|{"experiment": "obs", "cells": %d, "edges": 2, "n_mc": %d, "reps": %d, "off_seconds": %.3f, "on_seconds": %.3f, "overhead_pct": %.3f, "tolerance_pct": %.1f, "ns_per_incr_enabled": %.1f, "ns_per_incr_disabled": %.1f, "bit_identical": %b, "fast_calls": %d, "pass": %b}|}
+      (List.length cells) obs_mc obs_reps t_off t_on overhead obs_tol ns_on
+      ns_off identical fast_calls pass
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_obs.json" in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Printf.printf "  appended to BENCH_obs.json\n";
+  if not pass then begin
+    Printf.eprintf
+      "obs bench FAILED: overhead %.2f%% (need <= %.1f%%), bit_identical %b, \
+       fast_calls %d\n"
+      overhead obs_tol identical fast_calls;
+    exit 1
+  end
+
 let usage () =
   print_endline
-    "usage: main.exe [--jobs N] [fig2|fig3|fig4|table1|table2|fig7|fig8|fig9|fig10|fig11|table3 \
-     [circuits...]|speedup|exec|kernel|ablation|highsigma|micro|all]"
+    "usage: main.exe [--jobs N] [--metrics FILE] \
+     [fig2|fig3|fig4|table1|table2|fig7|fig8|fig9|fig10|fig11|table3 \
+     [circuits...]|speedup|exec|kernel|obs|ablation|highsigma|micro|all]"
 
 (* [--jobs N] (or [-j N]) installs itself as NSIGMA_JOBS so every
    sampling loop — characterisation, path MC, wire lab — picks it up
@@ -1101,10 +1210,23 @@ let rec extract_jobs acc = function
     (List.rev_append acc rest, Some (String.sub a 7 (String.length a - 7)))
   | a :: rest -> extract_jobs (a :: acc) rest
 
+(* [--metrics FILE] enables the metrics registry and writes the JSON run
+   report at exit (FILE = "-" prints a summary table to stderr). *)
+let rec extract_metrics acc = function
+  | [] -> (List.rev acc, None)
+  | "--metrics" :: v :: rest -> (List.rev_append acc rest, Some v)
+  | a :: rest when String.starts_with ~prefix:"--metrics=" a ->
+    (List.rev_append acc rest, Some (String.sub a 10 (String.length a - 10)))
+  | a :: rest -> extract_metrics (a :: acc) rest
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let args, jobs = extract_jobs [] args in
+  let args, metrics = extract_metrics [] args in
   Option.iter (Unix.putenv "NSIGMA_JOBS") jobs;
+  (match metrics with
+  | Some spec -> Obs_report.install spec
+  | None -> Obs_report.install_from_env ());
   Printf.printf "[exec] %d worker domain(s)\n%!"
     (Executor.jobs (Executor.default ()));
   let t0 = Unix.gettimeofday () in
@@ -1139,6 +1261,7 @@ let () =
   | "speedup" :: _ -> speedup ()
   | "exec" :: _ -> exec_speedup ()
   | "kernel" :: _ -> kernel_bench ()
+  | "obs" :: _ -> obs_bench ()
   | "ablation" :: _ -> ablation ()
   | "highsigma" :: _ -> highsigma ()
   | "micro" :: _ -> micro ()

@@ -29,6 +29,9 @@ module Path_mc = Nsigma_sta.Path_mc
 module Moments = Nsigma_stats.Moments
 module Executor = Nsigma_exec.Executor
 module Cell_sim = Nsigma_spice.Cell_sim
+module Metrics = Nsigma_obs.Metrics
+module Obs_report = Nsigma_obs.Report
+module Progress = Nsigma_obs.Progress
 
 open Cmdliner
 
@@ -74,6 +77,33 @@ let kernel_arg =
   in
   Arg.(value & opt (some string) None & info [ "kernel" ] ~docv:"NAME" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Enable the metrics registry and write a schema-versioned JSON run \
+     report to $(docv) at exit ($(b,-) prints a summary table to stderr \
+     instead).  Defaults to $(b,NSIGMA_METRICS).  Instrumentation never \
+     perturbs sampled values: delay populations and .lvf tables are \
+     bit-identical with metrics on or off."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Show a sampled stderr progress ticker with ETA for characterisation \
+     grids and path Monte-Carlo populations.  Auto-disabled when stderr \
+     is not a TTY or $(b,NSIGMA_LOG=quiet)."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+(* Shared by every subcommand that samples: install the run-report
+   destination (explicit flag wins over NSIGMA_METRICS) and arm the
+   progress ticker. *)
+let setup_obs metrics progress =
+  (match metrics with
+  | Some spec -> Obs_report.install spec
+  | None -> Obs_report.install_from_env ());
+  if progress then Progress.set_enabled true
+
 (* ---- characterize ---- *)
 
 let characterize_cmd =
@@ -87,7 +117,8 @@ let characterize_cmd =
     let doc = "Comma-separated cell names (default: the whole library)." in
     Arg.(value & opt (some string) None & info [ "cells" ] ~docv:"LIST" ~doc)
   in
-  let run vdd mc output cells jobs kernel =
+  let run vdd mc output cells jobs kernel metrics progress =
+    setup_obs metrics progress;
     let tech = tech_of_vdd vdd in
     let exec = exec_of_jobs jobs in
     let kernel =
@@ -109,14 +140,17 @@ let characterize_cmd =
       (List.length cells) vdd mc (Cell_sim.kernel_name kernel)
       (Executor.jobs exec);
     let t0 = Unix.gettimeofday () in
-    let lib = Library.characterize_all ~n_mc:mc ~exec ~kernel tech cells in
+    let lib =
+      Metrics.span "cli.characterize" (fun () ->
+          Library.characterize_all ~n_mc:mc ~exec ~kernel tech cells)
+    in
     Library.save lib output;
     Printf.printf "wrote %s in %.1fs\n" output (Unix.gettimeofday () -. t0)
   in
   let term =
     Term.(
       const run $ vdd_arg $ mc_arg 2000 $ output $ cells_arg $ jobs_arg
-      $ kernel_arg)
+      $ kernel_arg $ metrics_arg $ progress_arg)
   in
   Cmd.v
     (Cmd.info "characterize"
@@ -167,11 +201,15 @@ let analyze_cmd =
     let doc = "Use a stored coefficients file instead of refitting." in
     Arg.(value & opt (some string) None & info [ "coeffs" ] ~docv:"FILE" ~doc)
   in
-  let run vdd library circuit verilog sigma mc coeffs jobs kernel =
+  let run vdd library circuit verilog sigma mc coeffs jobs kernel metrics
+      progress =
+    setup_obs metrics progress;
     let tech = tech_of_vdd vdd in
     let exec = exec_of_jobs jobs in
     let kernel = Option.map Cell_sim.kernel_of_string kernel in
-    let lib = Library.load tech library in
+    let lib =
+      Metrics.span "cli.load_library" (fun () -> Library.load tech library)
+    in
     let nl =
       match (circuit, verilog) with
       | Some name, _ -> (
@@ -186,7 +224,8 @@ let analyze_cmd =
     in
     Printf.printf "%s\n%!" (N.stats nl);
     let model =
-      match coeffs with Some f -> Model.load lib f | None -> Model.build lib
+      Metrics.span "cli.build_model" (fun () ->
+          match coeffs with Some f -> Model.load lib f | None -> Model.build lib)
     in
     let design = Design.attach_parasitics tech nl in
     let report = Engine.analyze tech (Provider.nominal lib) design in
@@ -212,7 +251,8 @@ let analyze_cmd =
   let term =
     Term.(
       const run $ vdd_arg $ library_arg $ circuit_arg $ verilog_arg $ sigma_arg
-      $ mc_arg 0 $ coeffs_arg $ jobs_arg $ kernel_arg)
+      $ mc_arg 0 $ coeffs_arg $ jobs_arg $ kernel_arg $ metrics_arg
+      $ progress_arg)
   in
   Cmd.v
     (Cmd.info "analyze"

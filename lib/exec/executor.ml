@@ -1,3 +1,18 @@
+module Log = Nsigma_obs.Log
+module Metrics = Nsigma_obs.Metrics
+
+(* Registered up front so run reports always carry the executor keys,
+   zero-valued when no pool ever ran. *)
+let m_pool_runs = Metrics.counter "exec.pool.runs"
+let m_pool_tasks = Metrics.counter "exec.pool.tasks"
+let m_pool_fetches = Metrics.counter "exec.pool.fetches"
+let m_seq_tasks = Metrics.counter "exec.seq.tasks"
+let t_worker_busy = Metrics.timer "exec.worker.busy"
+let t_worker_idle = Metrics.timer "exec.worker.idle"
+let t_pool_wall = Metrics.timer "exec.pool.wall"
+let t_pool_capacity = Metrics.timer "exec.pool.capacity"
+let g_tasks_max = Metrics.gauge "exec.worker.tasks.max"
+
 type t = Sequential | Pool of { jobs : int }
 
 let env_jobs () =
@@ -10,17 +25,16 @@ let auto_jobs () = max 1 (Domain.recommended_domain_count ())
 (* With OCaml 5's stop-the-world minor GC, more domains than cores is a
    slowdown, never a speedup (BENCH_exec.json).  Requests above the
    recommended count are clamped; the warning fires once per process so
-   batch sweeps don't flood stderr. *)
+   batch sweeps don't flood stderr (and NSIGMA_LOG=quiet drops it). *)
 let oversubscription_warned = Atomic.make false
 
 let clamp_jobs jobs =
   let cores = auto_jobs () in
   if jobs > cores then begin
     if not (Atomic.exchange oversubscription_warned true) then
-      Printf.eprintf
-        "nsigma: %d worker domains requested but only %d available core(s); \
-         clamping to %d (oversubscribing OCaml 5 domains degrades \
-         throughput)\n%!"
+      Log.warn
+        "%d worker domains requested but only %d available core(s); clamping \
+         to %d (oversubscribing OCaml 5 domains degrades throughput)"
         jobs cores cores;
     cores
   end
@@ -60,30 +74,64 @@ let jobs = function Sequential -> 1 | Pool { jobs } -> jobs
    into distinct slots of a shared array, which is race-free because no
    two workers ever hold the same index.  The first exception is stored
    and drains the queue so every worker exits; it is re-raised with its
-   original backtrace after the join. *)
+   original backtrace after the join.
+
+   Instrumentation (per-worker busy/idle time, task and fetch counts)
+   is measured inside each worker on locals and published to the
+   metrics registry only after the join, on the calling domain: the
+   hot claim/execute loop shares no metric state between workers, and
+   when metrics are disabled the only cost is one atomic load at run
+   start.  Recording never touches task values or the RNG discipline,
+   so the bit-identical invariant is unaffected. *)
 let pool_run ~jobs ~chunk ~n f =
   let results = Array.make n None in
   let cursor = Atomic.make 0 in
   let failure = Atomic.make None in
+  let measuring = Metrics.enabled () in
+  let t_run0 = if measuring then Metrics.now () else 0.0 in
   let worker () =
+    let t_start = if measuring then Metrics.now () else 0.0 in
+    let busy = ref 0.0 and tasks = ref 0 and fetches = ref 0 in
     let running = ref true in
     while !running do
       let start = Atomic.fetch_and_add cursor chunk in
       if start >= n || Atomic.get failure <> None then running := false
-      else
+      else begin
+        incr fetches;
         let stop = min n (start + chunk) in
-        try
-          for i = start to stop - 1 do
-            results.(i) <- Some (f i)
-          done
-        with e ->
-          let bt = Printexc.get_raw_backtrace () in
-          ignore (Atomic.compare_and_set failure None (Some (e, bt)));
-          running := false
-    done
+        let t0 = if measuring then Metrics.now () else 0.0 in
+        (try
+           for i = start to stop - 1 do
+             results.(i) <- Some (f i)
+           done;
+           tasks := !tasks + (stop - start)
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+           running := false);
+        if measuring then busy := !busy +. (Metrics.now () -. t0)
+      end
+    done;
+    let wall = if measuring then Metrics.now () -. t_start else 0.0 in
+    (!busy, wall, !tasks, !fetches)
   in
   let workers = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
-  List.iter Domain.join workers;
+  let stats = List.map Domain.join workers in
+  if measuring then begin
+    let wall_run = Metrics.now () -. t_run0 in
+    Metrics.incr m_pool_runs;
+    Metrics.add_time t_pool_wall wall_run;
+    Metrics.add_time t_pool_capacity
+      (wall_run *. float_of_int (List.length stats));
+    List.iter
+      (fun (busy, wall, tasks, fetches) ->
+        Metrics.add_time t_worker_busy busy;
+        Metrics.add_time t_worker_idle (Float.max 0.0 (wall -. busy));
+        Metrics.incr m_pool_tasks ~by:tasks;
+        Metrics.incr m_pool_fetches ~by:fetches;
+        Metrics.max_gauge g_tasks_max (float_of_int tasks))
+      stats
+  end;
   (match Atomic.get failure with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ());
@@ -92,7 +140,9 @@ let pool_run ~jobs ~chunk ~n f =
 let run t ~chunk f ~n =
   if n < 0 then invalid_arg "Executor: n must be non-negative";
   match t with
-  | Sequential -> Array.init n f
+  | Sequential ->
+    Metrics.incr m_seq_tasks ~by:n;
+    Array.init n f
   | Pool { jobs } -> pool_run ~jobs ~chunk ~n f
 
 let map_array t f ~n = run t ~chunk:1 f ~n

@@ -11,7 +11,15 @@
     ({!Nsigma_stats.Rng.derive}) instead of threading one mutable
     generator through the loop, so the value of item [i] is a pure
     function of [i] and no scheduling order can perturb it.  New sampling
-    code must follow the same discipline. *)
+    code must follow the same discipline.
+
+    Both backends publish telemetry to {!Nsigma_obs.Metrics} when the
+    registry is enabled — task/fetch counts, per-worker busy and idle
+    time, pool wall time and capacity (from which run reports derive
+    worker utilization).  Measurement happens on worker-local state and
+    is published after the join, so it adds no contention and cannot
+    perturb results; when metrics are disabled the overhead is one
+    atomic load per run. *)
 
 type t
 (** An execution backend.  Immutable and reusable across calls. *)
@@ -27,7 +35,8 @@ val domain_pool : ?jobs:int -> unit -> t
     [Domain.recommended_domain_count ()]; [jobs <= 0] also means
     auto-detect; [jobs = 1] degrades to {!sequential}.  Requests above
     [Domain.recommended_domain_count ()] are clamped to it (with a
-    once-per-process warning on stderr): OCaml 5's stop-the-world minor
+    once-per-process {!Nsigma_obs.Log.warn}, silenced by
+    [NSIGMA_LOG=quiet]): OCaml 5's stop-the-world minor
     GC makes oversubscription a slowdown, never a speedup.  Results are
     unaffected — every backend and pool size is bit-identical. *)
 

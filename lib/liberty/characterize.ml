@@ -6,6 +6,11 @@ module Interpolate = Nsigma_stats.Interpolate
 module Cell_sim = Nsigma_spice.Cell_sim
 module Monte_carlo = Nsigma_spice.Monte_carlo
 module Executor = Nsigma_exec.Executor
+module Metrics = Nsigma_obs.Metrics
+module Progress = Nsigma_obs.Progress
+
+let m_points = Metrics.counter "characterize.points"
+let h_point_seconds = Metrics.histogram "characterize.point.seconds"
 
 type point = {
   slew : float;
@@ -90,11 +95,32 @@ let characterize ?(n_mc = 2000) ?(seed = 1) ?(slews = default_slews) ?loads
     { slew; load; moments; quantiles; mean_out_slew }
   in
   let n_loads = Array.length loads in
+  let n_points = Array.length slews * n_loads in
+  let label =
+    Printf.sprintf "characterize %s/%s" (Cell.name cell)
+      (match edge with `Rise -> "rise" | `Fall -> "fall")
+  in
   let flat =
-    Executor.map_array exec
-      (fun idx ->
-        measure_point ~index:idx slews.(idx / n_loads) loads.(idx mod n_loads))
-      ~n:(Array.length slews * n_loads)
+    Progress.with_bar ~label ~total:n_points (fun tick ->
+        Metrics.span "characterize" (fun () ->
+            Executor.map_array exec
+              (fun idx ->
+                (* Per-point timing is measured on the worker but recorded
+                   into its own domain shard, so it adds no contention and
+                   cannot perturb the samples. *)
+                let measuring = Metrics.enabled () in
+                let t0 = if measuring then Metrics.now () else 0.0 in
+                let p =
+                  measure_point ~index:idx slews.(idx / n_loads)
+                    loads.(idx mod n_loads)
+                in
+                if measuring then begin
+                  Metrics.incr m_points;
+                  Metrics.observe h_point_seconds (Metrics.now () -. t0)
+                end;
+                tick ();
+                p)
+              ~n:n_points))
   in
   let points =
     Array.init (Array.length slews) (fun si ->

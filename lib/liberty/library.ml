@@ -1,6 +1,14 @@
 module Technology = Nsigma_process.Technology
 module Moments = Nsigma_stats.Moments
 module Cell_sim = Nsigma_spice.Cell_sim
+module Metrics = Nsigma_obs.Metrics
+module Log = Nsigma_obs.Log
+
+(* Cache outcome counters, registered up front so every run report
+   carries the keys (zero-valued when no cache was consulted). *)
+let m_cache_hit = Metrics.counter "lvf.cache.hit"
+let m_cache_miss = Metrics.counter "lvf.cache.miss"
+let m_cache_stale = Metrics.counter "lvf.cache.stale"
 
 type t = {
   tech : Technology.t;
@@ -269,6 +277,10 @@ let load ?expect_kernel tech path =
          done
        with End_of_file -> ());
       if !current <> None then failwith (path ^ ": missing END");
+      (* Any successfully parsed (and fingerprint-validated) file counts
+         as a cache hit, whether reached through [load_or_characterize]
+         or an explicit CLI load. *)
+      Metrics.incr m_cache_hit;
       lib)
 
 let load_or_characterize ?n_mc ?seed ?slews ?loads ?edges ?exec ?kernel ~path
@@ -284,12 +296,31 @@ let load_or_characterize ?n_mc ?seed ?slews ?loads ?edges ?exec ?kernel ~path
   in
   let from_disk =
     if Sys.file_exists path then
-      try Some (load ~expect_kernel:kernel tech path) with Failure _ -> None
-    else None
+      try Some (load ~expect_kernel:kernel tech path)
+      with Failure msg ->
+        (* An unreadable or fingerprint-mismatched file is a stale cache:
+           distinct from a plain miss in run reports so sweeps that churn
+           the cache are visible. *)
+        Metrics.incr m_cache_stale;
+        Log.info "stale .lvf cache %s (%s); re-characterising" path msg;
+        None
+    else begin
+      Metrics.incr m_cache_miss;
+      None
+    end
   in
   match from_disk with
-  | Some lib when covers lib -> lib
-  | _ ->
+  | Some lib when covers lib ->
+    (* [load] already counted the hit. *)
+    Log.info "loaded .lvf cache %s" path;
+    lib
+  | other ->
+    (match other with
+    | Some _ ->
+      (* Parsed fine but lacks a requested cell/edge. *)
+      Metrics.incr m_cache_miss;
+      Log.info ".lvf cache %s does not cover the requested cells" path
+    | None -> ());
     let lib =
       characterize_all ?n_mc ?seed ?slews ?loads ?edges ?exec ~kernel tech
         cell_list

@@ -1,0 +1,58 @@
+type level = Quiet | Warn | Info | Debug
+
+let severity = function Quiet -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let level_name = function
+  | Quiet -> "quiet"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "quiet" | "off" | "none" -> Some Quiet
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let env_level () =
+  match Sys.getenv_opt "NSIGMA_LOG" with
+  | None -> Warn
+  | Some s -> ( match level_of_string s with Some l -> l | None -> Warn)
+
+(* Lazily initialised from the environment so tests and the CLI can
+   override before (or after) the first message. *)
+let current = Atomic.make None
+
+let level () =
+  match Atomic.get current with
+  | Some l -> l
+  | None ->
+    let l = env_level () in
+    (* A racing initialisation reads the same environment: harmless. *)
+    Atomic.set current (Some l);
+    l
+
+let set_level l = Atomic.set current (Some l)
+
+let enabled l = severity l <= severity (level ()) && l <> Quiet
+
+(* Serialise emission so messages from concurrent worker domains never
+   interleave mid-line. *)
+let emit_mutex = Mutex.create ()
+
+let emit lvl msg =
+  Mutex.protect emit_mutex (fun () ->
+      Printf.eprintf "nsigma[%s] %s\n%!" (level_name lvl) msg)
+
+let logf lvl fmt =
+  if enabled lvl then Printf.ksprintf (emit lvl) fmt
+  else Printf.ikfprintf ignore () fmt
+
+let warn fmt = logf Warn fmt
+let info fmt = logf Info fmt
+let debug fmt = logf Debug fmt
+
+let kv fields =
+  String.concat "" (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) fields)

@@ -1,0 +1,39 @@
+(** Leveled structured logging for the whole pipeline.
+
+    One process-wide level, read from the [NSIGMA_LOG] environment
+    variable ([quiet|warn|info|debug], default [warn]) the first time it
+    is needed, overridable programmatically.  Messages are single
+    [key=value]-friendly lines on stderr, serialised across domains so
+    concurrent workers never interleave partial lines.
+
+    Every sampling/simulation module routes its diagnostics through this
+    module instead of raw [Printf.eprintf], so [NSIGMA_LOG=quiet]
+    silences the whole system (tests, batch sweeps) with one knob.
+
+    Disabled levels cost one atomic load and format nothing. *)
+
+type level = Quiet | Warn | Info | Debug
+
+val level_of_string : string -> level option
+(** ["quiet"|"off"|"none"], ["warn"|"warning"], ["info"], ["debug"]
+    (case-insensitive); [None] otherwise. *)
+
+val level_name : level -> string
+
+val level : unit -> level
+(** The current level: the last {!set_level}, else [NSIGMA_LOG], else
+    [Warn]. *)
+
+val set_level : level -> unit
+
+val enabled : level -> bool
+(** [enabled l] is true when a message at level [l] would be emitted.
+    Use to guard expensive context computation. *)
+
+val warn : ('a, unit, string, unit) format4 -> 'a
+val info : ('a, unit, string, unit) format4 -> 'a
+val debug : ('a, unit, string, unit) format4 -> 'a
+
+val kv : (string * string) list -> string
+(** [kv fields] renders [" k=v k=v ..."] for appending structured
+    context to a message. *)

@@ -1,0 +1,116 @@
+(** Lock-cheap metrics registry: counters, gauges, wall-clock timers and
+    log-scale latency histograms.
+
+    The registry is built for the Monte-Carlo hot loops: counter,
+    timer and histogram cells are sharded per domain (one cell per
+    metric per worker, reached through domain-local storage), so
+    recording from a domain pool touches no shared mutable state and
+    adds no contention — and therefore cannot perturb scheduling or
+    sampled values.  Shards are merged only at read time
+    ({!snapshot}), under the registry mutex, with names sorted so the
+    merged view is deterministic.
+
+    All recording is gated on one process-wide flag (default off).
+    When disabled every recording call is a single atomic load and
+    returns — instrumentation left in hot paths is effectively free.
+
+    Metrics are identified by name.  Looking a metric up
+    ({!counter}, {!timer}, {!histogram}, {!gauge}) takes a mutex and
+    should be done once, at module initialisation; the returned handle
+    is then safe to record on from any domain. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]). *)
+
+(** {2 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** The counter registered under [name], created on first use.
+    Idempotent: the same name yields the same metric. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+(** Merged total across all domain shards. *)
+
+(** {2 Gauges} *)
+
+type gauge
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+(** Last write wins (across domains, in no guaranteed order: set gauges
+    from one domain, or use {!max_gauge}). *)
+
+val max_gauge : gauge -> float -> unit
+(** Monotone max — safe from any domain. *)
+
+val gauge_value : gauge -> float
+
+(** {2 Timers} *)
+
+type timer
+
+val timer : string -> timer
+
+val add_time : timer -> float -> unit
+(** Accumulate [seconds] (one observation). *)
+
+val timer_value : timer -> int * float
+(** Merged [(count, total_seconds)]. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] and accumulates its wall time into the timer
+    [stage.<name>] (also logged at debug level).  When metrics are
+    disabled this is exactly [f ()]. *)
+
+(** {2 Log-scale latency histograms} *)
+
+type histogram
+
+val histogram : string -> histogram
+
+val observe : histogram -> float -> unit
+(** Record a latency in seconds.  Buckets are powers of two of a
+    nanosecond: bucket [i] holds observations in
+    [(2^(i-1) ns, 2^i ns]]. *)
+
+val n_buckets : int
+
+val bucket_upper_bound : int -> float
+(** Upper bound in seconds of bucket [i]. *)
+
+(** {2 Reading} *)
+
+type histogram_view = {
+  h_count : int;
+  h_sum : float;  (** total observed seconds *)
+  h_buckets : (float * int) list;
+      (** non-empty buckets as [(upper_bound_seconds, count)], ascending *)
+}
+
+type snapshot = {
+  s_counters : (string * int) list;
+  s_gauges : (string * float) list;
+  s_timers : (string * (int * float)) list;  (** name, (count, seconds) *)
+  s_histograms : (string * histogram_view) list;
+}
+(** All lists sorted by metric name; metrics that were registered but
+    never recorded appear with zero values, so well-known keys are
+    always present in run reports. *)
+
+val snapshot : unit -> snapshot
+(** Merge every shard.  Deterministic given the same recorded totals.
+    Taking a snapshot while worker domains are actively recording is
+    safe but may observe in-flight values; the pipeline snapshots after
+    pools have joined. *)
+
+val find_counter : string -> int
+(** Merged value of the named counter, [0] when it does not exist. *)
+
+val reset : unit -> unit
+(** Zero every shard of every metric (for tests and benchmarks). *)

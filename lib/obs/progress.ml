@@ -1,0 +1,65 @@
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let stderr_is_tty =
+  lazy (try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false)
+
+let active () =
+  enabled () && Lazy.force stderr_is_tty && Log.level () <> Log.Quiet
+
+type t = {
+  label : string;
+  total : int;
+  count : int Atomic.t;
+  started : float;
+  (* Milliseconds since [started] of the last render, for throttling;
+     an int so compare-and-set elects a single rendering domain. *)
+  last_ms : int Atomic.t;
+  live : bool;
+}
+
+let create ~label ~total =
+  {
+    label;
+    total;
+    count = Atomic.make 0;
+    started = Unix.gettimeofday ();
+    last_ms = Atomic.make 0;
+    live = active () && total > 0;
+  }
+
+let render t done_ =
+  let elapsed = Unix.gettimeofday () -. t.started in
+  let frac = float_of_int done_ /. float_of_int t.total in
+  let eta =
+    if done_ = 0 then "?"
+    else Printf.sprintf "%.1fs" (elapsed *. (1.0 -. frac) /. frac)
+  in
+  Printf.eprintf "\r%s %d/%d (%.0f%%) %.1fs elapsed, eta %s   %!" t.label done_
+    t.total (100.0 *. frac) elapsed eta
+
+let throttle_ms = 200
+
+let tick t =
+  if t.live then begin
+    let done_ = 1 + Atomic.fetch_and_add t.count 1 in
+    let ms = int_of_float ((Unix.gettimeofday () -. t.started) *. 1000.0) in
+    let last = Atomic.get t.last_ms in
+    if
+      (ms - last >= throttle_ms || done_ = t.total)
+      && Atomic.compare_and_set t.last_ms last ms
+    then render t done_
+  end
+  else if t.total > 0 then Atomic.incr t.count
+
+let finish t =
+  if t.live then begin
+    render t (Atomic.get t.count);
+    prerr_newline ()
+  end
+
+let with_bar ~label ~total f =
+  let t = create ~label ~total in
+  if not t.live then f ignore
+  else Fun.protect ~finally:(fun () -> finish t) (fun () -> f (fun () -> tick t))

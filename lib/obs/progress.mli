@@ -1,0 +1,30 @@
+(** Sampled stderr progress ticker with ETA for long sampling loops
+    (characterisation grids, path Monte-Carlo populations).
+
+    Off by default; enabled by the [--progress] CLI flag
+    ({!set_enabled}).  Even when enabled, a bar only renders when stderr
+    is a TTY and the log level is not [Quiet], so redirected or
+    silenced runs never see control characters.  Ticks are safe from
+    any worker domain, cost two atomic operations when live and one
+    atomic load when not, and renders are throttled to a few per
+    second. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val active : unit -> bool
+(** Whether a bar created now would actually render: {!enabled}, stderr
+    is a TTY, and the log level is not [Quiet]. *)
+
+type t
+
+val create : label:string -> total:int -> t
+val tick : t -> unit
+
+val finish : t -> unit
+(** Render the final state and terminate the line. *)
+
+val with_bar : label:string -> total:int -> ((unit -> unit) -> 'a) -> 'a
+(** [with_bar ~label ~total f] passes a tick function to [f] and
+    finishes the bar when [f] returns (or raises).  When inactive the
+    tick function is a no-op. *)

@@ -1,0 +1,143 @@
+let schema = "nsigma-run-report"
+let schema_version = 1
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x = if Float.is_finite x then Printf.sprintf "%.9g" x else "null"
+
+(* Utilization of the domain pools: fraction of worker wall-time spent
+   inside tasks, over every pool run of the process. *)
+let utilization (snap : Metrics.snapshot) =
+  match
+    ( List.assoc_opt "exec.worker.busy" snap.Metrics.s_timers,
+      List.assoc_opt "exec.pool.capacity" snap.Metrics.s_timers )
+  with
+  | Some (_, busy), Some (_, capacity) when capacity > 0.0 ->
+    Some (busy /. capacity)
+  | _ -> None
+
+let to_json ?(elapsed = 0.0) () =
+  let snap = Metrics.snapshot () in
+  let b = Buffer.create 4096 in
+  let field_sep = ref "" in
+  let add fmt =
+    Buffer.add_string b !field_sep;
+    field_sep := ",\n  ";
+    Printf.ksprintf (Buffer.add_string b) fmt
+  in
+  Buffer.add_string b "{\n  ";
+  add "\"schema\": \"%s\"" (json_escape schema);
+  add "\"schema_version\": %d" schema_version;
+  add "\"elapsed_seconds\": %s" (json_float elapsed);
+  add "\"log_level\": \"%s\"" (Log.level_name (Log.level ()));
+  let obj name entries render =
+    add "\"%s\": {%s}" name
+      (String.concat ", "
+         (List.map
+            (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) (render v))
+            entries))
+  in
+  obj "counters" snap.Metrics.s_counters string_of_int;
+  obj "gauges" snap.Metrics.s_gauges json_float;
+  obj "timers" snap.Metrics.s_timers (fun (count, seconds) ->
+      Printf.sprintf "{\"count\": %d, \"seconds\": %s}" count (json_float seconds));
+  obj "histograms" snap.Metrics.s_histograms (fun h ->
+      Printf.sprintf "{\"count\": %d, \"sum_seconds\": %s, \"buckets\": [%s]}"
+        h.Metrics.h_count (json_float h.Metrics.h_sum)
+        (String.concat ", "
+           (List.map
+              (fun (ub, n) -> Printf.sprintf "[%s, %d]" (json_float ub) n)
+              h.Metrics.h_buckets)));
+  (match utilization snap with
+  | Some u -> add "\"derived\": {\"exec_utilization\": %s}" (json_float u)
+  | None -> add "\"derived\": {}");
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let summary ?(elapsed = 0.0) () =
+  let snap = Metrics.snapshot () in
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "---- nsigma run report (%.2fs elapsed) ----" elapsed;
+  let nonzero_counters =
+    List.filter (fun (_, v) -> v <> 0) snap.Metrics.s_counters
+  in
+  if nonzero_counters <> [] then begin
+    line "counters:";
+    List.iter (fun (k, v) -> line "  %-34s %12d" k v) nonzero_counters
+  end;
+  let nonzero_gauges =
+    List.filter (fun (_, v) -> v <> 0.0) snap.Metrics.s_gauges
+  in
+  if nonzero_gauges <> [] then begin
+    line "gauges:";
+    List.iter (fun (k, v) -> line "  %-34s %12.4g" k v) nonzero_gauges
+  end;
+  let nonzero_timers =
+    List.filter (fun (_, (n, _)) -> n <> 0) snap.Metrics.s_timers
+  in
+  if nonzero_timers <> [] then begin
+    line "timers:";
+    List.iter
+      (fun (k, (n, s)) -> line "  %-34s %9.3fs over %d" k s n)
+      nonzero_timers
+  end;
+  let nonzero_histograms =
+    List.filter (fun (_, h) -> h.Metrics.h_count <> 0) snap.Metrics.s_histograms
+  in
+  if nonzero_histograms <> [] then begin
+    line "histograms:";
+    List.iter
+      (fun (k, h) ->
+        line "  %-34s n=%d mean=%.3gs" k h.Metrics.h_count
+          (h.Metrics.h_sum /. float_of_int (max 1 h.Metrics.h_count)))
+      nonzero_histograms
+  end;
+  (match utilization snap with
+  | Some u -> line "executor utilization: %.1f%%" (100.0 *. u)
+  | None -> ());
+  Buffer.contents b
+
+let write ?elapsed spec =
+  if spec = "-" then prerr_string (summary ?elapsed ())
+  else begin
+    let oc = open_out spec in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_json ?elapsed ()));
+    Log.info "wrote run report %s" spec
+  end
+
+let installed : string ref option ref = ref None
+
+let install spec =
+  Metrics.set_enabled true;
+  match !installed with
+  | Some target -> target := spec
+  | None ->
+    let target = ref spec in
+    installed := Some target;
+    let t0 = Metrics.now () in
+    at_exit (fun () ->
+        try write ~elapsed:(Metrics.now () -. t0) !target
+        with e ->
+          Printf.eprintf "nsigma: failed to write run report %s: %s\n%!" !target
+            (Printexc.to_string e))
+
+let install_from_env () =
+  match Sys.getenv_opt "NSIGMA_METRICS" with
+  | Some s when String.trim s <> "" -> install (String.trim s)
+  | _ -> ()

@@ -1,0 +1,35 @@
+(** Run reports: a schema-versioned JSON dump of the metrics registry
+    (same spirit as the [BENCH_*.json] records) or a human summary table
+    on stderr.
+
+    The CLI's [--metrics FILE] flag and the [NSIGMA_METRICS]
+    environment variable route here: [install spec] turns the registry
+    on and arranges for the report to be written at process exit.
+    [spec = "-"] pretty-prints the summary table to stderr instead of
+    writing JSON. *)
+
+val schema : string
+(** The report's schema identifier, ["nsigma-run-report"]. *)
+
+val schema_version : int
+
+val to_json : ?elapsed:float -> unit -> string
+(** Serialise the current registry snapshot.  The report always carries
+    every registered metric (zero-valued when untouched), so well-known
+    keys — kernel fallback counts, cache hit/miss, executor utilization
+    — are present in every report. *)
+
+val summary : ?elapsed:float -> unit -> string
+(** Human-readable summary table of the same snapshot. *)
+
+val write : ?elapsed:float -> string -> unit
+(** [write spec] dumps the report now: to stderr when [spec = "-"],
+    else as JSON to the file [spec]. *)
+
+val install : string -> unit
+(** Enable metrics collection and register an exit handler that writes
+    the report to [spec].  Calling again replaces the destination, not
+    the handler. *)
+
+val install_from_env : unit -> unit
+(** [install] from [NSIGMA_METRICS] when it is set and non-empty. *)

@@ -1,4 +1,18 @@
 module Technology = Nsigma_process.Technology
+module Log = Nsigma_obs.Log
+module Metrics = Nsigma_obs.Metrics
+
+(* Kernel telemetry.  Registered at module init so run reports always
+   carry these keys; recording is a no-op while metrics are disabled
+   and never touches sampled values. *)
+let m_rk4_calls = Metrics.counter "kernel.rk4.calls"
+let m_rk4_steps = Metrics.counter "kernel.rk4.steps"
+let m_fast_calls = Metrics.counter "kernel.fast.calls"
+let m_fast_ramp_limited = Metrics.counter "kernel.fast.ramp_limited"
+let m_fast_failed = Metrics.counter "kernel.fast.failed"
+let m_auto_calls = Metrics.counter "kernel.auto.calls"
+let m_auto_fallback = Metrics.counter "kernel.auto.fallback"
+let m_stuck = Metrics.counter "kernel.stuck"
 
 type result = { delay : float; output_slew : float }
 
@@ -80,13 +94,27 @@ let simulate ?(steps_per_phase = 16) tech arc ~input_slew ~load_cap =
   let t20 = ref nan and t50 = ref nan and t80 = ref nan in
   let t = ref 0.0 and u = ref 0.0 in
   let steps = ref 0 in
+  (* Non-convergence keeps its operating point in the exception (callers
+     and tests rely on the message) and additionally surfaces through
+     the logger and the [kernel.stuck] counter, so a Monte-Carlo sweep
+     can account for stuck corners without catching anything. *)
   let stuck () =
+    Metrics.incr m_stuck;
+    Log.debug "rk4 output stuck%s"
+      (Log.kv
+         [
+           ("swing_pct", Printf.sprintf "%.1f" (100.0 *. !u /. vdd));
+           ("steps", string_of_int !steps);
+           ("input_slew", Printf.sprintf "%.3g" input_slew);
+           ("load_cap", Printf.sprintf "%.3g" load_cap);
+         ]);
     failwith
       (Printf.sprintf
          "Cell_sim.simulate: output stuck at %.1f%% of swing after %d RK4 \
           steps (input_slew=%.3g s, load_cap=%.3g F)"
          (100.0 *. !u /. vdd) !steps input_slew load_cap)
   in
+  Metrics.incr m_rk4_calls;
   (* The 20%-travel level is crossed last; the loop exits as soon as it is
      recorded (the remaining exponential tail to the far rail is never
      integrated). *)
@@ -129,6 +157,7 @@ let simulate ?(steps_per_phase = 16) tech arc ~input_slew ~load_cap =
     t := t1;
     u := u1
   done;
+  Metrics.incr m_rk4_steps ~by:!steps;
   { delay = !t50 -. t50_in; output_slew = (!t20 -. !t80) /. 0.6 }
 
 (* ----- fast kernel: analytic effective current ----- *)
@@ -161,6 +190,7 @@ let simulate_fast_ext tech arc ~input_slew ~load_cap =
   if input_slew <= 0.0 then
     invalid_arg "Cell_sim.simulate_fast: slew must be positive";
   if load_cap < 0.0 then invalid_arg "Cell_sim.simulate_fast: negative load";
+  Metrics.incr m_fast_calls;
   let vdd = tech.Technology.vdd_nominal in
   let cap = load_cap +. arc.Arc.cap_intrinsic in
   let inv_cap = 1.0 /. cap in
@@ -204,12 +234,21 @@ let simulate_fast_ext tech arc ~input_slew ~load_cap =
     t := t1;
     u := u1
   done;
-  if !next < 3 && !t < tau then
+  if !next < 3 && !t < tau then begin
+    Metrics.incr m_fast_failed;
+    Log.debug "fast ramp stepping did not converge%s"
+      (Log.kv
+         [
+           ("steps", string_of_int !guard);
+           ("input_slew", Printf.sprintf "%.3g" input_slew);
+           ("load_cap", Printf.sprintf "%.3g" load_cap);
+         ]);
     failwith
       (Printf.sprintf
          "Cell_sim.simulate_fast: ramp stepping did not converge after %d \
           steps (input_slew=%.3g s, load_cap=%.3g F)"
-         !guard input_slew load_cap);
+         !guard input_slew load_cap)
+  end;
   (* 3. settled input: exact segment quadrature *)
   if !next < 3 then begin
     let a = ref !u in
@@ -221,12 +260,21 @@ let simulate_fast_ext tech arc ~input_slew ~load_cap =
         for i = 0 to 2 do
           let ui = !a +. (width *. gl_x.(i)) in
           let ii = Arc.drive c ~gate:vdd ~travel:ui in
-          if ii <= 0.0 then
+          if ii <= 0.0 then begin
+            Metrics.incr m_fast_failed;
+            Log.debug "fast settled phase cannot reach %.1f%% of swing%s"
+              (100.0 *. ui /. vdd)
+              (Log.kv
+                 [
+                   ("input_slew", Printf.sprintf "%.3g" input_slew);
+                   ("load_cap", Printf.sprintf "%.3g" load_cap);
+                 ]);
             failwith
               (Printf.sprintf
                  "Cell_sim.simulate_fast: arc cannot drive the output past \
                   %.1f%% of swing (input_slew=%.3g s, load_cap=%.3g F)"
-                 (100.0 *. ui /. vdd) input_slew load_cap);
+                 (100.0 *. ui /. vdd) input_slew load_cap)
+          end;
           s := !s +. (gl_w.(i) /. ii)
         done;
         t := !t +. (cap *. width *. !s)
@@ -236,6 +284,7 @@ let simulate_fast_ext tech arc ~input_slew ~load_cap =
       incr next
     done
   end;
+  if !ramp_limited then Metrics.incr m_fast_ramp_limited;
   ( {
       delay = times.(1) -. (tau /. 2.0);
       output_slew = (times.(2) -. times.(0)) /. 0.6;
@@ -255,10 +304,15 @@ let run ?kernel tech arc ~input_slew ~load_cap =
        happens after the input settles; when the transition is
        ramp-limited (or the fast path fails outright) fall back to the
        RK4 reference. *)
+    Metrics.incr m_auto_calls;
     match simulate_fast_ext tech arc ~input_slew ~load_cap with
     | r, false -> r
-    | _, true -> simulate tech arc ~input_slew ~load_cap
-    | exception Failure _ -> simulate tech arc ~input_slew ~load_cap)
+    | _, true ->
+      Metrics.incr m_auto_fallback;
+      simulate tech arc ~input_slew ~load_cap
+    | exception Failure _ ->
+      Metrics.incr m_auto_fallback;
+      simulate tech arc ~input_slew ~load_cap)
 
 let nominal_delay ?kernel tech arc ~input_slew ~load_cap =
   (run ?kernel tech arc ~input_slew ~load_cap).delay

@@ -2,6 +2,13 @@ module Variation = Nsigma_process.Variation
 module Moments = Nsigma_stats.Moments
 module Rng = Nsigma_stats.Rng
 module Executor = Nsigma_exec.Executor
+module Metrics = Nsigma_obs.Metrics
+module Log = Nsigma_obs.Log
+
+(* Registered at module init so run reports always carry the MC keys,
+   zero-valued when no study ran. *)
+let m_samples = Metrics.counter "mc.samples"
+let m_non_convergent = Metrics.counter "mc.non_convergent"
 
 type run = { delays : float array; n_failed : int }
 
@@ -40,7 +47,17 @@ let delays_counted ?exec tech g ~n f =
         match f sample with d -> Some d | exception Failure _ -> None)
   in
   let delays = compact measured in
-  { delays; n_failed = n - Array.length delays }
+  let n_failed = n - Array.length delays in
+  Metrics.incr m_samples ~by:n;
+  if n_failed > 0 then begin
+    Metrics.incr m_non_convergent ~by:n_failed;
+    Log.debug "monte-carlo study%s"
+      (Log.kv
+         [
+           ("samples", string_of_int n); ("non_convergent", string_of_int n_failed);
+         ])
+  end;
+  { delays; n_failed }
 
 let delays ?exec tech g ~n f = (delays_counted ?exec tech g ~n f).delays
 
@@ -50,7 +67,21 @@ let study ?exec tech g ~n f =
   (Moments.summary_of_array r.delays, r.delays)
 
 let arc_results ?exec ?kernel tech g ~n ~arc_of ~input_slew ~load_cap =
-  samples ?exec tech g ~n (fun sample ->
-      match Cell_sim.run ?kernel tech (arc_of sample) ~input_slew ~load_cap with
-      | r -> Some r
-      | exception Failure _ -> None)
+  let results =
+    samples ?exec tech g ~n (fun sample ->
+        match
+          Cell_sim.run ?kernel tech (arc_of sample) ~input_slew ~load_cap
+        with
+        | r -> Some r
+        | exception Failure _ -> None)
+  in
+  if Metrics.enabled () then begin
+    let failed =
+      Array.fold_left
+        (fun acc -> function None -> acc + 1 | Some _ -> acc)
+        0 results
+    in
+    Metrics.incr m_samples ~by:n;
+    if failed > 0 then Metrics.incr m_non_convergent ~by:failed
+  end;
+  results

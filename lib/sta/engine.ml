@@ -1,5 +1,6 @@
 module Netlist = Nsigma_netlist.Netlist
 module Cell = Nsigma_liberty.Cell
+module Metrics = Nsigma_obs.Metrics
 
 type net_arrival = { time : float; slew : float }
 
@@ -41,6 +42,7 @@ let in_edges_for kind out_edge =
 
 let analyze ?(input_slew = Provider.input_slew_default) ?(load_model = `Total)
     tech provider (design : Design.t) =
+  Metrics.span "sta.analyze" @@ fun () ->
   let nl = design.Design.netlist in
   let slots = Array.make_matrix nl.Netlist.n_nets 2 None in
   Array.iter

@@ -10,6 +10,13 @@ module Moments = Nsigma_stats.Moments
 module Quantile = Nsigma_stats.Quantile
 module Rng = Nsigma_stats.Rng
 module Executor = Nsigma_exec.Executor
+module Metrics = Nsigma_obs.Metrics
+module Progress = Nsigma_obs.Progress
+
+(* Registered at module init so run reports always carry the path-MC
+   keys, zero-valued when no path study ran. *)
+let m_samples = Metrics.counter "path_mc.samples"
+let m_non_convergent = Metrics.counter "path_mc.non_convergent"
 
 type stats = {
   samples : float array;
@@ -107,17 +114,28 @@ let run ?steps ?kernel ?(n = 1000) ?(seed = 11) ?(exec = Executor.default ())
     tech design path =
   let g = Rng.create ~seed in
   let measured =
-    Executor.map_array exec
-      (fun i ->
-        let sample = Variation.draw tech (Rng.derive g ~index:i) in
-        match simulate_sample ?steps ?kernel tech design path sample with
-        | d -> Some d
-        | exception Failure _ -> None)
-      ~n
+    Progress.with_bar ~label:"path-mc" ~total:n (fun tick ->
+        Metrics.span "path_mc" (fun () ->
+            Executor.map_array exec
+              (fun i ->
+                let sample = Variation.draw tech (Rng.derive g ~index:i) in
+                let r =
+                  match
+                    simulate_sample ?steps ?kernel tech design path sample
+                  with
+                  | d -> Some d
+                  | exception Failure _ -> None
+                in
+                tick ();
+                r)
+              ~n))
   in
   let samples =
     Array.to_list measured |> List.filter_map Fun.id |> Array.of_list
   in
+  Metrics.incr m_samples ~by:n;
+  let failed = n - Array.length samples in
+  if failed > 0 then Metrics.incr m_non_convergent ~by:failed;
   Array.sort Float.compare samples;
   let moments = Moments.summary_of_array samples in
   let quantile sigma =
@@ -131,19 +149,29 @@ let per_wire_quantiles ?steps ?kernel ?(n = 1000) ?(seed = 11)
   let n_hops = Path.n_stages path in
   let g = Rng.create ~seed in
   let rows =
-    Executor.map_array exec
-      (fun i ->
-        let sample = Variation.draw tech (Rng.derive g ~index:i) in
-        let wires = Array.make n_hops nan in
-        match
-          simulate_sample_record ?steps ?kernel tech design path sample
-            ~record_wire:(fun k d -> wires.(k) <- d)
-        with
-        | (_ : float) -> Some wires
-        | exception Failure _ -> None)
-      ~n
+    Progress.with_bar ~label:"per-wire quantiles" ~total:n (fun tick ->
+        Metrics.span "path_mc.per_wire" (fun () ->
+            Executor.map_array exec
+              (fun i ->
+                let sample = Variation.draw tech (Rng.derive g ~index:i) in
+                let wires = Array.make n_hops nan in
+                let r =
+                  match
+                    simulate_sample_record ?steps ?kernel tech design path
+                      sample
+                      ~record_wire:(fun k d -> wires.(k) <- d)
+                  with
+                  | (_ : float) -> Some wires
+                  | exception Failure _ -> None
+                in
+                tick ();
+                r)
+              ~n))
   in
   let rows = Array.to_list rows |> List.filter_map Fun.id in
+  Metrics.incr m_samples ~by:n;
+  let failed = n - List.length rows in
+  if failed > 0 then Metrics.incr m_non_convergent ~by:failed;
   List.init n_hops (fun k ->
       let arr = Array.of_list (List.map (fun w -> w.(k)) rows) in
       Nsigma_stats.Quantile.of_sample arr
