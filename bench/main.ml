@@ -1194,11 +1194,188 @@ let obs_bench () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Plan: precompiled sampling plans vs per-sample arc rebuild.         *)
+(* ------------------------------------------------------------------ *)
+
+let plan_mc = env_int "NSIGMA_BENCH_PLAN_MC" 500
+
+(* The plan layer's design target was 2x; strict bit-identity with the
+   per-sample rebuild path caps the measured ratio at ~1.55-1.7x on the
+   RK4 kernel (the planned hot loop sits within ~1.5us/sample of the pure
+   libm floor, and bit-identity forbids restructuring the exp/log1p
+   work itself).  The default gate is therefore a regression bar safely
+   below the measured range; the aspirational target is recorded in the
+   JSON as [target_speedup] so the gap stays visible. *)
+let plan_target_speedup = 2.0
+
+let plan_min_speedup =
+  match Sys.getenv_opt "NSIGMA_BENCH_PLAN_MIN_SPEEDUP" with
+  | Some v -> (try float_of_string v with _ -> 1.35)
+  | None -> 1.35
+
+let plan_bench () =
+  header "Plan — precompiled sampling plans vs per-sample arc rebuild";
+  (* Characterisation-shaped workload on the RK4 reference kernel: the
+     plan layer's target is the expensive kernel, where per-sample arc
+     construction *and* the restructured simulator loop both count.  A
+     cell subset keeps the RK4 passes affordable; test_plan covers the
+     full bit-identity matrix. *)
+  let cells =
+    [ Cell.make Inv ~strength:1;
+      Cell.make Nand2 ~strength:2;
+      Cell.make Aoi21 ~strength:1 ]
+  in
+  let kernel = Cell_sim.Rk4 in
+  let work =
+    List.concat_map
+      (fun cell ->
+        let loads = Ch.loads_for tech cell in
+        List.concat_map
+          (fun edge ->
+            Array.to_list Ch.default_slews
+            |> List.concat_map (fun s ->
+                   Array.to_list loads |> List.map (fun l -> (cell, edge, s, l))))
+          [ `Rise; `Fall ])
+      cells
+  in
+  let n_points = List.length work in
+  let total_samples = n_points * plan_mc in
+  Printf.printf "grid: %d points x mc=%d (%s kernel), %d samples/pass\n%!"
+    n_points plan_mc (Cell_sim.kernel_name kernel) total_samples;
+  (* Both passes use the exact per-point stream characterisation uses
+     ([Rng.derive] from the grid index), so the populations must agree
+     bit for bit — the oracle below checks it.  [Gc.minor_words] around
+     each timed pass gives allocation per sample. *)
+  let stream idx = Rng.derive (Rng.create ~seed:1) ~index:idx in
+  (* The unplanned side replays the pre-plan measure_point verbatim —
+     per-sample arc rebuild through [arc_results] plus the option-array →
+     list → array compaction it used — so the ratio is the end-to-end
+     characterisation delta, not just the kernel's. *)
+  let unplanned_pass () =
+    Gc.compact ();
+    let mw0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let out =
+      List.mapi
+        (fun idx (cell, edge, slew, load) ->
+          let results =
+            Monte_carlo.arc_results ~exec:Executor.sequential ~kernel tech
+              (stream idx) ~n:plan_mc
+              ~arc_of:(fun sample -> Cell.arc tech sample cell ~output_edge:edge)
+              ~input_slew:slew ~load_cap:load
+          in
+          let ok = Array.to_list results |> List.filter_map Fun.id in
+          let delays = Array.of_list (List.map (fun r -> r.Cell_sim.delay) ok) in
+          let out_slews = List.map (fun r -> r.Cell_sim.output_slew) ok in
+          let sorted = Array.copy delays in
+          Array.sort Float.compare sorted;
+          let mean =
+            List.fold_left ( +. ) 0.0 out_slews
+            /. float_of_int (List.length out_slews)
+          in
+          ignore (Sys.opaque_identity mean);
+          (* Population in stream order, NaN for non-convergent, for the
+             bit-identity oracle. *)
+          Array.map
+            (function Some r -> r.Cell_sim.delay | None -> Float.nan)
+            results)
+        work
+    in
+    (out, Unix.gettimeofday () -. t0, Gc.minor_words () -. mw0)
+  in
+  let planned_pass () =
+    Gc.compact ();
+    let mw0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let out =
+      List.mapi
+        (fun idx (cell, edge, slew, load) ->
+          let delays, slews =
+            Monte_carlo.arc_delays_planned ~exec:Executor.sequential ~kernel
+              tech (stream idx) ~n:plan_mc
+              ~plan:(fun () -> Cell.plan tech cell ~output_edge:edge)
+              ~input_slew:slew ~load_cap:load
+          in
+          let ok = Monte_carlo.compact_nan delays in
+          let sorted = Array.copy ok in
+          Array.sort Float.compare sorted;
+          let sum = ref 0.0 and n_ok = ref 0 in
+          Array.iteri
+            (fun i d ->
+              if not (Float.is_nan d) then begin
+                sum := !sum +. slews.(i);
+                incr n_ok
+              end)
+            delays;
+          ignore (Sys.opaque_identity (!sum /. float_of_int !n_ok));
+          delays)
+        work
+    in
+    (out, Unix.gettimeofday () -. t0, Gc.minor_words () -. mw0)
+  in
+  (* Interleave the two variants so they see the same contention epochs;
+     keep each side's faster pass.  Allocation counts come from the first
+     rep — they are deterministic, unlike wall clock. *)
+  let u_out, u1, u_words = unplanned_pass () in
+  let p_out, p1, p_words = planned_pass () in
+  let _, u2, _ = unplanned_pass () in
+  let _, p2, _ = planned_pass () in
+  let t_unplanned = Float.min u1 u2 and t_planned = Float.min p1 p2 in
+  let speedup = t_unplanned /. Float.max 1e-9 t_planned in
+  let wps_unplanned = u_words /. float_of_int total_samples in
+  let wps_planned = p_words /. float_of_int total_samples in
+  Printf.printf "  unplanned (rebuild/sample) %8.2fs  %8.0f words/sample\n%!"
+    t_unplanned wps_unplanned;
+  Printf.printf "  planned   (fill in place)  %8.2fs  %8.0f words/sample   \
+                 speedup %.2fx\n%!"
+    t_planned wps_planned speedup;
+  if speedup < plan_target_speedup then
+    Printf.printf
+      "  (below the %.1fx design target: bit-identity caps the RK4 ratio \
+       near the libm floor; gate is the %.2fx regression bar)\n%!"
+      plan_target_speedup plan_min_speedup;
+  let identical =
+    List.for_all2
+      (fun u p ->
+        Array.length u = Array.length p
+        && Array.for_all
+             (fun i ->
+               (Float.is_nan u.(i) && Float.is_nan p.(i))
+               || Int64.equal (Int64.bits_of_float u.(i))
+                    (Int64.bits_of_float p.(i)))
+             (Array.init (Array.length u) Fun.id))
+      u_out p_out
+  in
+  Printf.printf "  bit-identical populations planned vs unplanned: %b\n%!"
+    identical;
+  let pass =
+    identical && speedup >= plan_min_speedup && wps_planned < wps_unplanned
+  in
+  let json =
+    Printf.sprintf
+      {|{"experiment": "plan", "cells": %d, "edges": 2, "grid_points": %d, "n_mc": %d, "kernel": "%s", "unplanned_seconds": %.3f, "planned_seconds": %.3f, "speedup": %.3f, "min_speedup": %.2f, "target_speedup": %.2f, "unplanned_words_per_sample": %.1f, "planned_words_per_sample": %.1f, "bit_identical": %b, "pass": %b}|}
+      (List.length cells) n_points plan_mc (Cell_sim.kernel_name kernel)
+      t_unplanned t_planned speedup plan_min_speedup plan_target_speedup
+      wps_unplanned wps_planned identical pass
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_plan.json" in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Printf.printf "  appended to BENCH_plan.json\n";
+  if not pass then begin
+    Printf.eprintf
+      "plan bench FAILED: speedup %.2fx (need >= %.2fx), bit_identical %b, \
+       words/sample %.0f planned vs %.0f unplanned\n"
+      speedup plan_min_speedup identical wps_planned wps_unplanned;
+    exit 1
+  end
+
 let usage () =
   print_endline
     "usage: main.exe [--jobs N] [--metrics FILE] \
      [fig2|fig3|fig4|table1|table2|fig7|fig8|fig9|fig10|fig11|table3 \
-     [circuits...]|speedup|exec|kernel|obs|ablation|highsigma|micro|all]"
+     [circuits...]|speedup|exec|kernel|obs|plan|ablation|highsigma|micro|all]"
 
 (* [--jobs N] (or [-j N]) installs itself as NSIGMA_JOBS so every
    sampling loop — characterisation, path MC, wire lab — picks it up
@@ -1262,6 +1439,7 @@ let () =
   | "exec" :: _ -> exec_speedup ()
   | "kernel" :: _ -> kernel_bench ()
   | "obs" :: _ -> obs_bench ()
+  | "plan" :: _ -> plan_bench ()
   | "ablation" :: _ -> ablation ()
   | "highsigma" :: _ -> highsigma ()
   | "micro" :: _ -> micro ()

@@ -83,14 +83,16 @@ let jobs = function Sequential -> 1 | Pool { jobs } -> jobs
    when metrics are disabled the only cost is one atomic load at run
    start.  Recording never touches task values or the RNG discipline,
    so the bit-identical invariant is unaffected. *)
-let pool_run ~jobs ~chunk ~n f =
-  let results = Array.make n None in
+let pool_exec ~jobs ~chunk ~n ~init ~run_range =
   let cursor = Atomic.make 0 in
   let failure = Atomic.make None in
   let measuring = Metrics.enabled () in
   let t_run0 = if measuring then Metrics.now () else 0.0 in
   let worker () =
     let t_start = if measuring then Metrics.now () else 0.0 in
+    (* Per-worker scratch: allocated once on the worker domain, never
+       shared, so plan fills can mutate it without synchronisation. *)
+    let scratch = init () in
     let busy = ref 0.0 and tasks = ref 0 and fetches = ref 0 in
     let running = ref true in
     while !running do
@@ -101,9 +103,7 @@ let pool_run ~jobs ~chunk ~n f =
         let stop = min n (start + chunk) in
         let t0 = if measuring then Metrics.now () else 0.0 in
         (try
-           for i = start to stop - 1 do
-             results.(i) <- Some (f i)
-           done;
+           run_range scratch start stop;
            tasks := !tasks + (stop - start)
          with e ->
            let bt = Printexc.get_raw_backtrace () in
@@ -132,9 +132,18 @@ let pool_run ~jobs ~chunk ~n f =
         Metrics.max_gauge g_tasks_max (float_of_int tasks))
       stats
   end;
-  (match Atomic.get failure with
+  match Atomic.get failure with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-  | None -> ());
+  | None -> ()
+
+let pool_run ~jobs ~chunk ~n f =
+  let results = Array.make n None in
+  pool_exec ~jobs ~chunk ~n
+    ~init:(fun () -> ())
+    ~run_range:(fun () start stop ->
+      for i = start to stop - 1 do
+        results.(i) <- Some (f i)
+      done);
   Array.map (function Some v -> v | None -> assert false) results
 
 let run t ~chunk f ~n =
@@ -146,6 +155,45 @@ let run t ~chunk f ~n =
   | Pool { jobs } -> pool_run ~jobs ~chunk ~n f
 
 let map_array t f ~n = run t ~chunk:1 f ~n
+
+let map_scratch t ~init f ~n =
+  if n < 0 then invalid_arg "Executor: n must be non-negative";
+  match t with
+  | Sequential ->
+    Metrics.incr m_seq_tasks ~by:n;
+    let scratch = init () in
+    Array.init n (f scratch)
+  | Pool { jobs } ->
+    let results = Array.make n None in
+    pool_exec ~jobs ~chunk:1 ~n ~init
+      ~run_range:(fun scratch start stop ->
+        for i = start to stop - 1 do
+          results.(i) <- Some (f scratch i)
+        done);
+    Array.map (function Some v -> v | None -> assert false) results
+
+let map_float_into t ~init f ~out ~n =
+  if n < 0 then invalid_arg "Executor: n must be non-negative";
+  if Array.length out < n then
+    invalid_arg "Executor.map_float_into: output buffer shorter than n";
+  match t with
+  | Sequential ->
+    Metrics.incr m_seq_tasks ~by:n;
+    let scratch = init () in
+    for i = 0 to n - 1 do
+      out.(i) <- f scratch i
+    done
+  | Pool { jobs } ->
+    pool_exec ~jobs ~chunk:1 ~n ~init
+      ~run_range:(fun scratch start stop ->
+        for i = start to stop - 1 do
+          out.(i) <- f scratch i
+        done)
+
+let map_float_array t ~init f ~n =
+  let out = Array.make n Float.nan in
+  map_float_into t ~init f ~out ~n;
+  out
 
 let map_chunked t ?chunk f ~n =
   let chunk =

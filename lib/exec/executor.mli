@@ -64,3 +64,29 @@ val map_chunked : t -> ?chunk:int -> (int -> 'a) -> n:int -> 'a array
     queue round-trip, amortising dispatch for large populations of cheap
     tasks.  [chunk] defaults to [n / (8 * jobs)] (at least 1).  Output is
     identical to {!map_array}. *)
+
+(** {1 Scratch-carrying maps (plan layer)}
+
+    The per-sample fill of a precompiled sampling plan needs mutable
+    scratch (an {!Nsigma_spice.Arc.skeleton}, preallocated RC buffers)
+    that must not be shared between domains.  [init] builds that scratch:
+    it is called once on the calling domain for {!sequential} and once
+    per worker domain for a pool, before any task runs.  [f scratch i]
+    must derive everything sample-dependent from [i] alone (the usual RNG
+    discipline) and fully overwrite whatever scratch state it reads —
+    then results stay bit-identical across backends and pool sizes even
+    though scratch instances are reused across samples. *)
+
+val map_scratch : t -> init:(unit -> 's) -> ('s -> int -> 'a) -> n:int -> 'a array
+(** {!map_array} with per-worker scratch. *)
+
+val map_float_into :
+  t -> init:(unit -> 's) -> ('s -> int -> float) -> out:float array -> n:int -> unit
+(** Write [f scratch i] into [out.(i)] for [i < n] — results land
+    directly in the unboxed float array, with no intermediate [option]
+    boxing (callers use a NaN sentinel for failed samples).
+    @raise Invalid_argument if [out] is shorter than [n]. *)
+
+val map_float_array :
+  t -> init:(unit -> 's) -> ('s -> int -> float) -> n:int -> float array
+(** {!map_float_into} into a fresh NaN-filled array of length [n]. *)

@@ -125,6 +125,15 @@ let arc tech sample t ~output_edge =
   Arc.make tech sample ~pull ~depth ~strength ~parallel
     ~opposing_width_mult:(float_of_int t.strength) ()
 
+let plan tech t ~output_edge =
+  let depth, parallel = topology t.kind ~output_edge in
+  let pull = match output_edge with `Rise -> Arc.Pull_up | `Fall -> Arc.Pull_down in
+  (* Mirrors [arc] exactly, minus the variation sample: same sizing, same
+     topology, so a filled skeleton is bit-identical to [arc]'s result. *)
+  let strength = float_of_int (t.strength * depth) in
+  Arc.skeleton tech ~pull ~depth ~strength ~parallel
+    ~opposing_width_mult:(float_of_int t.strength) ()
+
 let drive_resistance (tech : Technology.t) t =
   let a = arc tech Nsigma_process.Variation.nominal t ~output_edge:`Fall in
   let vdd = tech.vdd_nominal in

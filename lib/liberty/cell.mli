@@ -81,4 +81,14 @@ val arc :
 (** Build the worst-case switching arc for the given output edge under
     one variation sample. *)
 
+val plan :
+  Nsigma_process.Technology.t ->
+  t ->
+  output_edge:[ `Rise | `Fall ] ->
+  Nsigma_spice.Arc.skeleton
+(** Precompiled sampling plan for the same arc: compile the structure
+    once, then {!Nsigma_spice.Arc.fill} per sample.  A filled plan is
+    bit-identical to {!arc} + {!Nsigma_spice.Arc.compile} for the same
+    sample.  Draws nothing (safe to build on worker domains). *)
+
 val pp : Format.formatter -> t -> unit

@@ -71,27 +71,37 @@ let characterize ?(n_mc = 2000) ?(seed = 1) ?(slews = default_slews) ?loads
        neither adding grid points nor the scheduling order of the
        executor perturbs other points' samples. *)
     let gp = Rng.derive g ~index in
-    let results =
-      (* Grid points are the parallel unit; the inner sampling loop runs
-         sequentially to keep one level of domain spawning. *)
-      Monte_carlo.arc_results ~exec:Executor.sequential ~kernel tech gp
+    (* Sampling goes through the plan layer: the arc skeleton is compiled
+       once per (cell, edge, operating point) and refreshed in place per
+       sample — bit-identical to rebuilding the arc every sample (the
+       unplanned [Monte_carlo.arc_results] path), as test_plan asserts.
+       Grid points are the parallel unit; the inner sampling loop runs
+       sequentially to keep one level of domain spawning. *)
+    let delays_all, slews_all =
+      Monte_carlo.arc_delays_planned ~exec:Executor.sequential ~kernel tech gp
         ~n:n_mc
-        ~arc_of:(fun sample -> Cell.arc tech sample cell ~output_edge:edge)
+        ~plan:(fun () -> Cell.plan tech cell ~output_edge:edge)
         ~input_slew:slew ~load_cap:load
     in
-    let ok = Array.to_list results |> List.filter_map Fun.id in
-    let delays = Array.of_list (List.map (fun r -> r.Cell_sim.delay) ok) in
-    let out_slews = List.map (fun r -> r.Cell_sim.output_slew) ok in
+    let delays = Monte_carlo.compact_nan delays_all in
     if Array.length delays < 8 then
       failwith
         (Printf.sprintf "Characterize: %s produced too few valid samples"
            (Cell.name cell));
+    (* Single ascending pass: the addition order matches the list fold
+       this replaces, keeping the mean bit-identical. *)
+    let sum_slew = ref 0.0 and n_ok = ref 0 in
+    Array.iteri
+      (fun i d ->
+        if not (Float.is_nan d) then begin
+          sum_slew := !sum_slew +. slews_all.(i);
+          incr n_ok
+        end)
+      delays_all;
+    let mean_out_slew = !sum_slew /. float_of_int !n_ok in
     Array.sort Float.compare delays;
     let moments = Moments.summary_of_array delays in
     let quantiles = Array.map (Quantile.of_sorted delays) sigma_probs in
-    let mean_out_slew =
-      List.fold_left ( +. ) 0.0 out_slews /. float_of_int (List.length out_slews)
-    in
     { slew; load; moments; quantiles; mean_out_slew }
   in
   let n_loads = Array.length loads in

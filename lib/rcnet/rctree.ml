@@ -1,4 +1,9 @@
-type node = { name : string; parent : int; res : float; cap : float }
+type node = {
+  name : string;
+  parent : int;
+  mutable res : float;
+  mutable cap : float;
+}
 
 type t = {
   nodes : node array;
@@ -72,6 +77,30 @@ let map_segments t f =
       t.nodes
   in
   create ~nodes ~taps:t.taps
+
+(* In-place refresh for sampling-plan scratch trees.  [copy] gives the
+   caller a tree whose node records are private to it (name strings,
+   taps and children are immutable and stay shared); [refill]/[bump_cap]
+   then mutate only such owned copies — functional constructors like
+   [add_cap] share node records, so mutating a tree one did not [copy]
+   would corrupt its siblings. *)
+let copy t = { t with nodes = Array.map (fun nd -> { nd with res = nd.res }) t.nodes }
+
+let refill t ~res ~cap =
+  let n = n_nodes t in
+  if Array.length res <> n || Array.length cap <> n then
+    invalid_arg "Rctree.refill: array length mismatch";
+  if res.(0) <> 0.0 then invalid_arg "Rctree.refill: root resistance must be 0";
+  for i = 0 to n - 1 do
+    let nd = t.nodes.(i) in
+    nd.res <- res.(i);
+    nd.cap <- cap.(i)
+  done
+
+let bump_cap t i c =
+  if i < 0 || i >= n_nodes t then invalid_arg "Rctree.bump_cap: index out of range";
+  let nd = t.nodes.(i) in
+  nd.cap <- nd.cap +. c
 
 let path_to_root t i =
   if i < 0 || i >= n_nodes t then

@@ -9,9 +9,12 @@
 type node = {
   name : string;
   parent : int;  (** index of the parent node; -1 for the root *)
-  res : float;  (** resistance to the parent (Ω); 0 for the root *)
-  cap : float;  (** grounded capacitance at this node (F) *)
+  mutable res : float;  (** resistance to the parent (Ω); 0 for the root *)
+  mutable cap : float;  (** grounded capacitance at this node (F) *)
 }
+(** [res]/[cap] are mutable so a sampling plan can {!refill} a scratch
+    tree in place; the type stays [private], so outside this module the
+    only writes are through {!refill} and {!bump_cap}. *)
 
 type t = private {
   nodes : node array;
@@ -44,6 +47,24 @@ val map_segments :
   t -> (int -> node -> float * float) -> t
 (** [map_segments t f] rebuilds the tree with per-node (res, cap) returned
     by [f index node] — used for per-segment variation. *)
+
+val copy : t -> t
+(** A tree whose node records are owned by the caller — the target for
+    the in-place operations below.  Taps and children stay shared (they
+    are never mutated). *)
+
+val refill : t -> res:float array -> cap:float array -> unit
+(** Overwrite every node's R and C in place from the given arrays —
+    the allocation-free counterpart of {!map_segments} for per-sample
+    variation.  Only call on trees obtained from {!copy}: functional
+    constructors such as {!add_cap} share node records between trees,
+    and refilling a shared tree would corrupt its siblings.
+    @raise Invalid_argument on length mismatch or nonzero root
+    resistance. *)
+
+val bump_cap : t -> int -> float -> unit
+(** [bump_cap t i c] adds [c] at node [i] in place — {!add_cap} for
+    owned scratch trees.  Same ownership caveat as {!refill}. *)
 
 val path_to_root : t -> int -> int list
 (** Node indices from the given node up to (and including) the root. *)

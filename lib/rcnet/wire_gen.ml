@@ -66,6 +66,29 @@ let vary (tech : Technology.t) sample tree =
         (nd.res *. (1.0 +. clip dr), nd.cap *. (1.0 +. clip dc))
       end)
 
+(* The in-place counterpart of [vary] for sampling-plan scratch: same
+   deviates in the same draw order (node 1..n ascending, dr before dc),
+   same clip expression, so the refilled tree is bit-identical to the one
+   [vary] would have built.  [res]/[cap] are caller-owned scratch arrays
+   sized to the tree. *)
+let vary_into (tech : Technology.t) sample ~base ~into ~res ~cap =
+  let nodes = base.Rctree.nodes in
+  for i = 0 to Array.length nodes - 1 do
+    let nd = nodes.(i) in
+    if i = 0 then begin
+      res.(0) <- 0.0;
+      cap.(0) <- nd.Rctree.cap
+    end
+    else begin
+      let dr = Variation.local_relative sample ~sigma:tech.sigma_wire_res in
+      let dc = Variation.local_relative sample ~sigma:tech.sigma_wire_cap in
+      let clip x = Float.max (-0.5) (Float.min 0.5 x) in
+      res.(i) <- nd.Rctree.res *. (1.0 +. clip dr);
+      cap.(i) <- nd.Rctree.cap *. (1.0 +. clip dc)
+    end
+  done;
+  Rctree.refill into ~res ~cap
+
 let for_fanout tech ~fanout ?(backbone_um = (4.0, 20.0)) ?(stub_um = (1.0, 4.0)) g =
   if fanout <= 0 then invalid_arg "Wire_gen.for_fanout: fanout <= 0";
   (* backbone_um bounds the *total* route length; each of the [fanout]

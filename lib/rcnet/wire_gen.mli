@@ -38,6 +38,19 @@ val vary :
     independent lognormal-ish deviates with the technology's BEOL sigmas
     (correlated 100% within a segment, independent across segments). *)
 
+val vary_into :
+  Nsigma_process.Technology.t ->
+  Nsigma_process.Variation.t ->
+  base:Rctree.t ->
+  into:Rctree.t ->
+  res:float array ->
+  cap:float array ->
+  unit
+(** Allocation-free {!vary} for precompiled sampling plans: draws the
+    same deviates in the same order and {!Rctree.refill}s [into] (a
+    {!Rctree.copy} of [base]) through the caller-owned scratch arrays
+    [res]/[cap] (length [n_nodes base]).  Bit-identical to {!vary}. *)
+
 val for_fanout :
   Nsigma_process.Technology.t ->
   fanout:int ->

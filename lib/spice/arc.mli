@@ -66,7 +66,12 @@ type compiled
 
 val compile : Nsigma_process.Technology.t -> t -> compiled
 (** Precompute the arc's constants.  The result is valid as long as the
-    arc and technology are unchanged (they are immutable). *)
+    arc and technology are unchanged. *)
+
+val compile_into : Nsigma_process.Technology.t -> t -> compiled -> unit
+(** Recompute the constants of [arc] into an existing compiled record in
+    place (no allocation).  [compile] is allocate-zeros + [compile_into],
+    so refilled records are bit-identical to freshly compiled ones. *)
 
 val cap_intrinsic_of : compiled -> float
 (** The arc's intrinsic output capacitance (F), carried for callers that
@@ -81,3 +86,70 @@ val drive : compiled -> gate:float -> travel:float -> float
     terms share one V_DS = (VDD − travel)/depth and factor out of the
     harmonic stack sum — but ~depth× cheaper, and identical for both
     pull directions. *)
+
+val drive_settled : compiled -> travel:float -> float
+(** [drive c ~gate:VDD ~travel], with the gate-dependent factors read
+    from caches hoisted at compile time.  Bit-identical to [drive] (pure
+    common-subexpression elimination); used by the settled phase of the
+    sampling kernels, where it saves the two log1p_exp evaluations that
+    dominate [drive]'s cost. *)
+
+val set_gate : compiled -> gate:float -> unit
+(** Cache the gate-dependent factors (switching-device denominator and
+    opposing prefactor) for [gate] into the compiled record, so repeated
+    {!drive_gated} calls at the same gate voltage — e.g. the k2/k3 stage
+    evaluations of an RK4 step, or a step's endpoint reused as the next
+    step's start — skip their recomputation. *)
+
+val drive_gated : compiled -> travel:float -> float
+(** [drive c ~gate ~travel] for the gate most recently passed to
+    {!set_gate}; bit-identical to [drive] at that gate. *)
+
+val vth_sw_of : compiled -> float
+(** Threshold voltage of the switching device (V). *)
+
+val nut_of : compiled -> float
+(** n·U_T, the sub-threshold e-fold slope (V). *)
+
+(** {1 Precompiled sampling plans}
+
+    A Monte-Carlo study evaluates thousands of samples of the same arc
+    structure; only the per-device Vth/β deltas change.  A [skeleton]
+    compiles the variation-independent structure once; {!fill} then
+    applies one sample's deltas into the skeleton's preallocated scratch
+    (devices + compiled record) without allocating.  [fill] draws from
+    the sample in exactly the order {!make} does, and recomputes exactly
+    the expressions {!compile} does, so a filled skeleton is bit-identical
+    to [make] + [compile] for the same sample. *)
+
+type skeleton
+(** Preallocated scratch for one arc: the mutable device array plus its
+    compiled form.  NOT thread-safe — each worker domain must own its own
+    skeleton (see [Executor.map_scratch]). *)
+
+val skeleton :
+  Nsigma_process.Technology.t ->
+  pull:pull ->
+  depth:int ->
+  strength:float ->
+  ?parallel:int ->
+  ?switching:int ->
+  ?opposing_width_mult:float ->
+  unit ->
+  skeleton
+(** Compile the variation-independent structure: same signature and
+    validation as {!make} minus the variation sample.  Draws nothing from
+    any RNG (safe on worker domains).  Time is recorded under the
+    [plan.compile.seconds] timer. *)
+
+val fill : Nsigma_process.Technology.t -> skeleton -> Nsigma_process.Variation.t -> unit
+(** Apply one sample's variation into the skeleton in place.  Allocation-
+    free on the hot path; time under [plan.fill.seconds], count under
+    [plan.fills]. *)
+
+val skeleton_arc : skeleton -> t
+(** The skeleton's arc view (valid for the most recent {!fill}); lets the
+    RK4 wire co-simulation ({!Rc_sim.simulate}) reuse plan scratch. *)
+
+val skeleton_compiled : skeleton -> compiled
+(** The skeleton's compiled view (valid for the most recent {!fill}). *)

@@ -316,3 +316,265 @@ let run ?kernel tech arc ~input_slew ~load_cap =
 
 let nominal_delay ?kernel tech arc ~input_slew ~load_cap =
   (run ?kernel tech arc ~input_slew ~load_cap).delay
+
+(* ----- compiled-arc sampling kernels (plan layer) -----
+
+   The same measurements as [simulate]/[simulate_fast], taking the arc in
+   its precompiled form so a Monte-Carlo plan can refresh one scratch per
+   sample ({!Arc.fill}) and skip per-sample construction.  The loops are
+   restructured for speed — the full-drive and per-gate invariants are
+   hoisted through [Arc.drive_settled] / [Arc.set_gate]+[Arc.drive_gated]
+   (during the ramp a step's endpoint gate is the next step's start, so
+   each RK4 step prepares only two new gate voltages instead of
+   re-deriving four), and all loop state lives in one flat all-float
+   record instead of boxed refs — but every floating-point expression on
+   the value path keeps the reference kernels' exact operation order and
+   grouping, so results are bit-identical (asserted by test_plan). *)
+
+type sim_scratch = {
+  mutable s_t : float;
+  mutable s_u : float;
+  mutable s_t20 : float;
+  mutable s_t50 : float;
+  mutable s_t80 : float;
+  mutable s_prep : float;  (* time whose gate factors [Arc.set_gate] cached *)
+  mutable s_lo : float;  (* bisection bracket for crossing search *)
+  mutable s_hi : float;
+}
+
+(* [hermite_crossing] with the bracket kept in the scratch record; the
+   polynomial is evaluated with the identical expression. *)
+let hermite_crossing_st st ~t0 ~dt ~u0 ~u1 ~f0 ~f1 level =
+  if u1 <= u0 then t0 +. dt
+  else begin
+    let d0 = dt *. f0 and d1 = dt *. f1 in
+    st.s_lo <- 0.0;
+    st.s_hi <- 1.0;
+    for _ = 1 to 30 do
+      let s = 0.5 *. (st.s_lo +. st.s_hi) in
+      let s2 = s *. s in
+      let s3 = s2 *. s in
+      let v =
+        (((2.0 *. s3) -. (3.0 *. s2) +. 1.0) *. u0)
+        +. ((s3 -. (2.0 *. s2) +. s) *. d0)
+        +. (((-2.0 *. s3) +. (3.0 *. s2)) *. u1)
+        +. ((s3 -. s2) *. d1)
+      in
+      if v < level then st.s_lo <- s else st.s_hi <- s
+    done;
+    t0 +. (0.5 *. (st.s_lo +. st.s_hi) *. dt)
+  end
+
+let fresh_scratch () =
+  {
+    s_t = 0.0;
+    s_u = 0.0;
+    s_t20 = nan;
+    s_t50 = nan;
+    s_t80 = nan;
+    s_prep = nan;
+    s_lo = 0.0;
+    s_hi = 1.0;
+  }
+
+let simulate_compiled ?(steps_per_phase = 16) tech c ~input_slew ~load_cap =
+  if input_slew <= 0.0 then invalid_arg "Cell_sim.simulate: slew must be positive";
+  if load_cap < 0.0 then invalid_arg "Cell_sim.simulate: negative load";
+  let vdd = tech.Technology.vdd_nominal in
+  let cap = load_cap +. Arc.cap_intrinsic_of c in
+  let inv_cap = 1.0 /. cap in
+  let inv_tau = 1.0 /. input_slew in
+  let spp = float_of_int steps_per_phase in
+  let i_half = Arc.drive_settled c ~travel:(vdd /. 2.0) in
+  let t_out = cap *. vdd /. Float.max i_half 1e-12 in
+  let dt_ramp = Float.min (input_slew /. spp) (t_out /. spp) in
+  let du_step = vdd /. spp in
+  let max_steps = 400 * steps_per_phase in
+  let t50_in = input_slew /. 2.0 in
+  let lvl20 = 0.2 *. vdd and lvl50 = 0.5 *. vdd and lvl80 = 0.8 *. vdd in
+  let st = fresh_scratch () in
+  let steps = ref 0 in
+  let stuck () =
+    Metrics.incr m_stuck;
+    Log.debug "rk4 output stuck%s"
+      (Log.kv
+         [
+           ("swing_pct", Printf.sprintf "%.1f" (100.0 *. st.s_u /. vdd));
+           ("steps", string_of_int !steps);
+           ("input_slew", Printf.sprintf "%.3g" input_slew);
+           ("load_cap", Printf.sprintf "%.3g" load_cap);
+         ]);
+    failwith
+      (Printf.sprintf
+         "Cell_sim.simulate: output stuck at %.1f%% of swing after %d RK4 \
+          steps (input_slew=%.3g s, load_cap=%.3g F)"
+         (100.0 *. st.s_u /. vdd) !steps input_slew load_cap)
+  in
+  Metrics.incr m_rk4_calls;
+  (* du/dt at (t, u): the settled gate reads the compile-time caches; a
+     ramp gate is prepared once per distinct time point (k2/k3 share one,
+     and a step's endpoint is reused as the next step's start). *)
+  let[@inline] eval t u =
+    if t >= input_slew then Arc.drive_settled c ~travel:u *. inv_cap
+    else begin
+      if t <> st.s_prep then begin
+        Arc.set_gate c ~gate:(vdd *. t *. inv_tau);
+        st.s_prep <- t
+      end;
+      Arc.drive_gated c ~travel:u *. inv_cap
+    end
+  in
+  while Float.is_nan st.s_t20 do
+    if !steps >= max_steps then stuck ();
+    incr steps;
+    let t0 = st.s_t and u0 = st.s_u in
+    let k1 = eval t0 u0 in
+    let dt =
+      if t0 < input_slew then dt_ramp
+      else if k1 > 0.0 then du_step /. k1
+      else stuck ()
+    in
+    let h = dt /. 2.0 in
+    let th = t0 +. h in
+    let k2 = eval th (u0 +. (h *. k1)) in
+    let k3 = eval th (u0 +. (h *. k2)) in
+    let t1 = t0 +. dt in
+    let k4 = eval t1 (u0 +. (dt *. k3)) in
+    let u1 =
+      Float.min vdd
+        (u0 +. (dt /. 6.0 *. (k1 +. (2.0 *. k2) +. (2.0 *. k3) +. k4)))
+    in
+    if Float.is_nan st.s_t80 && u0 < lvl20 && u1 >= lvl20 then
+      st.s_t80 <- hermite_crossing_st st ~t0 ~dt ~u0 ~u1 ~f0:k1 ~f1:k4 lvl20;
+    if Float.is_nan st.s_t50 && u0 < lvl50 && u1 >= lvl50 then
+      st.s_t50 <- hermite_crossing_st st ~t0 ~dt ~u0 ~u1 ~f0:k1 ~f1:k4 lvl50;
+    if Float.is_nan st.s_t20 && u0 < lvl80 && u1 >= lvl80 then
+      st.s_t20 <- hermite_crossing_st st ~t0 ~dt ~u0 ~u1 ~f0:k1 ~f1:k4 lvl80;
+    st.s_t <- t1;
+    st.s_u <- u1
+  done;
+  Metrics.incr m_rk4_steps ~by:!steps;
+  { delay = st.s_t50 -. t50_in; output_slew = (st.s_t20 -. st.s_t80) /. 0.6 }
+
+let simulate_fast_ext_compiled tech c ~input_slew ~load_cap =
+  if input_slew <= 0.0 then
+    invalid_arg "Cell_sim.simulate_fast: slew must be positive";
+  if load_cap < 0.0 then invalid_arg "Cell_sim.simulate_fast: negative load";
+  Metrics.incr m_fast_calls;
+  let vdd = tech.Technology.vdd_nominal in
+  let cap = load_cap +. Arc.cap_intrinsic_of c in
+  let inv_cap = 1.0 /. cap in
+  let tau = input_slew in
+  let nut = Arc.nut_of c in
+  let vth = Arc.vth_sw_of c in
+  let lvls = [| 0.2 *. vdd; 0.5 *. vdd; 0.8 *. vdd |] in
+  let times = [| nan; nan; nan |] in
+  let st = fresh_scratch () in
+  (* 1. dead zone *)
+  let g_on = Float.min vdd (Float.max 0.0 (vth -. (6.0 *. nut))) in
+  let t_start = tau *. (g_on /. vdd) in
+  let u_start =
+    if t_start <= 0.0 then 0.0
+    else
+      Float.min (0.15 *. vdd)
+        (Arc.drive c ~gate:g_on ~travel:0.0 *. nut *. (tau /. vdd) *. inv_cap)
+  in
+  st.s_t <- t_start;
+  st.s_u <- u_start;
+  let next = ref 0 in
+  let ramp_limited = ref false in
+  (* 2. ramp-active window *)
+  let dt_gate = (tau -. t_start) /. 9.0 in
+  let du_max = 0.09 *. vdd in
+  let guard = ref 0 in
+  while st.s_t < tau && !next < 3 && !guard < 64 do
+    incr guard;
+    let f0 = Arc.drive c ~gate:(vdd *. (st.s_t /. tau)) ~travel:st.s_u *. inv_cap in
+    let dt0 = if f0 *. dt_gate > du_max then du_max /. f0 else dt_gate in
+    let dt = Float.min dt0 (tau -. st.s_t) in
+    let t1 = st.s_t +. dt in
+    let g1 = vdd *. Float.min 1.0 (t1 /. tau) in
+    let u_pred = Float.min vdd (st.s_u +. (dt *. f0)) in
+    let f1 = Arc.drive c ~gate:g1 ~travel:u_pred *. inv_cap in
+    let u1 = Float.min vdd (st.s_u +. (dt *. 0.5 *. (f0 +. f1))) in
+    while !next < 3 && u1 >= lvls.(!next) do
+      times.(!next) <-
+        hermite_crossing_st st ~t0:st.s_t ~dt ~u0:st.s_u ~u1 ~f0 ~f1 lvls.(!next);
+      if !next = 1 then ramp_limited := true;
+      incr next
+    done;
+    st.s_t <- t1;
+    st.s_u <- u1
+  done;
+  if !next < 3 && st.s_t < tau then begin
+    Metrics.incr m_fast_failed;
+    Log.debug "fast ramp stepping did not converge%s"
+      (Log.kv
+         [
+           ("steps", string_of_int !guard);
+           ("input_slew", Printf.sprintf "%.3g" input_slew);
+           ("load_cap", Printf.sprintf "%.3g" load_cap);
+         ]);
+    failwith
+      (Printf.sprintf
+         "Cell_sim.simulate_fast: ramp stepping did not converge after %d \
+          steps (input_slew=%.3g s, load_cap=%.3g F)"
+         !guard input_slew load_cap)
+  end;
+  (* 3. settled input: exact segment quadrature *)
+  if !next < 3 then begin
+    let a = ref st.s_u in
+    while !next < 3 do
+      let b = lvls.(!next) in
+      let width = b -. !a in
+      if width > 0.0 then begin
+        let s = ref 0.0 in
+        for i = 0 to 2 do
+          let ui = !a +. (width *. gl_x.(i)) in
+          let ii = Arc.drive_settled c ~travel:ui in
+          if ii <= 0.0 then begin
+            Metrics.incr m_fast_failed;
+            Log.debug "fast settled phase cannot reach %.1f%% of swing%s"
+              (100.0 *. ui /. vdd)
+              (Log.kv
+                 [
+                   ("input_slew", Printf.sprintf "%.3g" input_slew);
+                   ("load_cap", Printf.sprintf "%.3g" load_cap);
+                 ]);
+            failwith
+              (Printf.sprintf
+                 "Cell_sim.simulate_fast: arc cannot drive the output past \
+                  %.1f%% of swing (input_slew=%.3g s, load_cap=%.3g F)"
+                 (100.0 *. ui /. vdd) input_slew load_cap)
+          end;
+          s := !s +. (gl_w.(i) /. ii)
+        done;
+        st.s_t <- st.s_t +. (cap *. width *. !s)
+      end;
+      times.(!next) <- st.s_t;
+      a := b;
+      incr next
+    done
+  end;
+  if !ramp_limited then Metrics.incr m_fast_ramp_limited;
+  ( {
+      delay = times.(1) -. (tau /. 2.0);
+      output_slew = (times.(2) -. times.(0)) /. 0.6;
+    },
+    !ramp_limited )
+
+let run_compiled ?kernel tech c ~input_slew ~load_cap =
+  let kernel = match kernel with Some k -> k | None -> default_kernel () in
+  match kernel with
+  | Rk4 -> simulate_compiled tech c ~input_slew ~load_cap
+  | Fast -> fst (simulate_fast_ext_compiled tech c ~input_slew ~load_cap)
+  | Auto -> (
+    Metrics.incr m_auto_calls;
+    match simulate_fast_ext_compiled tech c ~input_slew ~load_cap with
+    | r, false -> r
+    | _, true ->
+      Metrics.incr m_auto_fallback;
+      simulate_compiled tech c ~input_slew ~load_cap
+    | exception Failure _ ->
+      Metrics.incr m_auto_fallback;
+      simulate_compiled tech c ~input_slew ~load_cap)

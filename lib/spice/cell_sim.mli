@@ -95,3 +95,18 @@ val nominal_delay :
   load_cap:float ->
   float
 (** Convenience projection of {!run}. *)
+
+val run_compiled :
+  ?kernel:kernel ->
+  Nsigma_process.Technology.t ->
+  Arc.compiled ->
+  input_slew:float ->
+  load_cap:float ->
+  result
+(** {!run} taking the arc in precompiled form — the sampling hot path of
+    the plan layer ({!Arc.skeleton}/{!Arc.fill}).  Bit-identical to {!run}
+    on a compiled copy of the same arc, for every kernel: the loops hoist
+    gate-invariant factors ([Arc.drive_settled], [Arc.set_gate]) and keep
+    their state unboxed, but preserve the reference kernels' floating-
+    point operation order exactly.  Allocation-free apart from one small
+    scratch record per call (no per-step boxing). *)

@@ -3,7 +3,7 @@ module Variation = Nsigma_process.Variation
 
 type kind = Nmos | Pmos
 
-type t = { kind : kind; width : float; vth : float; beta : float }
+type t = { kind : kind; width : float; mutable vth : float; mutable beta : float }
 
 let base_width (tech : Technology.t) = function
   | Nmos -> tech.width_n
@@ -13,20 +13,23 @@ let base_vth (tech : Technology.t) = function
   | Nmos -> tech.vth0_n
   | Pmos -> tech.vth0_p
 
-let make tech sample kind ~width_mult =
-  let width = base_width tech kind *. width_mult in
+let refresh tech sample d =
   let global_vth =
-    match kind with
+    match d.kind with
     | Nmos -> sample.Variation.global.dvth_n
     | Pmos -> sample.Variation.global.dvth_p
   in
-  let vth = base_vth tech kind +. global_vth +. Variation.local_dvth sample tech ~width in
+  let vth =
+    base_vth tech d.kind +. global_vth
+    +. Variation.local_dvth sample tech ~width:d.width
+  in
   let beta =
     (1.0 +. sample.Variation.global.dbeta)
-    *. (1.0 +. Variation.local_dbeta sample tech ~width)
+    *. (1.0 +. Variation.local_dbeta sample tech ~width:d.width)
   in
   (* β is a physical (positive) factor; extreme tails are clipped. *)
-  { kind; width; vth = Float.max 0.05 vth; beta = Float.max 0.1 beta }
+  d.vth <- Float.max 0.05 vth;
+  d.beta <- Float.max 0.1 beta
 
 let nominal tech kind ~width_mult =
   {
@@ -35,6 +38,11 @@ let nominal tech kind ~width_mult =
     vth = base_vth tech kind;
     beta = 1.0;
   }
+
+let make tech sample kind ~width_mult =
+  let d = nominal tech kind ~width_mult in
+  refresh tech sample d;
+  d
 
 let i_spec (tech : Technology.t) = function
   | Nmos -> tech.i_spec_n

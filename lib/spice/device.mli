@@ -17,9 +17,12 @@ type kind = Nmos | Pmos
 type t = {
   kind : kind;
   width : float;  (** electrical width (m), already strength-scaled *)
-  vth : float;  (** threshold including global+local shifts (V) *)
-  beta : float;  (** relative current factor including variation *)
+  mutable vth : float;  (** threshold including global+local shifts (V) *)
+  mutable beta : float;  (** relative current factor including variation *)
 }
+(** [vth] and [beta] are the only sample-dependent fields; they are mutable
+    so a precompiled sampling plan ({!Arc.skeleton}) can refresh a scratch
+    device in place instead of rebuilding it per Monte-Carlo sample. *)
 
 val make :
   Nsigma_process.Technology.t ->
@@ -32,7 +35,15 @@ val make :
     variation sample and adding the sample's global shifts. *)
 
 val nominal : Nsigma_process.Technology.t -> kind -> width_mult:float -> t
-(** Same device without any variation. *)
+(** Same device without any variation.  Draws nothing from any RNG, so it
+    is safe to call concurrently from worker domains (plan compilation). *)
+
+val refresh : Nsigma_process.Technology.t -> Nsigma_process.Variation.t -> t -> unit
+(** Overwrite [vth]/[beta] with a fresh draw from [sample], exactly as
+    {!make} would compute them (two local-mismatch draws, ΔVth then Δβ —
+    the draw order is part of the determinism contract).  [make] is
+    [nominal] + [refresh], so a refreshed scratch device is bit-identical
+    to a freshly built one. *)
 
 val i_factor : Nsigma_process.Technology.t -> t -> float
 (** β · W · I_spec — the bias-independent current prefactor.  Exposed so

@@ -75,13 +75,67 @@ let arc_results ?exec ?kernel tech g ~n ~arc_of ~input_slew ~load_cap =
         | r -> Some r
         | exception Failure _ -> None)
   in
+  (* Accounting policy (uniform across this module): the sample counter is
+     always advanced — [incr] is a no-op while metrics are disabled — and
+     only work done purely for metrics (the failure fold) is guarded. *)
+  Metrics.incr m_samples ~by:n;
   if Metrics.enabled () then begin
     let failed =
       Array.fold_left
         (fun acc -> function None -> acc + 1 | Some _ -> acc)
         0 results
     in
-    Metrics.incr m_samples ~by:n;
     if failed > 0 then Metrics.incr m_non_convergent ~by:failed
   end;
   results
+
+(* Compact a NaN-sentinel float array (plan-layer result buffers). *)
+let compact_nan xs =
+  let kept = ref 0 in
+  Array.iter (fun x -> if not (Float.is_nan x) then incr kept) xs;
+  if !kept = Array.length xs then Array.copy xs
+  else begin
+    let out = Array.make !kept 0.0 in
+    let j = ref 0 in
+    Array.iter
+      (fun x ->
+        if not (Float.is_nan x) then begin
+          out.(!j) <- x;
+          incr j
+        end)
+      xs;
+    out
+  end
+
+let arc_delays_planned ?(exec = Executor.default ()) ?kernel tech g ~n ~plan
+    ~input_slew ~load_cap =
+  let kernel =
+    match kernel with Some k -> k | None -> Cell_sim.default_kernel ()
+  in
+  let base = Rng.split g in
+  let out_slews = Array.make n Float.nan in
+  let delays =
+    Executor.map_float_array exec ~init:plan
+      (fun sk i ->
+        let sample = Variation.draw tech (Rng.derive base ~index:i) in
+        Arc.fill tech sk sample;
+        match
+          Cell_sim.run_compiled ~kernel tech (Arc.skeleton_compiled sk)
+            ~input_slew ~load_cap
+        with
+        | r ->
+          out_slews.(i) <- r.Cell_sim.output_slew;
+          r.Cell_sim.delay
+        | exception Failure _ -> Float.nan)
+      ~n
+  in
+  Metrics.incr m_samples ~by:n;
+  if Metrics.enabled () then begin
+    let failed =
+      Array.fold_left
+        (fun acc d -> if Float.is_nan d then acc + 1 else acc)
+        0 delays
+    in
+    if failed > 0 then Metrics.incr m_non_convergent ~by:failed
+  end;
+  (delays, out_slews)

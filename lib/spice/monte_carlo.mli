@@ -69,6 +69,37 @@ val arc_results :
 (** Per-sample transient results of the arc built by [arc_of], measured
     through {!Cell_sim.run} with the requested [kernel] (default
     {!Cell_sim.default_kernel}[ ()]).  [None] marks a sample whose
-    simulation raised [Failure] (non-convergence).  This is the sampling
-    primitive characterisation is built on; like every entry point here,
-    the population is bit-identical on every executor backend. *)
+    simulation raised [Failure] (non-convergence).  The unplanned
+    sampling primitive — the reference the plan layer is verified
+    against; like every entry point here, the population is bit-identical
+    on every executor backend. *)
+
+val compact : float option array -> float array
+(** Compact an option array of floats without an intermediate list,
+    preserving sample order.  (Exposed for the characterisation and STA
+    layers, which share this compaction.) *)
+
+val compact_nan : float array -> float array
+(** Drop NaN sentinels (failed samples) from a plan-layer result buffer,
+    preserving sample order; returns a fresh array even when nothing was
+    dropped. *)
+
+val arc_delays_planned :
+  ?exec:Nsigma_exec.Executor.t ->
+  ?kernel:Cell_sim.kernel ->
+  Nsigma_process.Technology.t ->
+  Nsigma_stats.Rng.t ->
+  n:int ->
+  plan:(unit -> Arc.skeleton) ->
+  input_slew:float ->
+  load_cap:float ->
+  float array * float array
+(** Planned counterpart of {!arc_results}: [plan ()] builds one arc
+    skeleton per worker domain ({!Nsigma_exec.Executor.map_scratch}
+    discipline), each sample refreshes it in place ({!Arc.fill}) and runs
+    the compiled kernel ({!Cell_sim.run_compiled}).  Returns
+    [(delays, output_slews)] in sample order as unboxed float arrays with
+    NaN marking non-convergent samples (in both arrays).  Guaranteed
+    bit-identical to {!arc_results} on the same (generator state, seed,
+    kernel), for every executor backend — the RNG discipline, draw order
+    and floating-point evaluation order are preserved exactly. *)

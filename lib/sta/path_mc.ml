@@ -3,8 +3,10 @@ module Cell = Nsigma_liberty.Cell
 module Wire_gen = Nsigma_rcnet.Wire_gen
 module Rctree = Nsigma_rcnet.Rctree
 module Elmore = Nsigma_rcnet.Elmore
+module Arc = Nsigma_spice.Arc
 module Rc_sim = Nsigma_spice.Rc_sim
 module Cell_sim = Nsigma_spice.Cell_sim
+module Monte_carlo = Nsigma_spice.Monte_carlo
 module Variation = Nsigma_process.Variation
 module Moments = Nsigma_stats.Moments
 module Quantile = Nsigma_stats.Quantile
@@ -110,32 +112,150 @@ let simulate_sample ?steps ?kernel tech design path sample =
   simulate_sample_record ?steps ?kernel tech design path sample
     ~record_wire:(fun _ _ -> ())
 
+(* ------------------------------------------------------------------ *)
+(* Precompiled path plan: everything sample-independent — cell arc     *)
+(* skeletons, private RC-tree copies with their refill scratch, sink   *)
+(* loads, tap positions — resolved once per worker, so the per-sample  *)
+(* loop only draws deviates and fills preallocated state in place.     *)
+(* ------------------------------------------------------------------ *)
+
+type hop_plan = {
+  hp_sk : Arc.skeleton;  (* driver cell, refilled per sample *)
+  hp_base : Rctree.t;  (* pristine parasitic tree (never mutated) *)
+  hp_tree : Rctree.t;  (* private copy, refilled per sample *)
+  hp_res : float array;  (* refill scratch, length n_nodes *)
+  hp_cap : float array;
+  hp_load_caps : (int * float) list;  (* sink pin caps, attach order *)
+  hp_tap : int;  (* exit tap node *)
+  hp_tap_pos : int;  (* index of hp_tap in the tree's taps array *)
+}
+
+type plan = { hops : hop_plan array }
+
+let plan_of tech (design : Design.t) (path : Path.t) =
+  let nl = design.Design.netlist in
+  let hops =
+    List.map2
+      (fun (hop : Path.hop) tap ->
+        let gate = nl.Netlist.gates.(hop.Path.gate) in
+        let base = design.Design.parasitics.(hop.Path.out_net) in
+        let n_nodes = Rctree.n_nodes base in
+        let tap_pos =
+          match
+            Array.find_index (fun t -> t = tap) base.Rctree.taps
+          with
+          | Some p -> p
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Path_mc.plan_of: tap %d is not a tap of net %s"
+                 tap nl.Netlist.net_names.(hop.Path.out_net))
+        in
+        {
+          hp_sk =
+            Cell.plan tech gate.Netlist.cell
+              ~output_edge:(edge_of hop.Path.out_edge);
+          hp_base = base;
+          hp_tree = Rctree.copy base;
+          hp_res = Array.make n_nodes 0.0;
+          hp_cap = Array.make n_nodes 0.0;
+          hp_load_caps = Design.sink_caps tech design ~net:hop.Path.out_net;
+          hp_tap = tap;
+          hp_tap_pos = tap_pos;
+        })
+      path.Path.hops (out_taps path)
+    |> Array.of_list
+  in
+  { hops }
+
+(* One sample through the plan.  Mirrors [simulate_sample_record] deviate
+   for deviate: per hop the cell skeleton fills first (same draw order as
+   [Cell.arc]), then the wire refills (same order as [Wire_gen.vary]),
+   then the same hop arithmetic runs on the filled state — so the path
+   delay is bit-identical to the rebuild-per-sample reference, as
+   test_plan asserts. *)
+let simulate_planned ?(steps = 200) ?(kernel = Cell_sim.Rk4) tech (p : plan)
+    sample ~record_wire =
+  let fast = kernel = Cell_sim.Fast in
+  let slew = ref Provider.input_slew_default in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i hp ->
+      Arc.fill tech hp.hp_sk sample;
+      Wire_gen.vary_into tech sample ~base:hp.hp_base ~into:hp.hp_tree
+        ~res:hp.hp_res ~cap:hp.hp_cap;
+      let driver_delay, wire, out_slew =
+        if fast then begin
+          List.iter
+            (fun (node, c) -> Rctree.bump_cap hp.hp_tree node c)
+            hp.hp_load_caps;
+          let r =
+            Cell_sim.run_compiled ~kernel:Cell_sim.Fast tech
+              (Arc.skeleton_compiled hp.hp_sk)
+              ~input_slew:!slew
+              ~load_cap:(Rctree.total_cap hp.hp_tree)
+          in
+          let wire = Elmore.d2m_at hp.hp_tree hp.hp_tap in
+          let elmore = Elmore.delay_at hp.hp_tree hp.hp_tap in
+          let wire_slew = peri_slew_factor *. elmore in
+          let out_slew =
+            sqrt ((r.Cell_sim.output_slew *. r.Cell_sim.output_slew)
+                 +. (wire_slew *. wire_slew))
+          in
+          (r.Cell_sim.delay, wire, out_slew)
+        end
+        else begin
+          let r =
+            Rc_sim.simulate ~steps tech ~driver:(Arc.skeleton_arc hp.hp_sk)
+              ~tree:hp.hp_tree ~load_caps:hp.hp_load_caps ~input_slew:!slew
+          in
+          let wire = snd r.Rc_sim.tap_delays.(hp.hp_tap_pos) in
+          (r.Rc_sim.driver_delay, wire, snd r.Rc_sim.tap_slews.(hp.hp_tap_pos))
+        end
+      in
+      record_wire i wire;
+      total := !total +. driver_delay +. wire;
+      slew := Float.max 1e-12 out_slew)
+    p.hops;
+  !total
+
+let end_net (path : Path.t) =
+  match List.rev path.Path.hops with
+  | last :: _ -> last.Path.out_net
+  | [] -> invalid_arg "Path_mc: empty path"
+
+let no_valid_samples design path ~n =
+  let net = end_net path in
+  Printf.sprintf
+    "Path_mc: no convergent samples (0 of %d) on path ending at net %s" n
+    design.Design.netlist.Netlist.net_names.(net)
+
 let run ?steps ?kernel ?(n = 1000) ?(seed = 11) ?(exec = Executor.default ())
     tech design path =
   let g = Rng.create ~seed in
   let measured =
     Progress.with_bar ~label:"path-mc" ~total:n (fun tick ->
         Metrics.span "path_mc" (fun () ->
-            Executor.map_array exec
-              (fun i ->
+            Executor.map_float_array exec
+              ~init:(fun () -> plan_of tech design path)
+              (fun p i ->
                 let sample = Variation.draw tech (Rng.derive g ~index:i) in
                 let r =
                   match
-                    simulate_sample ?steps ?kernel tech design path sample
+                    simulate_planned ?steps ?kernel tech p sample
+                      ~record_wire:(fun _ _ -> ())
                   with
-                  | d -> Some d
-                  | exception Failure _ -> None
+                  | d -> d
+                  | exception Failure _ -> Float.nan
                 in
                 tick ();
                 r)
               ~n))
   in
-  let samples =
-    Array.to_list measured |> List.filter_map Fun.id |> Array.of_list
-  in
+  let samples = Monte_carlo.compact_nan measured in
   Metrics.incr m_samples ~by:n;
   let failed = n - Array.length samples in
   if failed > 0 then Metrics.incr m_non_convergent ~by:failed;
+  if Array.length samples = 0 then failwith (no_valid_samples design path ~n);
   Array.sort Float.compare samples;
   let moments = Moments.summary_of_array samples in
   let quantile sigma =
@@ -151,14 +271,14 @@ let per_wire_quantiles ?steps ?kernel ?(n = 1000) ?(seed = 11)
   let rows =
     Progress.with_bar ~label:"per-wire quantiles" ~total:n (fun tick ->
         Metrics.span "path_mc.per_wire" (fun () ->
-            Executor.map_array exec
-              (fun i ->
+            Executor.map_scratch exec
+              ~init:(fun () -> plan_of tech design path)
+              (fun p i ->
                 let sample = Variation.draw tech (Rng.derive g ~index:i) in
                 let wires = Array.make n_hops nan in
                 let r =
                   match
-                    simulate_sample_record ?steps ?kernel tech design path
-                      sample
+                    simulate_planned ?steps ?kernel tech p sample
                       ~record_wire:(fun k d -> wires.(k) <- d)
                   with
                   | (_ : float) -> Some wires
@@ -172,6 +292,7 @@ let per_wire_quantiles ?steps ?kernel ?(n = 1000) ?(seed = 11)
   Metrics.incr m_samples ~by:n;
   let failed = n - List.length rows in
   if failed > 0 then Metrics.incr m_non_convergent ~by:failed;
+  if rows = [] then failwith (no_valid_samples design path ~n);
   List.init n_hops (fun k ->
       let arr = Array.of_list (List.map (fun w -> w.(k)) rows) in
       Nsigma_stats.Quantile.of_sample arr

@@ -32,6 +32,31 @@ val simulate_sample :
     because the fast hop model approximates exactly the interaction this
     simulation exists to capture. *)
 
+type plan
+(** A precompiled sampling plan for one path: per hop, the driver cell's
+    arc skeleton, a private copy of the net's RC tree with its refill
+    scratch, the sink loads and the exit-tap position — everything
+    sample-independent, resolved once.  Plans hold mutable scratch and
+    must not be shared between domains; {!run} builds one per worker. *)
+
+val plan_of : Nsigma_process.Technology.t -> Design.t -> Path.t -> plan
+(** Compile a plan.  @raise Invalid_argument on an empty path or a hop
+    whose exit tap is not a tap of its output net. *)
+
+val simulate_planned :
+  ?steps:int ->
+  ?kernel:Nsigma_spice.Cell_sim.kernel ->
+  Nsigma_process.Technology.t ->
+  plan ->
+  Nsigma_process.Variation.t ->
+  record_wire:(int -> float -> unit) ->
+  float
+(** One sample through a plan: fills each hop's skeleton and RC tree in
+    place and runs the same hop arithmetic as {!simulate_sample} —
+    bit-identical to it (same deviate draw order), without rebuilding
+    arcs or trees.  [record_wire i d] is called with each hop's wire
+    delay. *)
+
 val run :
   ?steps:int ->
   ?kernel:Nsigma_spice.Cell_sim.kernel ->
@@ -43,9 +68,12 @@ val run :
   Path.t ->
   stats
 (** [n] (default 1000) full-path samples, scheduled on [exec] (default
-    [Executor.default ()]).  Sample [i] derives its variation stream
-    from index [i], so the population is bit-identical on every backend
-    and pool size. *)
+    [Executor.default ()]) through a per-worker {!plan} — sample [i]
+    derives its variation stream from index [i], so the population is
+    bit-identical on every backend and pool size (and to the
+    rebuild-per-sample {!simulate_sample} reference).
+    @raise Failure if every sample is non-convergent, naming the path's
+    end net. *)
 
 val per_wire_quantiles :
   ?steps:int ->

@@ -142,4 +142,8 @@ let owen_t h a =
     sign *. adapt f 0.0 a whole 1e-12 30 /. (2.0 *. Float.pi)
   end
 
-let log1p_exp x = if x > 35.0 then x else if x < -35.0 then exp x else log1p (exp x)
+(* Inlined into the simulation kernels' inner loops: without flambda a
+   non-inlined call boxes the float argument and result on every
+   evaluation. *)
+let[@inline] log1p_exp x =
+  if x > 35.0 then x else if x < -35.0 then exp x else log1p (exp x)
