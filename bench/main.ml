@@ -25,6 +25,7 @@ module Rng = Nsigma_stats.Rng
 module Moments = Nsigma_stats.Moments
 module Quantile = Nsigma_stats.Quantile
 module Histogram = Nsigma_stats.Histogram
+module Sampler = Nsigma_stats.Sampler
 module Cell = Nsigma_liberty.Cell
 module Library = Nsigma_liberty.Library
 module Ch = Nsigma_liberty.Characterize
@@ -1371,11 +1372,170 @@ let plan_bench () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Sampling: variance-reduced deviate streams vs plain Monte-Carlo.    *)
+(* ------------------------------------------------------------------ *)
+
+let sampling_ref_n = env_int "NSIGMA_BENCH_SAMPLING_REF" 524288
+let sampling_base_n = env_int "NSIGMA_BENCH_SAMPLING_MC" 4096
+let sampling_reps = env_int "NSIGMA_BENCH_SAMPLING_REPS" 8
+
+let sampling_min_reduction =
+  match Sys.getenv_opt "NSIGMA_BENCH_SAMPLING_MIN_REDUCTION" with
+  | Some v -> (try float_of_string v with _ -> 2.0)
+  | None -> 2.0
+
+let sampling_bench () =
+  header "Sampling — variance-reduced streams vs plain Monte-Carlo";
+  (* Accuracy target: the ±3σ-quantile RMSE plain MC reaches with
+     [sampling_base_n] samples, measured over independent replicate
+     seeds and pooled across four characterisation arcs and both tails.
+     For each variance-reduced backend we then walk an n-ladder and
+     report the smallest sample count that matches the target; the
+     reduction is base/matched.  Strength-8 drivers are the regime
+     where stratification pays: wide devices shrink the Pelgrom local
+     mismatch, so the shared global deviates — the dimensions LHS and
+     Sobol' balance hardest — carry most of the delay variance.  At
+     unit strength the local-mismatch dimensions dominate and the tail
+     gains fall towards 1x (the JSON records the workload so the regime
+     is explicit).  The Fast kernel keeps the ~3M arc sims cheap;
+     kernel choice does not affect the sampling comparison. *)
+  let kernel = Cell_sim.Fast in
+  let input_slew = 40e-12 in
+  let workload =
+    [ (Cell.make Inv ~strength:8, `Rise);
+      (Cell.make Inv ~strength:8, `Fall);
+      (Cell.make Nand2 ~strength:8, `Rise);
+      (Cell.make Nand2 ~strength:8, `Fall) ]
+    |> List.map (fun (cell, edge) -> (cell, edge, Cell.fo4_load tech cell))
+  in
+  let tails =
+    [ Quantile.probability_of_sigma (-3.0); Quantile.probability_of_sigma 3.0 ]
+  in
+  let sorted_delays backend ~seed ~n (cell, edge, load) =
+    let s =
+      Monte_carlo.arc_delays_sampled ~exec:(Executor.default ()) ~kernel
+        ~sampling:backend tech (Rng.create ~seed) ~n
+        ~plan:(fun () -> Cell.plan tech cell ~output_edge:edge)
+        ~input_slew ~load_cap:load
+    in
+    let d = Array.copy s.Monte_carlo.s_delays in
+    Array.sort Float.compare d;
+    d
+  in
+  let refs =
+    List.map
+      (fun arc ->
+        Array.of_list
+          (List.map
+             (Quantile.of_sorted
+                (sorted_delays Sampler.Mc ~seed:424242 ~n:sampling_ref_n arc))
+             tails))
+      workload
+  in
+  (* Pooled relative RMSE of the two tail quantiles at sample count [n]. *)
+  let rmse backend n =
+    let acc = ref 0.0 and cnt = ref 0 in
+    for rep = 1 to sampling_reps do
+      List.iteri
+        (fun ai arc ->
+          let sorted = sorted_delays backend ~seed:(1000 + rep) ~n arc in
+          List.iteri
+            (fun ti p ->
+              let q_ref = (List.nth refs ai).(ti) in
+              let e = (Quantile.of_sorted sorted p -. q_ref) /. q_ref in
+              acc := !acc +. (e *. e);
+              incr cnt)
+            tails)
+        workload
+    done;
+    sqrt (!acc /. float_of_int !cnt)
+  in
+  let mc_rmse = rmse Sampler.Mc sampling_base_n in
+  Printf.printf "reference n=%d  reps=%d  mc baseline n=%d rmse %.4f%%\n%!"
+    sampling_ref_n sampling_reps sampling_base_n (pct mc_rmse);
+  let ladder =
+    List.filter (fun n -> n <= sampling_base_n)
+      [ 128; 181; 256; 362; 512; 724; 1024; 1448; 2048; 2896; 4096; 5793;
+        8192 ]
+  in
+  let samples_to_match backend =
+    let rec scan = function
+      | [] -> (sampling_base_n, rmse backend sampling_base_n)
+      | n :: rest ->
+        let r = rmse backend n in
+        Printf.printf "  %-10s n=%5d  rmse %.4f%%%s\n%!"
+          (Sampler.backend_name backend) n (pct r)
+          (if r <= mc_rmse then "  <= mc target" else "");
+        if r <= mc_rmse then (n, r) else scan rest
+    in
+    scan ladder
+  in
+  let n_lhs, rmse_lhs = samples_to_match Sampler.Lhs in
+  let n_sobol, rmse_sobol = samples_to_match Sampler.Sobol in
+  let reduction n = float_of_int sampling_base_n /. float_of_int n in
+  let reduction_lhs = reduction n_lhs in
+  let reduction_sobol = reduction n_sobol in
+  (* The Mc backend must reproduce the legacy per-sample stream bit for
+     bit — same populations, just routed through the sampler. *)
+  let bit_identical_mc =
+    List.for_all
+      (fun (cell, edge, load) ->
+        let plan () = Cell.plan tech cell ~output_edge:edge in
+        let s =
+          Monte_carlo.arc_delays_sampled ~exec:(Executor.default ()) ~kernel
+            ~sampling:Sampler.Mc tech (Rng.create ~seed:7) ~n:512 ~plan
+            ~input_slew ~load_cap:load
+        in
+        let d, sl =
+          Monte_carlo.arc_delays_planned ~exec:(Executor.default ()) ~kernel
+            tech (Rng.create ~seed:7) ~n:512 ~plan ~input_slew ~load_cap:load
+        in
+        s.Monte_carlo.s_delays = d && s.Monte_carlo.s_out_slews = sl)
+      workload
+  in
+  Printf.printf
+    "lhs: n=%d (%.2fx)  sobol: n=%d (%.2fx)  bit-identical mc: %b\n"
+    n_lhs reduction_lhs n_sobol reduction_sobol bit_identical_mc;
+  let pass =
+    bit_identical_mc
+    && reduction_lhs >= sampling_min_reduction
+    && reduction_sobol >= sampling_min_reduction
+  in
+  let json =
+    Printf.sprintf
+      {|{"experiment": "sampling", "kernel": "%s", "workload": "%s", "arcs": %d, "reps": %d, "n_ref": %d, "n_mc": %d, "mc_rmse": %.6f, "n_lhs": %d, "rmse_lhs": %.6f, "n_sobol": %d, "rmse_sobol": %.6f, "reduction_lhs": %.3f, "reduction_sobol": %.3f, "min_reduction": %.2f, "bit_identical_mc": %b, "pass": %b}|}
+      (Cell_sim.kernel_name kernel)
+      (String.concat " "
+         (List.map
+            (fun (cell, edge, _) ->
+              Printf.sprintf "%s/%s" (Cell.name cell)
+                (match edge with `Rise -> "rise" | `Fall -> "fall"))
+            workload))
+      (List.length workload) sampling_reps sampling_ref_n sampling_base_n
+      mc_rmse n_lhs rmse_lhs n_sobol rmse_sobol reduction_lhs reduction_sobol
+      sampling_min_reduction bit_identical_mc pass
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_sampling.json"
+  in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Printf.printf "  appended to BENCH_sampling.json\n";
+  if not pass then begin
+    Printf.eprintf
+      "sampling bench FAILED: reduction lhs %.2fx sobol %.2fx (need >= \
+       %.2fx), bit_identical_mc %b\n"
+      reduction_lhs reduction_sobol sampling_min_reduction bit_identical_mc;
+    exit 1
+  end
+
 let usage () =
   print_endline
     "usage: main.exe [--jobs N] [--metrics FILE] \
      [fig2|fig3|fig4|table1|table2|fig7|fig8|fig9|fig10|fig11|table3 \
-     [circuits...]|speedup|exec|kernel|obs|plan|ablation|highsigma|micro|all]"
+     [circuits...]|speedup|exec|kernel|obs|plan|sampling|ablation|highsigma|\
+     micro|all]"
 
 (* [--jobs N] (or [-j N]) installs itself as NSIGMA_JOBS so every
    sampling loop — characterisation, path MC, wire lab — picks it up
@@ -1440,6 +1600,7 @@ let () =
   | "kernel" :: _ -> kernel_bench ()
   | "obs" :: _ -> obs_bench ()
   | "plan" :: _ -> plan_bench ()
+  | "sampling" :: _ -> sampling_bench ()
   | "ablation" :: _ -> ablation ()
   | "highsigma" :: _ -> highsigma ()
   | "micro" :: _ -> micro ()

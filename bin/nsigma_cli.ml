@@ -27,6 +27,8 @@ module Provider = Nsigma_sta.Provider
 module Path = Nsigma_sta.Path
 module Path_mc = Nsigma_sta.Path_mc
 module Moments = Nsigma_stats.Moments
+module Sampler = Nsigma_stats.Sampler
+module Timing_report = Nsigma_sta.Timing_report
 module Executor = Nsigma_exec.Executor
 module Cell_sim = Nsigma_spice.Cell_sim
 module Metrics = Nsigma_obs.Metrics
@@ -77,6 +79,41 @@ let kernel_arg =
   in
   Arg.(value & opt (some string) None & info [ "kernel" ] ~docv:"NAME" ~doc)
 
+let sampling_arg =
+  let doc =
+    "Deviate stream for Monte-Carlo sampling: $(b,mc) (independent \
+     pseudo-random, the bit-exact legacy stream), $(b,antithetic) \
+     (paired ±z), $(b,lhs) (Latin hypercube) or $(b,sobol) (scrambled \
+     Sobol').  Defaults to $(b,NSIGMA_SAMPLING) (unset: mc).  Delay \
+     populations depend on the choice; mc reproduces pre-sampler runs \
+     exactly."
+  in
+  Arg.(value & opt (some string) None & info [ "sampling" ] ~docv:"NAME" ~doc)
+
+let rtol_arg =
+  let doc =
+    "Adaptive stopping: keep sampling in doubling batches until both ±3σ \
+     quantile confidence intervals are within this relative tolerance \
+     (e.g. 0.02), capped at the $(b,--mc) sample count.  Off by default \
+     (fixed sample counts, golden runs unchanged)."
+  in
+  Arg.(value & opt (some float) None & info [ "rtol" ] ~docv:"TOL" ~doc)
+
+(* Resolve the CLI sampling flags and record them as run-report context. *)
+let sampling_of_flags sampling rtol =
+  let backend =
+    match sampling with
+    | Some name -> Sampler.backend_of_string name
+    | None -> Sampler.default_backend ()
+  in
+  (match rtol with
+  | Some r when r <= 0.0 -> failwith "--rtol must be positive"
+  | _ -> ());
+  Obs_report.set_context "sampling" (Sampler.backend_name backend);
+  Obs_report.set_context "rtol"
+    (match rtol with None -> "off" | Some r -> Printf.sprintf "%.9g" r);
+  (backend, rtol)
+
 let metrics_arg =
   let doc =
     "Enable the metrics registry and write a schema-versioned JSON run \
@@ -117,7 +154,7 @@ let characterize_cmd =
     let doc = "Comma-separated cell names (default: the whole library)." in
     Arg.(value & opt (some string) None & info [ "cells" ] ~docv:"LIST" ~doc)
   in
-  let run vdd mc output cells jobs kernel metrics progress =
+  let run vdd mc output cells jobs kernel sampling rtol metrics progress =
     setup_obs metrics progress;
     let tech = tech_of_vdd vdd in
     let exec = exec_of_jobs jobs in
@@ -126,6 +163,7 @@ let characterize_cmd =
       | Some name -> Cell_sim.kernel_of_string name
       | None -> Cell_sim.default_kernel ()
     in
+    let sampling, rtol = sampling_of_flags sampling rtol in
     let cells =
       match cells with
       | None -> all_cells
@@ -136,13 +174,18 @@ let characterize_cmd =
     in
     Printf.printf
       "characterising %d cells at %.2f V with %d MC samples/point (%s \
-       kernel, %d worker domain(s))...\n%!"
+       kernel, %s sampling%s, %d worker domain(s))...\n%!"
       (List.length cells) vdd mc (Cell_sim.kernel_name kernel)
+      (Sampler.backend_name sampling)
+      (match rtol with
+      | None -> ""
+      | Some r -> Printf.sprintf ", adaptive rtol %g" r)
       (Executor.jobs exec);
     let t0 = Unix.gettimeofday () in
     let lib =
       Metrics.span "cli.characterize" (fun () ->
-          Library.characterize_all ~n_mc:mc ~exec ~kernel tech cells)
+          Library.characterize_all ~n_mc:mc ~exec ~kernel ~sampling ?rtol tech
+            cells)
     in
     Library.save lib output;
     Printf.printf "wrote %s in %.1fs\n" output (Unix.gettimeofday () -. t0)
@@ -150,7 +193,7 @@ let characterize_cmd =
   let term =
     Term.(
       const run $ vdd_arg $ mc_arg 2000 $ output $ cells_arg $ jobs_arg
-      $ kernel_arg $ metrics_arg $ progress_arg)
+      $ kernel_arg $ sampling_arg $ rtol_arg $ metrics_arg $ progress_arg)
   in
   Cmd.v
     (Cmd.info "characterize"
@@ -201,12 +244,13 @@ let analyze_cmd =
     let doc = "Use a stored coefficients file instead of refitting." in
     Arg.(value & opt (some string) None & info [ "coeffs" ] ~docv:"FILE" ~doc)
   in
-  let run vdd library circuit verilog sigma mc coeffs jobs kernel metrics
-      progress =
+  let run vdd library circuit verilog sigma mc coeffs jobs kernel sampling rtol
+      metrics progress =
     setup_obs metrics progress;
     let tech = tech_of_vdd vdd in
     let exec = exec_of_jobs jobs in
     let kernel = Option.map Cell_sim.kernel_of_string kernel in
+    let sampling, rtol = sampling_of_flags sampling rtol in
     let lib =
       Metrics.span "cli.load_library" (fun () -> Library.load tech library)
     in
@@ -239,20 +283,23 @@ let analyze_cmd =
       [ -sigma; 0; sigma ];
     if mc > 0 then begin
       Printf.printf "path Monte-Carlo (%d samples)...\n%!" mc;
-      let stats = Path_mc.run ?kernel ~n:mc ~exec tech design path in
+      let stats =
+        Path_mc.run ?kernel ~n:mc ~exec ~sampling ?rtol tech design path
+      in
       Printf.printf "MC: mu=%.1f ps, %+dσ=%.1f ps, %+dσ=%.1f ps\n"
         (stats.Path_mc.moments.Moments.mean *. 1e12)
         (-sigma)
         (stats.Path_mc.quantile (-sigma) *. 1e12)
         sigma
-        (stats.Path_mc.quantile sigma *. 1e12)
+        (stats.Path_mc.quantile sigma *. 1e12);
+      Format.printf "%a@." Timing_report.pp_sampling stats.Path_mc.sampling
     end
   in
   let term =
     Term.(
       const run $ vdd_arg $ library_arg $ circuit_arg $ verilog_arg $ sigma_arg
-      $ mc_arg 0 $ coeffs_arg $ jobs_arg $ kernel_arg $ metrics_arg
-      $ progress_arg)
+      $ mc_arg 0 $ coeffs_arg $ jobs_arg $ kernel_arg $ sampling_arg $ rtol_arg
+      $ metrics_arg $ progress_arg)
   in
   Cmd.v
     (Cmd.info "analyze"

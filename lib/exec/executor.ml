@@ -172,23 +172,33 @@ let map_scratch t ~init f ~n =
         done);
     Array.map (function Some v -> v | None -> assert false) results
 
-let map_float_into t ~init f ~out ~n =
-  if n < 0 then invalid_arg "Executor: n must be non-negative";
-  if Array.length out < n then
-    invalid_arg "Executor.map_float_into: output buffer shorter than n";
+let map_float_range t ~init f ~out ~lo ~hi =
+  if lo < 0 || hi < lo then invalid_arg "Executor.map_float_range: bad range";
+  if Array.length out < hi then
+    invalid_arg "Executor.map_float_range: output buffer shorter than hi";
+  let n = hi - lo in
   match t with
   | Sequential ->
     Metrics.incr m_seq_tasks ~by:n;
     let scratch = init () in
-    for i = 0 to n - 1 do
+    for i = lo to hi - 1 do
       out.(i) <- f scratch i
     done
   | Pool { jobs } ->
+    (* The cursor runs over [0, hi−lo); tasks shift by [lo] so batched
+       callers (adaptive sampling) keep the index = sample identity. *)
     pool_exec ~jobs ~chunk:1 ~n ~init
       ~run_range:(fun scratch start stop ->
-        for i = start to stop - 1 do
+        for k = start to stop - 1 do
+          let i = lo + k in
           out.(i) <- f scratch i
         done)
+
+let map_float_into t ~init f ~out ~n =
+  if n < 0 then invalid_arg "Executor: n must be non-negative";
+  if Array.length out < n then
+    invalid_arg "Executor.map_float_into: output buffer shorter than n";
+  map_float_range t ~init f ~out ~lo:0 ~hi:n
 
 let map_float_array t ~init f ~n =
   let out = Array.make n Float.nan in

@@ -90,3 +90,19 @@ val map_float_into :
 val map_float_array :
   t -> init:(unit -> 's) -> ('s -> int -> float) -> n:int -> float array
 (** {!map_float_into} into a fresh NaN-filled array of length [n]. *)
+
+val map_float_range :
+  t ->
+  init:(unit -> 's) ->
+  ('s -> int -> float) ->
+  out:float array ->
+  lo:int ->
+  hi:int ->
+  unit
+(** Write [f scratch i] into [out.(i)] for [lo <= i < hi] — the batched
+    form behind adaptive sampling: successive batches extend the same
+    output buffer, and because [f] derives everything from the absolute
+    index [i], a population stopped early is a bitwise prefix of the full
+    run.  [init] runs once per worker per call (per batch).
+    @raise Invalid_argument on a bad range or an [out] shorter than
+    [hi]. *)

@@ -3,6 +3,7 @@ module Moments = Nsigma_stats.Moments
 module Quantile = Nsigma_stats.Quantile
 module Rng = Nsigma_stats.Rng
 module Interpolate = Nsigma_stats.Interpolate
+module Sampler = Nsigma_stats.Sampler
 module Cell_sim = Nsigma_spice.Cell_sim
 module Monte_carlo = Nsigma_spice.Monte_carlo
 module Executor = Nsigma_exec.Executor
@@ -26,6 +27,8 @@ type table = {
   vdd : float;
   n_mc : int;
   kernel : Cell_sim.kernel;
+  sampling : Sampler.backend;
+  rtol : float option;
   slews : float array;
   loads : float array;
   points : point array array;
@@ -60,10 +63,13 @@ let sigma_probs =
   |> Array.of_list
 
 let characterize ?(n_mc = 2000) ?(seed = 1) ?(slews = default_slews) ?loads
-    ?(exec = Executor.default ()) ?kernel tech cell ~edge =
+    ?(exec = Executor.default ()) ?kernel ?sampling ?rtol tech cell ~edge =
   let loads = match loads with Some l -> l | None -> loads_for tech cell in
   let kernel =
     match kernel with Some k -> k | None -> Cell_sim.default_kernel ()
+  in
+  let sampling =
+    match sampling with Some b -> b | None -> Sampler.default_backend ()
   in
   let g = Rng.create ~seed in
   let measure_point ~index slew load =
@@ -76,13 +82,17 @@ let characterize ?(n_mc = 2000) ?(seed = 1) ?(slews = default_slews) ?loads
        sample — bit-identical to rebuilding the arc every sample (the
        unplanned [Monte_carlo.arc_results] path), as test_plan asserts.
        Grid points are the parallel unit; the inner sampling loop runs
-       sequentially to keep one level of domain spawning. *)
-    let delays_all, slews_all =
-      Monte_carlo.arc_delays_planned ~exec:Executor.sequential ~kernel tech gp
-        ~n:n_mc
+       sequentially to keep one level of domain spawning.  Deviates come
+       from the requested [sampling] backend; with the Mc default and no
+       [rtol] this is exactly the legacy planned loop. *)
+    let sampled =
+      Monte_carlo.arc_delays_sampled ~exec:Executor.sequential ~kernel
+        ~sampling ?rtol tech gp ~n:n_mc
         ~plan:(fun () -> Cell.plan tech cell ~output_edge:edge)
         ~input_slew:slew ~load_cap:load
     in
+    let delays_all = sampled.Monte_carlo.s_delays in
+    let slews_all = sampled.Monte_carlo.s_out_slews in
     let delays = Monte_carlo.compact_nan delays_all in
     if Array.length delays < 8 then
       failwith
@@ -142,6 +152,8 @@ let characterize ?(n_mc = 2000) ?(seed = 1) ?(slews = default_slews) ?loads
     vdd = tech.Technology.vdd_nominal;
     n_mc;
     kernel;
+    sampling;
+    rtol;
     slews;
     loads;
     points;

@@ -22,6 +22,10 @@ type table = {
   n_mc : int;
   kernel : Nsigma_spice.Cell_sim.kernel;
       (** the simulation kernel the population was measured with *)
+  sampling : Nsigma_stats.Sampler.backend;
+      (** the deviate stream the population was drawn from *)
+  rtol : float option;
+      (** adaptive-stopping tolerance used, [None] for fixed-count runs *)
   slews : float array;  (** ascending *)
   loads : float array;  (** ascending *)
   points : point array array;  (** indexed [slew][load] *)
@@ -52,6 +56,8 @@ val characterize :
   ?loads:float array ->
   ?exec:Nsigma_exec.Executor.t ->
   ?kernel:Nsigma_spice.Cell_sim.kernel ->
+  ?sampling:Nsigma_stats.Sampler.backend ->
+  ?rtol:float ->
   Nsigma_process.Technology.t ->
   Cell.t ->
   edge:[ `Rise | `Fall ] ->
@@ -64,7 +70,17 @@ val characterize :
     backend and pool size.  [kernel] selects the simulation engine
     (default {!Nsigma_spice.Cell_sim.default_kernel}[ ()], i.e. the fast
     analytic path unless [NSIGMA_KERNEL] says otherwise); the choice is
-    recorded in the table and in the .lvf cache fingerprint. *)
+    recorded in the table and in the .lvf cache fingerprint.
+
+    [sampling] selects the deviate stream per grid point (default
+    {!Nsigma_stats.Sampler.default_backend}[ ()]): the [Mc] default
+    reproduces the pre-sampler populations bit-exactly, while
+    [Antithetic] / [Lhs] / [Sobol] trade that replay for variance
+    reduction.  [rtol] turns on adaptive stopping per grid point
+    ({!Nsigma_spice.Monte_carlo.arc_delays_sampled}): each point stops
+    as soon as both ±3σ quantile CIs are within the relative tolerance,
+    capped at [n_mc] samples.  Both choices are recorded in the table
+    and in the .lvf cache fingerprint. *)
 
 val grid_signature : string
 (** Canonical dump of the characterisation-grid constants (default slew

@@ -1,5 +1,6 @@
 module Technology = Nsigma_process.Technology
 module Moments = Nsigma_stats.Moments
+module Sampler = Nsigma_stats.Sampler
 module Cell_sim = Nsigma_spice.Cell_sim
 module Metrics = Nsigma_obs.Metrics
 module Log = Nsigma_obs.Log
@@ -42,7 +43,7 @@ let cells t =
     t.order
 
 let characterize_all ?n_mc ?seed ?slews ?loads ?(edges = [ `Rise; `Fall ])
-    ?exec ?kernel tech cell_list =
+    ?exec ?kernel ?sampling ?rtol tech cell_list =
   let lib = create tech in
   List.iteri
     (fun i cell ->
@@ -54,7 +55,7 @@ let characterize_all ?n_mc ?seed ?slews ?loads ?(edges = [ `Rise; `Fall ])
           in
           add lib
             (Characterize.characterize ?n_mc ~seed ?slews ?loads ?exec ?kernel
-               tech cell ~edge))
+               ?sampling ?rtol tech cell ~edge))
         edges)
     cell_list;
   lib
@@ -63,16 +64,34 @@ let characterize_all ?n_mc ?seed ?slews ?loads ?(edges = [ `Rise; `Fall ])
 
 let edge_name = function `Rise -> "RISE" | `Fall -> "FALL"
 
+(* The adaptive tolerance as a header token: "off" for fixed-count runs,
+   a %.9g float otherwise.  %.9g round-trips every tolerance a user
+   plausibly passes, and the token is compared textually so save → load
+   → save is stable. *)
+let rtol_token = function None -> "off" | Some r -> Printf.sprintf "%.9g" r
+
+let rtol_of_token lineno path = function
+  | "off" -> None
+  | s -> (
+    match float_of_string_opt s with
+    | Some r when r > 0.0 -> Some r
+    | _ ->
+      failwith (Printf.sprintf "%s:%d: bad rtol token %S" path lineno s))
+
 (* What the cached tables depend on besides the corner voltage: every
-   technology parameter, the characterisation-grid constants and the
-   simulation kernel that produced the populations.  Stored in the
-   header so [load] can detect a stale cache — fast- and
-   RK4-characterised tables never alias. *)
-let cache_fingerprint tech ~kernel =
+   technology parameter, the characterisation-grid constants, the
+   simulation kernel and the sampling configuration that produced the
+   populations.  Stored in the header so [load] can detect a stale
+   cache — fast- and RK4-characterised tables never alias, and neither
+   do populations drawn from different deviate streams or stopped at
+   different tolerances. *)
+let cache_fingerprint tech ~kernel ~sampling ~rtol =
   Digest.to_hex
     (Digest.string
        (Technology.fingerprint tech ^ "|" ^ Characterize.grid_signature
-      ^ "|kernel=" ^ Cell_sim.kernel_name kernel))
+      ^ "|kernel=" ^ Cell_sim.kernel_name kernel
+      ^ "|sampling=" ^ Sampler.backend_name sampling
+      ^ "|rtol=" ^ rtol_token rtol))
 
 (* The kernel all of a library's tables were characterised with; mixing
    kernels in one file would make the header fingerprint a lie. *)
@@ -90,16 +109,36 @@ let library_kernel t =
       rest;
     k
 
+(* Same uniformity rule for the sampling configuration. *)
+let library_sampling t =
+  match cells t with
+  | [] -> (Sampler.default_backend (), None)
+  | (c0, e0) :: rest ->
+    let t0 = find t c0 ~edge:e0 in
+    let s = (t0.Characterize.sampling, t0.Characterize.rtol) in
+    List.iter
+      (fun (c, e) ->
+        let ti = find t c ~edge:e in
+        if (ti.Characterize.sampling, ti.Characterize.rtol) <> s then
+          failwith
+            "Library.save: tables characterised with different sampling \
+             configurations cannot share one cache file")
+      rest;
+    s
+
 let save t path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       let kernel = library_kernel t in
-      Printf.fprintf oc "NSIGMA_LIB 3 %s %.6f %s %s\n" t.tech.Technology.name
-        t.tech.Technology.vdd_nominal
+      let sampling, rtol = library_sampling t in
+      Printf.fprintf oc "NSIGMA_LIB 4 %s %.6f %s %s %s %s\n"
+        t.tech.Technology.name t.tech.Technology.vdd_nominal
         (Cell_sim.kernel_name kernel)
-        (cache_fingerprint t.tech ~kernel);
+        (Sampler.backend_name sampling)
+        (rtol_token rtol)
+        (cache_fingerprint t.tech ~kernel ~sampling ~rtol);
       List.iter
         (fun (cell, edge) ->
           let table = find t cell ~edge in
@@ -135,7 +174,7 @@ type partial = {
   mutable p_points : (int * int * Characterize.point) list;
 }
 
-let load ?expect_kernel tech path =
+let load ?expect_kernel ?expect_sampling tech path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -143,6 +182,7 @@ let load ?expect_kernel tech path =
       let lib = create tech in
       let current = ref None in
       let file_kernel = ref None in
+      let file_sampling = ref None in
       let fail lineno msg = failwith (Printf.sprintf "%s:%d: %s" path lineno msg) in
       let finish lineno =
         match !current with
@@ -169,6 +209,11 @@ let load ?expect_kernel tech path =
             | Some k -> k
             | None -> fail lineno "TABLE before the NSIGMA_LIB header"
           in
+          let sampling, rtol =
+            match !file_sampling with
+            | Some s -> s
+            | None -> fail lineno "TABLE before the NSIGMA_LIB header"
+          in
           add lib
             {
               Characterize.cell = p.p_cell;
@@ -176,6 +221,8 @@ let load ?expect_kernel tech path =
               vdd = tech.Technology.vdd_nominal;
               n_mc = p.p_n_mc;
               kernel;
+              sampling;
+              rtol;
               slews = p.p_slews;
               loads = p.p_loads;
               points;
@@ -197,7 +244,11 @@ let load ?expect_kernel tech path =
              fail !lineno
                "legacy library format (v1/v2) predates the two-tier \
                 simulation kernel; re-characterise to refresh the cache"
-           | [ "NSIGMA_LIB"; "3"; _name; vdd; kernel; fp ] ->
+           | "NSIGMA_LIB" :: "3" :: _ ->
+             fail !lineno
+               "legacy library format (v3) predates the sampling layer; \
+                re-characterise to refresh the cache"
+           | [ "NSIGMA_LIB"; "4"; _name; vdd; kernel; sampling; rtol; fp ] ->
              let vdd = float_of_string vdd in
              if Float.abs (vdd -. tech.Technology.vdd_nominal) > 1e-3 then
                fail !lineno
@@ -207,10 +258,16 @@ let load ?expect_kernel tech path =
                try Cell_sim.kernel_of_string kernel
                with Failure msg -> fail !lineno msg
              in
-             if fp <> cache_fingerprint tech ~kernel then
+             let sampling =
+               try Sampler.backend_of_string sampling
+               with Failure msg -> fail !lineno msg
+             in
+             let rtol = rtol_of_token !lineno path rtol in
+             if fp <> cache_fingerprint tech ~kernel ~sampling ~rtol then
                fail !lineno
                  "library characterised under different technology parameters, \
-                  grid or kernel (stale cache); re-characterise to refresh it";
+                  grid, kernel or sampling configuration (stale cache); \
+                  re-characterise to refresh it";
              (match expect_kernel with
              | Some k when k <> kernel ->
                fail !lineno
@@ -219,7 +276,19 @@ let load ?expect_kernel tech path =
                      was requested (stale cache); re-characterise to refresh it"
                     (Cell_sim.kernel_name kernel) (Cell_sim.kernel_name k))
              | _ -> ());
-             file_kernel := Some kernel
+             (match expect_sampling with
+             | Some (b, r)
+               when b <> sampling || rtol_token r <> rtol_token rtol ->
+               fail !lineno
+                 (Printf.sprintf
+                    "library characterised with sampling %s/rtol %s, \
+                     %s/rtol %s was requested (stale cache); re-characterise \
+                     to refresh it"
+                    (Sampler.backend_name sampling) (rtol_token rtol)
+                    (Sampler.backend_name b) (rtol_token r))
+             | _ -> ());
+             file_kernel := Some kernel;
+             file_sampling := Some (sampling, rtol)
            | [ "TABLE"; cell_name; edge; n_mc ] ->
              let p_edge =
                match edge with
@@ -283,10 +352,13 @@ let load ?expect_kernel tech path =
       Metrics.incr m_cache_hit;
       lib)
 
-let load_or_characterize ?n_mc ?seed ?slews ?loads ?edges ?exec ?kernel ~path
-    tech cell_list =
+let load_or_characterize ?n_mc ?seed ?slews ?loads ?edges ?exec ?kernel
+    ?sampling ?rtol ~path tech cell_list =
   let kernel =
     match kernel with Some k -> k | None -> Cell_sim.default_kernel ()
+  in
+  let sampling =
+    match sampling with Some b -> b | None -> Sampler.default_backend ()
   in
   let covers lib =
     let edges = Option.value edges ~default:[ `Rise; `Fall ] in
@@ -296,7 +368,7 @@ let load_or_characterize ?n_mc ?seed ?slews ?loads ?edges ?exec ?kernel ~path
   in
   let from_disk =
     if Sys.file_exists path then
-      try Some (load ~expect_kernel:kernel tech path)
+      try Some (load ~expect_kernel:kernel ~expect_sampling:(sampling, rtol) tech path)
       with Failure msg ->
         (* An unreadable or fingerprint-mismatched file is a stale cache:
            distinct from a plain miss in run reports so sweeps that churn
@@ -322,8 +394,8 @@ let load_or_characterize ?n_mc ?seed ?slews ?loads ?edges ?exec ?kernel ~path
       Log.info ".lvf cache %s does not cover the requested cells" path
     | None -> ());
     let lib =
-      characterize_all ?n_mc ?seed ?slews ?loads ?edges ?exec ~kernel tech
-        cell_list
+      characterize_all ?n_mc ?seed ?slews ?loads ?edges ?exec ~kernel ~sampling
+        ?rtol tech cell_list
     in
     save lib path;
     lib

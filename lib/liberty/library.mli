@@ -27,6 +27,8 @@ val characterize_all :
   ?edges:[ `Rise | `Fall ] list ->
   ?exec:Nsigma_exec.Executor.t ->
   ?kernel:Nsigma_spice.Cell_sim.kernel ->
+  ?sampling:Nsigma_stats.Sampler.backend ->
+  ?rtol:float ->
   Nsigma_process.Technology.t ->
   Cell.t list ->
   t
@@ -34,37 +36,49 @@ val characterize_all :
     default).  [exec] schedules each cell's grid points; results are
     bit-identical across backends and pool sizes.  [kernel] selects the
     simulation engine for every table (default
-    {!Nsigma_spice.Cell_sim.default_kernel}[ ()]). *)
+    {!Nsigma_spice.Cell_sim.default_kernel}[ ()]); [sampling]/[rtol]
+    select the deviate stream and adaptive stopping tolerance
+    ({!Characterize.characterize}). *)
 
 val cache_fingerprint :
-  Nsigma_process.Technology.t -> kernel:Nsigma_spice.Cell_sim.kernel -> string
+  Nsigma_process.Technology.t ->
+  kernel:Nsigma_spice.Cell_sim.kernel ->
+  sampling:Nsigma_stats.Sampler.backend ->
+  rtol:float option ->
+  string
 (** Digest of the technology parameters, the characterisation-grid
-    constants and the simulation kernel, written into the file header by
-    {!save} and verified by {!load}.  Including the kernel guarantees
-    fast- and RK4-characterised caches never alias. *)
+    constants, the simulation kernel and the sampling configuration,
+    written into the file header by {!save} and verified by {!load}.
+    Including the kernel guarantees fast- and RK4-characterised caches
+    never alias; including the sampling backend and tolerance guarantees
+    the same for populations drawn from different deviate streams or
+    stopped adaptively. *)
 
 val save : t -> string -> unit
-(** Write the library to a text file (format version 3, carrying the
-    kernel name and {!cache_fingerprint}).
+(** Write the library to a text file (format version 4, carrying the
+    kernel name, the sampling backend, the rtol token and
+    {!cache_fingerprint}).
     @raise Failure if the library mixes tables characterised with
-    different kernels. *)
+    different kernels or different sampling configurations. *)
 
 val load :
   ?expect_kernel:Nsigma_spice.Cell_sim.kernel ->
+  ?expect_sampling:Nsigma_stats.Sampler.backend * float option ->
   Nsigma_process.Technology.t ->
   string ->
   t
 (** Read a library back.  The stored VDD must match the technology's
     (within 1 mV) and the stored fingerprint must equal
-    [cache_fingerprint tech ~kernel] for the stored kernel —
-    characterisation data is specific to the corner, the
-    device/parasitic parameters, the grid and the simulation engine, so
-    a stale cache fails loudly instead of polluting results.
-    [expect_kernel] additionally requires the stored kernel to be that
-    one (the [load_or_characterize] staleness rule); without it any
-    kernel is accepted and recorded in the loaded tables.
+    [cache_fingerprint tech ~kernel ~sampling ~rtol] for the stored
+    configuration — characterisation data is specific to the corner, the
+    device/parasitic parameters, the grid, the simulation engine and the
+    deviate stream, so a stale cache fails loudly instead of polluting
+    results.  [expect_kernel] additionally requires the stored kernel to
+    be that one, and [expect_sampling] the stored (backend, rtol) pair
+    (the [load_or_characterize] staleness rules); without them any
+    configuration is accepted and recorded in the loaded tables.
     @raise Failure on parse errors, corner mismatch, a stale/legacy
-    (v1/v2) fingerprint, or a kernel mismatch. *)
+    (v1/v2/v3) fingerprint, or a kernel/sampling mismatch. *)
 
 val load_or_characterize :
   ?n_mc:int ->
@@ -74,12 +88,17 @@ val load_or_characterize :
   ?edges:[ `Rise | `Fall ] list ->
   ?exec:Nsigma_exec.Executor.t ->
   ?kernel:Nsigma_spice.Cell_sim.kernel ->
+  ?sampling:Nsigma_stats.Sampler.backend ->
+  ?rtol:float ->
   path:string ->
   Nsigma_process.Technology.t ->
   Cell.t list ->
   t
 (** Cache wrapper: load [path] if it exists, carries the current
     fingerprint, was characterised with [kernel] (default
-    {!Nsigma_spice.Cell_sim.default_kernel}[ ()]) and covers the
-    requested cells; otherwise (including any stale-cache failure)
-    characterise with [kernel] and save. *)
+    {!Nsigma_spice.Cell_sim.default_kernel}[ ()]) under the requested
+    sampling configuration ([sampling] default
+    {!Nsigma_stats.Sampler.default_backend}[ ()], [rtol] default off)
+    and covers the requested cells; otherwise (including any
+    stale-cache failure) characterise with that configuration and
+    save. *)

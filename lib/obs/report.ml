@@ -18,6 +18,21 @@ let json_escape s =
 
 let json_float x = if Float.is_finite x then Printf.sprintf "%.9g" x else "null"
 
+(* Free-form run context (e.g. the sampling backend and tolerance the
+   CLI ran with): string key/value pairs carried verbatim into the
+   report.  Guarded by a mutex like the metrics registry so worker
+   domains may set context too. *)
+let context_lock = Mutex.create ()
+let context : (string * string) list ref = ref []
+
+let set_context k v =
+  Mutex.protect context_lock (fun () ->
+      context := (k, v) :: List.remove_assoc k !context)
+
+let get_context () =
+  Mutex.protect context_lock (fun () ->
+      List.sort (fun (a, _) (b, _) -> String.compare a b) !context)
+
 (* Utilization of the domain pools: fraction of worker wall-time spent
    inside tasks, over every pool run of the process. *)
 let utilization (snap : Metrics.snapshot) =
@@ -50,6 +65,8 @@ let to_json ?(elapsed = 0.0) () =
             (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) (render v))
             entries))
   in
+  obj "context" (get_context ()) (fun v ->
+      Printf.sprintf "\"%s\"" (json_escape v));
   obj "counters" snap.Metrics.s_counters string_of_int;
   obj "gauges" snap.Metrics.s_gauges json_float;
   obj "timers" snap.Metrics.s_timers (fun (count, seconds) ->
@@ -72,6 +89,11 @@ let summary ?(elapsed = 0.0) () =
   let b = Buffer.create 2048 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "---- nsigma run report (%.2fs elapsed) ----" elapsed;
+  (match get_context () with
+  | [] -> ()
+  | ctx ->
+    line "context:";
+    List.iter (fun (k, v) -> line "  %-34s %12s" k v) ctx);
   let nonzero_counters =
     List.filter (fun (_, v) -> v <> 0) snap.Metrics.s_counters
   in

@@ -13,6 +13,13 @@ val schema : string
 
 val schema_version : int
 
+val set_context : string -> string -> unit
+(** Attach a free-form key/value pair to the run report — e.g. the
+    sampling backend and tolerance a CLI run was configured with.
+    Setting an existing key replaces its value.  Context appears as a
+    string-valued ["context"] object in the JSON report and a leading
+    section of the summary table.  Thread-safe. *)
+
 val to_json : ?elapsed:float -> unit -> string
 (** Serialise the current registry snapshot.  The report always carries
     every registered metric (zero-valued when untouched), so well-known

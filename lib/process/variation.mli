@@ -1,11 +1,18 @@
 (** Monte-Carlo variation sampling.
 
-    A {!sample} fixes one fabrication outcome: the die-to-die (global)
-    parameter shifts plus a dedicated random stream from which simulators
-    draw the within-die (local, Pelgrom-scaled) per-device and per-segment
-    deviates.  Two simulations given the same sample see the same global
-    shift but independent local mismatch, exactly like global+local MC in
-    a commercial flow. *)
+    A {!t} fixes one fabrication outcome: the die-to-die (global)
+    parameter shifts plus a source of within-die (local, Pelgrom-scaled)
+    per-device and per-segment deviates.  Two simulations given the same
+    sample see the same global shift but independent local mismatch,
+    exactly like global+local MC in a commercial flow.
+
+    The local source is either a dedicated random stream (the legacy
+    {!draw}) or a fixed standard-normal vector ({!of_deviates}) filled
+    by an {!Nsigma_stats.Sampler} stream — the hook through which the
+    variance-reduced sampling backends feed the simulators.  Simulation
+    plans consume a fixed number of deviates in a fixed order (see
+    [Arc.skeleton_local_dim]), so the vector's dimension is known up
+    front. *)
 
 type global = {
   dvth_n : float;  (** shared NMOS threshold shift (V) *)
@@ -13,11 +20,23 @@ type global = {
   dbeta : float;  (** shared relative current-factor shift *)
 }
 
+type source =
+  | Stream of Nsigma_stats.Rng.t
+      (** draw locals from a live RNG stream (legacy Monte-Carlo) *)
+  | Fixed of { z : float array; mutable pos : int }
+      (** consume a precomputed standard-normal vector left to right;
+          the vector is aliased, not copied *)
+
 type t = {
   global : global;
-  locals : Nsigma_stats.Rng.t;
+  locals : source;
   local_scale : float;  (** 1 for MC samples; 0 for the nominal device *)
 }
+
+val global_deviate_dim : int
+(** Number of global deviates a sample consumes — 3
+    (dvth_n, dvth_p, dbeta).  A plan's total deviate dimension is this
+    plus its local dimension. *)
 
 val nominal : t
 (** Zero global shift and a fixed local stream — useful for deterministic
@@ -29,6 +48,17 @@ val draw : Technology.t -> Nsigma_stats.Rng.t -> t
 
 val draw_many : Technology.t -> Nsigma_stats.Rng.t -> int -> t array
 (** [draw_many tech g n] is [n] independent samples. *)
+
+val of_deviates : Technology.t -> float array -> t
+(** [of_deviates tech z] builds the sample encoded by the standard-normal
+    vector [z]: [z.(0..2)] scale to the global shifts (same arithmetic as
+    {!draw}, so replaying a stream's draws is bitwise-identical) and the
+    rest are consumed in order by the [local_*] accessors.  [z] is
+    aliased: refilling it invalidates the sample, so build a fresh [t]
+    per fill (the sampling loops do).
+    @raise Invalid_argument if [z] has fewer than {!global_deviate_dim}
+    entries; the [local_*] accessors raise if the vector is exhausted —
+    both are plan-dimension programming errors, not data conditions. *)
 
 val local_dvth : t -> Technology.t -> width:float -> float
 (** Draw one device's local threshold shift, σ = AVT/√(W·L). *)

@@ -366,3 +366,9 @@ let fill tech sk sample =
 
 let skeleton_arc sk = sk.sk_arc
 let skeleton_compiled sk = sk.sk_compiled
+
+(* [fill] consumes exactly two local deviates per device (ΔVth, Δβ —
+   [Device.refresh]), stack first then the opposing device. *)
+let skeleton_local_dim sk =
+  let arc = sk.sk_arc in
+  2 * (Array.length arc.devices + (match arc.opposing with Some _ -> 1 | None -> 0))

@@ -153,3 +153,10 @@ val skeleton_arc : skeleton -> t
 
 val skeleton_compiled : skeleton -> compiled
 (** The skeleton's compiled view (valid for the most recent {!fill}). *)
+
+val skeleton_local_dim : skeleton -> int
+(** Number of local (within-die) standard-normal deviates one {!fill}
+    consumes: two per stack device plus two for the opposing device when
+    present, in exactly that order.  Together with
+    [Variation.global_deviate_dim] this fixes the deviate-vector
+    dimension a [Sampler] stream must produce per sample. *)

@@ -1,6 +1,8 @@
 module Variation = Nsigma_process.Variation
 module Moments = Nsigma_stats.Moments
+module Quantile = Nsigma_stats.Quantile
 module Rng = Nsigma_stats.Rng
+module Sampler = Nsigma_stats.Sampler
 module Executor = Nsigma_exec.Executor
 module Metrics = Nsigma_obs.Metrics
 module Log = Nsigma_obs.Log
@@ -9,6 +11,11 @@ module Log = Nsigma_obs.Log
    zero-valued when no study ran. *)
 let m_samples = Metrics.counter "mc.samples"
 let m_non_convergent = Metrics.counter "mc.non_convergent"
+
+(* Adaptive-stopping telemetry, shared with the path sampler (the
+   registry is idempotent by name). *)
+let m_sampling_batches = Metrics.counter "sampling.batches"
+let m_sampling_saved = Metrics.counter "sampling.samples_saved"
 
 type run = { delays : float array; n_failed : int }
 
@@ -139,3 +146,134 @@ let arc_delays_planned ?(exec = Executor.default ()) ?kernel tech g ~n ~plan
     if failed > 0 then Metrics.incr m_non_convergent ~by:failed
   end;
   (delays, out_slews)
+
+(* ----- variance-reduced / adaptive sampling ----- *)
+
+let min_adaptive_batch = 256
+
+let tail_probs =
+  [ Quantile.probability_of_sigma (-3.0); Quantile.probability_of_sigma 3.0 ]
+
+let quantiles_converged sorted ~rtol =
+  Array.length sorted >= 2
+  && List.for_all
+       (fun p ->
+         let q = Quantile.of_sorted sorted p in
+         let lo, hi = Quantile.ci sorted p in
+         (hi -. lo) /. 2.0 <= rtol *. Float.abs q)
+       tail_probs
+
+type sampled = {
+  s_delays : float array;
+  s_out_slews : float array;
+  s_requested : int;
+  s_batches : int;
+}
+
+let arc_delays_sampled ?(exec = Executor.default ()) ?kernel ?sampling ?rtol
+    ?(min_batch = min_adaptive_batch) tech g ~n ~plan ~input_slew ~load_cap =
+  let kernel =
+    match kernel with Some k -> k | None -> Cell_sim.default_kernel ()
+  in
+  let backend =
+    match sampling with Some b -> b | None -> Sampler.default_backend ()
+  in
+  match (backend, rtol) with
+  | Sampler.Mc, None ->
+    (* The default configuration delegates to the legacy planned loop —
+       trivially bit-identical to pre-sampler populations, and metric
+       accounting stays in one place. *)
+    let delays, slews =
+      arc_delays_planned ~exec ~kernel tech g ~n ~plan ~input_slew ~load_cap
+    in
+    { s_delays = delays; s_out_slews = slews; s_requested = n; s_batches = 1 }
+  | _ ->
+    let base = Rng.split g in
+    let sampler =
+      match backend with
+      | Sampler.Mc -> None
+      | _ ->
+        (* One probe skeleton on the calling domain fixes the deviate
+           dimension; workers build their own through [init]. *)
+        let dim =
+          Variation.global_deviate_dim + Arc.skeleton_local_dim (plan ())
+        in
+        Some (Sampler.create backend base ~dim ~n)
+    in
+    let out = Array.make n Float.nan in
+    let out_slews = Array.make n Float.nan in
+    let init () =
+      let sk = plan () in
+      let zbuf =
+        match sampler with
+        | None -> [||]
+        | Some s -> Array.make (Sampler.dim s) 0.0
+      in
+      (sk, zbuf)
+    in
+    let task (sk, zbuf) i =
+      let sample =
+        match sampler with
+        | None -> Variation.draw tech (Rng.derive base ~index:i)
+        | Some s ->
+          Sampler.fill s ~index:i zbuf;
+          Variation.of_deviates tech zbuf
+      in
+      Arc.fill tech sk sample;
+      match
+        Cell_sim.run_compiled ~kernel tech (Arc.skeleton_compiled sk)
+          ~input_slew ~load_cap
+      with
+      | r ->
+        out_slews.(i) <- r.Cell_sim.output_slew;
+        r.Cell_sim.delay
+      | exception Failure _ -> Float.nan
+    in
+    let drawn, batches =
+      match rtol with
+      | None ->
+        Executor.map_float_range exec ~init task ~out ~lo:0 ~hi:n;
+        (n, 1)
+      | Some rtol ->
+        if rtol <= 0.0 then
+          invalid_arg "Monte_carlo.arc_delays_sampled: rtol must be positive";
+        let min_batch = max 2 min_batch in
+        (* Doubling batches; samples are addressed by absolute index, so
+           an early-stopped population is a bitwise prefix of the full
+           one.  Convergence is never tested below [min_batch] samples. *)
+        let rec loop drawn batches =
+          let target =
+            if drawn = 0 then min n min_batch else min n (2 * drawn)
+          in
+          Executor.map_float_range exec ~init task ~out ~lo:drawn ~hi:target;
+          let batches = batches + 1 in
+          if target >= n then (target, batches)
+          else begin
+            let sorted = compact_nan (Array.sub out 0 target) in
+            Array.sort Float.compare sorted;
+            if
+              Array.length sorted >= min_batch
+              && quantiles_converged sorted ~rtol
+            then (target, batches)
+            else loop target batches
+          end
+        in
+        loop 0 0
+    in
+    let delays = if drawn = n then out else Array.sub out 0 drawn in
+    let slews = if drawn = n then out_slews else Array.sub out_slews 0 drawn in
+    Metrics.incr m_samples ~by:drawn;
+    (match rtol with
+    | Some _ ->
+      Metrics.incr m_sampling_batches ~by:batches;
+      if n > drawn then Metrics.incr m_sampling_saved ~by:(n - drawn)
+    | None -> ());
+    if Metrics.enabled () then begin
+      let failed =
+        Array.fold_left
+          (fun acc d -> if Float.is_nan d then acc + 1 else acc)
+          0 delays
+      in
+      if failed > 0 then Metrics.incr m_non_convergent ~by:failed
+    end;
+    { s_delays = delays; s_out_slews = slews; s_requested = n; s_batches = batches }

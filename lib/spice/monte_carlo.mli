@@ -84,6 +84,56 @@ val compact_nan : float array -> float array
     preserving sample order; returns a fresh array even when nothing was
     dropped. *)
 
+val quantiles_converged : float array -> rtol:float -> bool
+(** The adaptive stopping criterion: true when both ±3σ empirical
+    quantiles of the ascending-sorted population have a relative
+    {!Nsigma_stats.Quantile.ci} half-width ≤ [rtol]
+    ((hi − lo)/2 ≤ rtol·|q|, 95% order-statistic CI).  Shared by the
+    characterisation and path samplers. *)
+
+val min_adaptive_batch : int
+(** Default minimum batch (256): adaptive sampling never tests
+    convergence — hence never stops — below this many samples. *)
+
+type sampled = {
+  s_delays : float array;
+      (** delays in sample order, length = samples actually drawn; NaN
+          marks a non-convergent sample *)
+  s_out_slews : float array;  (** matching output slews (NaN on failure) *)
+  s_requested : int;  (** the [n] asked for (= length unless stopped early) *)
+  s_batches : int;  (** executor passes taken (1 unless adaptive) *)
+}
+
+val arc_delays_sampled :
+  ?exec:Nsigma_exec.Executor.t ->
+  ?kernel:Cell_sim.kernel ->
+  ?sampling:Nsigma_stats.Sampler.backend ->
+  ?rtol:float ->
+  ?min_batch:int ->
+  Nsigma_process.Technology.t ->
+  Nsigma_stats.Rng.t ->
+  n:int ->
+  plan:(unit -> Arc.skeleton) ->
+  input_slew:float ->
+  load_cap:float ->
+  sampled
+(** The sampler-aware form of {!arc_delays_planned}: deviates come from
+    an {!Nsigma_stats.Sampler} stream of the requested backend (default
+    {!Nsigma_stats.Sampler.default_backend}[ ()], i.e. plain MC unless
+    [NSIGMA_SAMPLING] says otherwise).  With the [Mc] backend and no
+    [rtol] it delegates to {!arc_delays_planned} — bitwise-identical to
+    the pre-sampler populations, as test_sampler asserts.
+
+    [rtol] enables adaptive stopping: sampling proceeds in doubling
+    batches from [min_batch] (default {!min_adaptive_batch}) and stops
+    as soon as {!quantiles_converged} holds on the population so far —
+    never below [min_batch] samples, always capped at [n].  Because
+    sample [i] is a pure function of the index, the early-stopped
+    population is a bitwise prefix of the full run.  Batches and samples
+    saved are recorded under the [sampling.batches] /
+    [sampling.samples_saved] counters.
+    @raise Invalid_argument if [rtol <= 0]. *)
+
 val arc_delays_planned :
   ?exec:Nsigma_exec.Executor.t ->
   ?kernel:Cell_sim.kernel ->

@@ -11,19 +11,35 @@ module Variation = Nsigma_process.Variation
 module Moments = Nsigma_stats.Moments
 module Quantile = Nsigma_stats.Quantile
 module Rng = Nsigma_stats.Rng
+module Sampler = Nsigma_stats.Sampler
 module Executor = Nsigma_exec.Executor
 module Metrics = Nsigma_obs.Metrics
 module Progress = Nsigma_obs.Progress
 
 (* Registered at module init so run reports always carry the path-MC
-   keys, zero-valued when no path study ran. *)
+   keys, zero-valued when no path study ran.  The sampling.* counters
+   are shared with the characterisation layer (the registry is
+   idempotent by name). *)
 let m_samples = Metrics.counter "path_mc.samples"
 let m_non_convergent = Metrics.counter "path_mc.non_convergent"
+let m_sampling_batches = Metrics.counter "sampling.batches"
+let m_sampling_saved = Metrics.counter "sampling.samples_saved"
+
+type sampling_info = {
+  si_backend : Sampler.backend;
+  si_rtol : float option;
+  si_requested : int;
+  si_drawn : int;
+  si_saved : int;
+  si_non_convergent : int;
+  si_batches : int;
+}
 
 type stats = {
   samples : float array;
   moments : Moments.summary;
   quantile : int -> float;
+  sampling : sampling_info;
 }
 
 let edge_of = function Provider.Rise -> `Rise | Provider.Fall -> `Fall
@@ -167,6 +183,19 @@ let plan_of tech (design : Design.t) (path : Path.t) =
   in
   { hops }
 
+(* Standard-normal deviates one path sample consumes: the three global
+   corners, then per hop the cell skeleton's locals ([Arc.fill] order)
+   followed by two per non-root wire node ([Wire_gen.vary_into] order:
+   dr before dc, nodes ascending).  This is the vector dimension a
+   [Sampler] stream must produce for {!simulate_planned}. *)
+let deviate_dim (p : plan) =
+  Array.fold_left
+    (fun acc hp ->
+      acc
+      + Arc.skeleton_local_dim hp.hp_sk
+      + (2 * (Rctree.n_nodes hp.hp_base - 1)))
+    Variation.global_deviate_dim p.hops
+
 (* One sample through the plan.  Mirrors [simulate_sample_record] deviate
    for deviate: per hop the cell skeleton fills first (same draw order as
    [Cell.arc]), then the wire refills (same order as [Wire_gen.vary]),
@@ -230,39 +259,117 @@ let no_valid_samples design path ~n =
     design.Design.netlist.Netlist.net_names.(net)
 
 let run ?steps ?kernel ?(n = 1000) ?(seed = 11) ?(exec = Executor.default ())
-    tech design path =
+    ?sampling ?rtol tech design path =
+  let backend =
+    match sampling with Some b -> b | None -> Sampler.default_backend ()
+  in
+  (* The generator is consumed exactly as the pre-sampler loop did
+     ([Rng.derive g ~index:i] per sample, no split), so the Mc backend
+     replays the legacy population bit for bit. *)
   let g = Rng.create ~seed in
-  let measured =
+  let sampler =
+    match backend with
+    | Sampler.Mc -> None
+    | _ ->
+      (* One probe plan on the calling domain fixes the deviate
+         dimension; workers build their own through [init]. *)
+      let dim = deviate_dim (plan_of tech design path) in
+      Some (Sampler.create backend g ~dim ~n)
+  in
+  let out = Array.make n Float.nan in
+  let drawn, batches =
     Progress.with_bar ~label:"path-mc" ~total:n (fun tick ->
         Metrics.span "path_mc" (fun () ->
-            Executor.map_float_array exec
-              ~init:(fun () -> plan_of tech design path)
-              (fun p i ->
-                let sample = Variation.draw tech (Rng.derive g ~index:i) in
-                let r =
-                  match
-                    simulate_planned ?steps ?kernel tech p sample
-                      ~record_wire:(fun _ _ -> ())
-                  with
-                  | d -> d
-                  | exception Failure _ -> Float.nan
+            let init () =
+              let p = plan_of tech design path in
+              let zbuf =
+                match sampler with
+                | None -> [||]
+                | Some s -> Array.make (Sampler.dim s) 0.0
+              in
+              (p, zbuf)
+            in
+            let task (p, zbuf) i =
+              let sample =
+                match sampler with
+                | None -> Variation.draw tech (Rng.derive g ~index:i)
+                | Some s ->
+                  Sampler.fill s ~index:i zbuf;
+                  Variation.of_deviates tech zbuf
+              in
+              let r =
+                match
+                  simulate_planned ?steps ?kernel tech p sample
+                    ~record_wire:(fun _ _ -> ())
+                with
+                | d -> d
+                | exception Failure _ -> Float.nan
+              in
+              tick ();
+              r
+            in
+            match rtol with
+            | None ->
+              Executor.map_float_range exec ~init task ~out ~lo:0 ~hi:n;
+              (n, 1)
+            | Some rtol ->
+              if rtol <= 0.0 then
+                invalid_arg "Path_mc.run: rtol must be positive";
+              let min_batch = max 2 Monte_carlo.min_adaptive_batch in
+              (* Doubling batches, absolute sample indices: an
+                 early-stopped population is a bitwise prefix of the full
+                 run, and convergence is never tested below
+                 [min_adaptive_batch] samples. *)
+              let rec loop drawn batches =
+                let target =
+                  if drawn = 0 then min n min_batch else min n (2 * drawn)
                 in
-                tick ();
-                r)
-              ~n))
+                Executor.map_float_range exec ~init task ~out ~lo:drawn
+                  ~hi:target;
+                let batches = batches + 1 in
+                if target >= n then (target, batches)
+                else begin
+                  let sorted = Monte_carlo.compact_nan (Array.sub out 0 target) in
+                  Array.sort Float.compare sorted;
+                  if
+                    Array.length sorted >= min_batch
+                    && Monte_carlo.quantiles_converged sorted ~rtol
+                  then (target, batches)
+                  else loop target batches
+                end
+              in
+              loop 0 0))
   in
+  let measured = if drawn = n then out else Array.sub out 0 drawn in
   let samples = Monte_carlo.compact_nan measured in
-  Metrics.incr m_samples ~by:n;
-  let failed = n - Array.length samples in
+  Metrics.incr m_samples ~by:drawn;
+  let failed = drawn - Array.length samples in
   if failed > 0 then Metrics.incr m_non_convergent ~by:failed;
-  if Array.length samples = 0 then failwith (no_valid_samples design path ~n);
+  (match rtol with
+  | Some _ ->
+    Metrics.incr m_sampling_batches ~by:batches;
+    if n > drawn then Metrics.incr m_sampling_saved ~by:(n - drawn)
+  | None -> ());
+  if Array.length samples = 0 then
+    failwith (no_valid_samples design path ~n:drawn);
   Array.sort Float.compare samples;
   let moments = Moments.summary_of_array samples in
   let quantile sigma =
     Quantile.of_sorted samples
       (Quantile.probability_of_sigma (float_of_int sigma))
   in
-  { samples; moments; quantile }
+  let sampling =
+    {
+      si_backend = backend;
+      si_rtol = rtol;
+      si_requested = n;
+      si_drawn = drawn;
+      si_saved = n - drawn;
+      si_non_convergent = failed;
+      si_batches = batches;
+    }
+  in
+  { samples; moments; quantile; sampling }
 
 let per_wire_quantiles ?steps ?kernel ?(n = 1000) ?(seed = 11)
     ?(exec = Executor.default ()) tech design path ~sigma =

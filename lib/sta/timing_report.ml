@@ -58,6 +58,18 @@ let pp nl ppf t =
     t.endpoints;
   Format.fprintf ppf "@]"
 
+let pp_sampling ppf (si : Path_mc.sampling_info) =
+  Format.fprintf ppf
+    "@[<v>sampling: %s%s@,  samples %d drawn / %d requested (%d saved, %d \
+     non-convergent, %d batch%s)@]"
+    (Nsigma_stats.Sampler.backend_name si.Path_mc.si_backend)
+    (match si.Path_mc.si_rtol with
+    | None -> ""
+    | Some r -> Format.asprintf ", adaptive rtol %.3g" r)
+    si.Path_mc.si_drawn si.Path_mc.si_requested si.Path_mc.si_saved
+    si.Path_mc.si_non_convergent si.Path_mc.si_batches
+    (if si.Path_mc.si_batches = 1 then "" else "es")
+
 let pp_path nl ~period ppf (path : Path.t) =
   Format.fprintf ppf "@[<v>%-24s %10s %10s@," "point" "incr(ps)" "path(ps)";
   let t = ref 0.0 in

@@ -32,3 +32,8 @@ val pp_path :
   Nsigma_netlist.Netlist.t -> period:float -> Format.formatter -> Path.t -> unit
 (** PrimeTime-flavoured single-path report: per-stage incr/path columns
     and the endpoint slack line. *)
+
+val pp_sampling : Format.formatter -> Path_mc.sampling_info -> unit
+(** Two-line summary of how a Monte-Carlo population was produced:
+    backend (and adaptive tolerance when enabled), samples drawn vs
+    requested, samples saved, non-convergent count and batch count. *)

@@ -1,14 +1,29 @@
+(* Interpolation convention (central to every quantile in the library):
+   type-7 — h = (n−1)p, linear interpolation between the floor(h)-th and
+   ceil(h)-th order statistics.  The R/NumPy default; all call sites go
+   through [of_sorted] so the convention lives in exactly one place. *)
+
+let check_p ~who p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (who ^ ": probability outside [0,1]")
+
 let of_sorted xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Quantile.of_sorted: empty sample";
-  if not (p >= 0.0 && p <= 1.0) then
-    invalid_arg "Quantile.of_sorted: probability outside [0,1]";
-  (* Type-7 estimator: h = (n-1)p, interpolate between floor and ceil. *)
-  let h = float_of_int (n - 1) *. p in
-  let lo = int_of_float (Float.floor h) in
-  let hi = min (lo + 1) (n - 1) in
-  let frac = h -. float_of_int lo in
-  xs.(lo) +. (frac *. (xs.(hi) -. xs.(lo)))
+  check_p ~who:"Quantile.of_sorted" p;
+  if n = 1 then xs.(0)
+  else begin
+    let h = float_of_int (n - 1) *. p in
+    let lo = int_of_float (Float.floor h) in
+    (* Clamp: p = 1.0 can give lo = n−1 exactly; rounding guards. *)
+    let lo = max 0 (min (n - 1) lo) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = h -. float_of_int lo in
+    xs.(lo) +. (frac *. (xs.(hi) -. xs.(lo)))
+  end
+
+let of_sorted_opt xs p =
+  if Array.length xs = 0 then None else Some (of_sorted xs p)
 
 let of_sample xs p =
   let copy = Array.copy xs in
@@ -19,6 +34,29 @@ let many_of_sample xs ps =
   let copy = Array.copy xs in
   Array.sort Float.compare copy;
   List.map (fun p -> (p, of_sorted copy p)) ps
+
+(* Distribution-free order-statistic confidence interval for the
+   p-quantile: the number of sample points below the true quantile is
+   Binomial(n, p), so order statistics at np ± z√(np(1−p)) bracket it
+   with ≈[confidence] probability (normal approximation; indices are
+   clamped to the sample, which makes the interval conservative at the
+   extremes — the usual behaviour for ±3σ tails of moderate n). *)
+let ci ?(confidence = 0.95) xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Quantile.ci: empty sample";
+  check_p ~who:"Quantile.ci" p;
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg "Quantile.ci: confidence outside (0,1)";
+  if n = 1 then (xs.(0), xs.(0))
+  else begin
+    let z = Special.normal_quantile (0.5 +. (confidence /. 2.0)) in
+    let np = float_of_int n *. p in
+    let hw = z *. sqrt (float_of_int n *. p *. (1.0 -. p)) in
+    let clamp i = max 0 (min (n - 1) i) in
+    let lo = clamp (int_of_float (Float.floor (np -. hw))) in
+    let hi = clamp (int_of_float (Float.ceil (np +. hw))) in
+    (xs.(lo), xs.(hi))
+  end
 
 let sigma_levels = [ -3; -2; -1; 0; 1; 2; 3 ]
 

@@ -1,0 +1,337 @@
+type backend = Mc | Antithetic | Lhs | Sobol
+
+let backend_name = function
+  | Mc -> "mc"
+  | Antithetic -> "antithetic"
+  | Lhs -> "lhs"
+  | Sobol -> "sobol"
+
+let backend_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "mc" -> Mc
+  | "antithetic" | "anti" -> Antithetic
+  | "lhs" -> Lhs
+  | "sobol" | "qmc" -> Sobol
+  | other ->
+    failwith
+      (Printf.sprintf
+         "unknown sampling backend %S (expected mc, antithetic, lhs or sobol)"
+         other)
+
+let default_backend () =
+  match Sys.getenv_opt "NSIGMA_SAMPLING" with
+  | None -> Mc
+  | Some s -> ( try backend_of_string s with Failure _ -> Mc)
+
+(* The Mc backend replays [Variation.draw]'s order exactly: three global
+   deviates from the derived child, then the locals from [Rng.split] of
+   that same child.  Keeping the split in the replay is what makes the
+   vectors bitwise-equal to the legacy draws — the polar gaussian caches
+   a spare deviate per stream, so the stream boundaries matter. *)
+let mc_global_lead = 3
+
+(* ------------------------------------------------------------------ *)
+(* Sobol' machinery: 32-bit direction numbers.                         *)
+(* ------------------------------------------------------------------ *)
+
+let sobol_bits = 32
+let mask32 = 0xFFFFFFFF
+let inv_u32 = 1.0 /. 4294967296.0
+
+(* First dimensions of the Joe–Kuo style table: (degree s, coefficient
+   bits a, initial odd m_1..m_s).  Validity only requires every m_k odd
+   and < 2^k (the specific values tune projection quality); dimensions
+   beyond the table are generated from the primitive-polynomial sieve
+   below with deterministic pseudo-random initial values. *)
+let joe_kuo_rows =
+  [|
+    (1, 0, [| 1 |]);
+    (2, 1, [| 1; 3 |]);
+    (3, 1, [| 1; 3; 1 |]);
+    (3, 2, [| 1; 1; 1 |]);
+    (4, 1, [| 1; 1; 3; 3 |]);
+    (4, 4, [| 1; 3; 5; 13 |]);
+    (5, 2, [| 1; 1; 5; 5; 17 |]);
+    (5, 4, [| 1; 1; 5; 5; 5 |]);
+    (5, 7, [| 1; 1; 7; 11; 19 |]);
+    (5, 11, [| 1; 1; 5; 1; 1 |]);
+    (5, 13, [| 1; 1; 1; 3; 11 |]);
+    (5, 14, [| 1; 3; 5; 5; 31 |]);
+    (6, 1, [| 1; 3; 3; 9; 7; 49 |]);
+    (6, 13, [| 1; 1; 1; 15; 21; 21 |]);
+    (6, 16, [| 1; 3; 1; 13; 27; 49 |]);
+    (6, 19, [| 1; 1; 1; 15; 7; 5 |]);
+    (6, 22, [| 1; 3; 1; 15; 13; 25 |]);
+    (6, 25, [| 1; 1; 5; 5; 19; 61 |]);
+    (7, 1, [| 1; 3; 7; 11; 23; 15; 103 |]);
+    (7, 4, [| 1; 3; 7; 13; 13; 15; 69 |]);
+  |]
+
+(* GF(2) polynomial arithmetic modulo a degree-[s] polynomial [p]
+   (bit s set).  Operands stay below 2^s. *)
+let gf2_mulmod a b p s =
+  let r = ref 0 and a = ref a and b = ref b in
+  while !b <> 0 do
+    if !b land 1 = 1 then r := !r lxor !a;
+    b := !b lsr 1;
+    a := !a lsl 1;
+    if !a land (1 lsl s) <> 0 then a := !a lxor p
+  done;
+  !r
+
+let gf2_pow x e p s =
+  let r = ref 1 and x = ref x and e = ref e in
+  while !e <> 0 do
+    if !e land 1 = 1 then r := gf2_mulmod !r !x p s;
+    x := gf2_mulmod !x !x p s;
+    e := !e lsr 1
+  done;
+  !r
+
+let distinct_prime_factors n =
+  let rec go n d acc =
+    if n = 1 then acc
+    else if d * d > n then n :: acc
+    else if n mod d = 0 then
+      let rec strip n = if n mod d = 0 then strip (n / d) else n in
+      go (strip n) (d + 1) (d :: acc)
+    else go n (d + 1) acc
+  in
+  go n 2 []
+
+(* p (degree s, constant term 1) is primitive iff x has full order
+   2^s − 1 in GF(2)[x]/(p): x^(2^s−1) = 1 and x^((2^s−1)/q) ≠ 1 for
+   every prime q dividing 2^s − 1.  Full order also implies p is
+   irreducible, so no separate check is needed. *)
+let is_primitive p s =
+  let e = (1 lsl s) - 1 in
+  gf2_pow 2 e p s = 1
+  && List.for_all (fun q -> gf2_pow 2 (e / q) p s <> 1) (distinct_prime_factors e)
+
+(* The [idx]-th primitive polynomial (0-based) in (degree, value)
+   ascending order, as (s, a) with a the inner coefficient bits.
+   Polynomials are cheap to re-sieve, so no cache — [create] stays free
+   of global mutable state and is safe on any domain. *)
+let nth_primitive idx =
+  let count = ref 0 and result = ref None and s = ref 1 in
+  while !result = None do
+    let lo = (1 lsl !s) + 1 and hi = (1 lsl (!s + 1)) - 1 in
+    let c = ref lo in
+    while !result = None && !c <= hi do
+      if is_primitive !c !s then begin
+        if !count = idx then result := Some (!s, (!c lsr 1) land ((1 lsl (!s - 1)) - 1));
+        incr count
+      end;
+      c := !c + 2
+    done;
+    incr s;
+    if !s > 24 then failwith "Sampler: primitive-polynomial sieve exhausted"
+  done;
+  Option.get !result
+
+(* Direction integers v_1..v_32 (bit 31 = first output bit) from a
+   degree-[s] recurrence with coefficient bits [a] and initial values
+   [m_init].  m_k = 2a_1 m_{k−1} ⊕ … ⊕ 2^{s−1} a_{s−1} m_{k−s+1}
+               ⊕ 2^s m_{k−s} ⊕ m_{k−s}. *)
+let directions ~s ~a ~m_init =
+  let m = Array.make (sobol_bits + 1) 0 in
+  Array.blit m_init 0 m 1 (min s sobol_bits);
+  for k = s + 1 to sobol_bits do
+    let x = ref (m.(k - s) lxor (m.(k - s) lsl s)) in
+    for t = 1 to s - 1 do
+      if (a lsr (s - 1 - t)) land 1 = 1 then x := !x lxor (m.(k - t) lsl t)
+    done;
+    m.(k) <- !x
+  done;
+  Array.init sobol_bits (fun i -> (m.(i + 1) lsl (sobol_bits - i - 1)) land mask32)
+
+(* Dimension 0 is the van der Corput sequence: m_k = 1 for all k. *)
+let vdc_directions =
+  Array.init sobol_bits (fun i -> 1 lsl (sobol_bits - i - 1))
+
+let directions_for base ~dim_index:j =
+  if j = 0 then vdc_directions
+  else if j - 1 < Array.length joe_kuo_rows then
+    let s, a, m_init = joe_kuo_rows.(j - 1) in
+    directions ~s ~a ~m_init
+  else begin
+    let s, a = nth_primitive (j - 1) in
+    let r = Rng.derive base ~index:(1_000_003 + j) in
+    (* Any odd m_k < 2^k is a valid initial value. *)
+    let m_init = Array.init s (fun k -> 1 + (2 * Rng.int r (1 lsl k))) in
+    directions ~s ~a ~m_init
+  end
+
+(* x_i = ⊕ {v_{k+1} : bit k of gray(i) set} — random access, no
+   sequential state, so any executor schedule sees the same points. *)
+let sobol_int dirs gray =
+  let x = ref 0 and g = ref gray and k = ref 0 in
+  while !g <> 0 do
+    if !g land 1 = 1 then x := !x lxor dirs.(!k);
+    g := !g lsr 1;
+    incr k
+  done;
+  !x
+
+let sobol_raw_u01 ~dim ~index =
+  if dim < 0 || dim > Array.length joe_kuo_rows then
+    invalid_arg "Sampler.sobol_raw_u01: dimension outside the embedded table";
+  if index < 0 then invalid_arg "Sampler.sobol_raw_u01: negative index";
+  let dirs =
+    if dim = 0 then vdc_directions
+    else
+      let s, a, m_init = joe_kuo_rows.(dim - 1) in
+      directions ~s ~a ~m_init
+  in
+  (float_of_int (sobol_int dirs (index lxor (index lsr 1))) +. 0.5) *. inv_u32
+
+(* ------------------------------------------------------------------ *)
+(* Owen-style scrambling.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rev32 x =
+  let x = ((x land 0x55555555) lsl 1) lor ((x lsr 1) land 0x55555555) in
+  let x = ((x land 0x33333333) lsl 2) lor ((x lsr 2) land 0x33333333) in
+  let x = ((x land 0x0F0F0F0F) lsl 4) lor ((x lsr 4) land 0x0F0F0F0F) in
+  let x = ((x land 0x00FF00FF) lsl 8) lor ((x lsr 8) land 0x00FF00FF) in
+  ((x land 0xFFFF) lsl 16) lor ((x lsr 16) land 0xFFFF)
+
+(* Laine–Karras style hash in bit-reversed space.  Every operation makes
+   output bit i depend only on input bits ≤ i (addition carries and
+   multiplies by even constants only propagate upward) and flip bit i by
+   a function of the bits below it — i.e. back in normal bit order it is
+   a nested dyadic-interval permutation, exactly Owen's scramble with
+   hash-derived flips.  test_sampler verifies the net-preserving
+   property empirically. *)
+let lk_hash x seed =
+  let x = (x + seed) land mask32 in
+  let x = x lxor ((x * 0x6c50b47c) land mask32) in
+  let x = x lxor ((x * 0xb82f1e52) land mask32) in
+  let x = x lxor ((x * 0xc7afe638) land mask32) in
+  let x = x lxor ((x * 0x8d22f6e6) land mask32) in
+  x
+
+let owen_scramble ~seed x = rev32 (lk_hash (rev32 x) seed)
+
+(* ------------------------------------------------------------------ *)
+(* Streams.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type state =
+  | S_gaussian of Rng.t  (* Mc and Antithetic: base for per-index derive *)
+  | S_lhs of { jitter : Rng.t; perms : int array array }
+  | S_sobol of { dirs : int array array; seeds : int array }
+
+type t = { backend : backend; dim : int; n : int; state : state }
+
+let backend_of t = t.backend
+let dim t = t.dim
+let population t = t.n
+
+let create backend g ~dim ~n =
+  if dim <= 0 then invalid_arg "Sampler.create: dim must be positive";
+  if n <= 0 then invalid_arg "Sampler.create: n must be positive";
+  let state =
+    match backend with
+    | Mc | Antithetic ->
+      (* Distinct purpose-index so the per-sample children coincide with
+         the legacy [Rng.derive base ~index:i] children: the stream base
+         IS the caller's state, untouched. *)
+      S_gaussian (Rng.copy g)
+    | Lhs ->
+      let perms =
+        Array.init dim (fun j ->
+            let r = Rng.derive g ~index:(2_000_003 + j) in
+            let p = Array.init n Fun.id in
+            Rng.shuffle r p;
+            p)
+      in
+      S_lhs { jitter = Rng.derive g ~index:3_000_017; perms }
+    | Sobol ->
+      let dirs = Array.init dim (fun j -> directions_for g ~dim_index:j) in
+      let seeds =
+        Array.init dim (fun j ->
+            let r = Rng.derive g ~index:(4_000_037 + j) in
+            Int64.to_int (Rng.bits64 r) land mask32)
+      in
+      S_sobol { dirs; seeds }
+  in
+  { backend; dim; n; state }
+
+let check_fill t ~index z =
+  if index < 0 then invalid_arg "Sampler.fill: negative index";
+  if Array.length z < t.dim then
+    invalid_arg "Sampler.fill: output buffer shorter than dim";
+  match t.state with
+  | S_lhs _ when index >= t.n ->
+    invalid_arg "Sampler.fill: index beyond the Lhs population"
+  | _ -> ()
+
+(* The legacy draw order: globals from the derived child, locals from
+   its split — see [mc_global_lead].  [Variation.draw] consumes the
+   globals as dbeta, dvth_p, dvth_n while the canonical deviate layout
+   is z.(0) = dvth_n, z.(1) = dvth_p, z.(2) = dbeta, so the lead draws
+   are written back to front. *)
+let fill_mc base ~index ~dim z =
+  let g = Rng.derive base ~index in
+  let lead = min dim mc_global_lead in
+  for k = lead - 1 downto 0 do
+    z.(k) <- Rng.gaussian g
+  done;
+  if dim > lead then begin
+    let locals = Rng.split g in
+    for k = lead to dim - 1 do
+      z.(k) <- Rng.gaussian locals
+    done
+  end
+
+let clamp_u u = if u < 1e-300 then 1e-300 else u
+
+let fill t ~index z =
+  check_fill t ~index z;
+  match t.state with
+  | S_gaussian base ->
+    if t.backend = Mc then fill_mc base ~index ~dim:t.dim z
+    else begin
+      (* Antithetic pair (2k, 2k+1): the pair shares the deviates of
+         plain-Mc index k; the odd member is the exact negation. *)
+      fill_mc base ~index:(index / 2) ~dim:t.dim z;
+      if index land 1 = 1 then
+        for k = 0 to t.dim - 1 do
+          z.(k) <- -.z.(k)
+        done
+    end
+  | S_lhs { jitter; perms } ->
+    let c = Rng.derive jitter ~index in
+    let nf = float_of_int t.n in
+    for j = 0 to t.dim - 1 do
+      let u = (float_of_int perms.(j).(index) +. Rng.uniform c) /. nf in
+      z.(j) <- Special.normal_quantile (clamp_u u)
+    done
+  | S_sobol { dirs; seeds } ->
+    let gray = index lxor (index lsr 1) in
+    for j = 0 to t.dim - 1 do
+      let x = owen_scramble ~seed:seeds.(j) (sobol_int dirs.(j) gray) in
+      z.(j) <- Special.normal_quantile ((float_of_int x +. 0.5) *. inv_u32)
+    done
+
+let fill_uniform t ~index z =
+  check_fill t ~index z;
+  match t.state with
+  | S_gaussian _ ->
+    fill t ~index z;
+    for k = 0 to t.dim - 1 do
+      z.(k) <- Special.normal_cdf z.(k)
+    done
+  | S_lhs { jitter; perms } ->
+    let c = Rng.derive jitter ~index in
+    let nf = float_of_int t.n in
+    for j = 0 to t.dim - 1 do
+      z.(j) <- (float_of_int perms.(j).(index) +. Rng.uniform c) /. nf
+    done
+  | S_sobol { dirs; seeds } ->
+    let gray = index lxor (index lsr 1) in
+    for j = 0 to t.dim - 1 do
+      let x = owen_scramble ~seed:seeds.(j) (sobol_int dirs.(j) gray) in
+      z.(j) <- (float_of_int x +. 0.5) *. inv_u32
+    done

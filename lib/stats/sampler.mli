@@ -1,0 +1,105 @@
+(** Deviate streams: variance-reduced generators of standard-normal
+    sample vectors.
+
+    Every Monte-Carlo loop in the library consumes, per sample, a fixed
+    number of standard-normal deviates in a fixed order (the plan layer
+    pins both — see [Arc.skeleton_local_dim] and [Path_mc.deviate_dim]).
+    A {!t} produces the [i]-th sample's whole deviate vector as a pure
+    function of (creation state, [i]), which keeps the executor
+    bit-identity invariant: no scheduling order can perturb a sample.
+
+    Four backends:
+
+    - {!Mc} — plain Monte-Carlo, replaying today's
+      [Rng.derive]+[gaussian] draw order exactly: the first
+      {!mc_global_lead} deviates come from the derived child stream (the
+      global die-to-die draws of [Variation.draw], consumed dbeta-first
+      and therefore written to [z] back to front) and the rest from
+      [Rng.split child] (the local stream).  The default; populations
+      are bitwise-identical to the pre-sampler code paths.
+    - {!Antithetic} — samples [2k] and [2k+1] are a ±z pair: the odd
+      member is the exact negation of the even one.  Halves the variance
+      contribution of odd (linear) response components.
+    - {!Lhs} — Latin hypercube: per dimension, an independent random
+      permutation assigns each of the [n] samples its own stratum of
+      width 1/n, jittered uniformly inside the stratum and mapped
+      through {!Special.normal_quantile}.  Exactly one sample per
+      stratum per dimension (for the full population of [n]; prefixes
+      of an adaptively-stopped run are unbiased but less balanced).
+    - {!Sobol} — scrambled Sobol' low-discrepancy points: gray-code
+      construction over 32-bit direction numbers (Joe–Kuo style
+      primitive polynomials; dimensions beyond the embedded table are
+      generated from a deterministic GF(2) primitive-polynomial sieve),
+      with a per-dimension hash-based Owen-style scramble that preserves
+      the dyadic net structure, mapped through
+      {!Special.normal_quantile}.  Best with [n] a power of two.
+
+    Determinism discipline: {!create} derives all internal seeding from
+    the passed generator via {!Rng.derive} without advancing it, and
+    {!fill} at index [i] touches no mutable stream state, so populations
+    are reproducible for any executor schedule and any subset/order of
+    indices. *)
+
+type backend = Mc | Antithetic | Lhs | Sobol
+
+val backend_name : backend -> string
+(** ["mc" | "antithetic" | "lhs" | "sobol"]. *)
+
+val backend_of_string : string -> backend
+(** Inverse of {!backend_name} (case-insensitive).
+    @raise Failure on an unknown name, listing the valid ones. *)
+
+val default_backend : unit -> backend
+(** The backend selected by the [NSIGMA_SAMPLING] environment variable;
+    unset (or unparseable) means {!Mc}, so golden runs are unchanged
+    unless explicitly asked otherwise. *)
+
+val mc_global_lead : int
+(** Number of leading deviates the {!Mc} backend draws from the derived
+    child stream before switching to the split local stream — 3, the
+    global (dvth_n, dvth_p, dbeta) draws of [Variation.draw].  This is
+    what makes the [Mc] backend a bit-exact replay of the legacy draw
+    order rather than a generic iid vector. *)
+
+type t
+(** A deviate stream of fixed dimension.  Immutable after creation: safe
+    to share across worker domains (each worker passes its own output
+    buffer to {!fill}). *)
+
+val create : backend -> Rng.t -> dim:int -> n:int -> t
+(** [create backend g ~dim ~n] builds a stream of [dim]-dimensional
+    deviate vectors for a population of [n] samples.  [g] is read, not
+    advanced (internal seeds come from [Rng.derive] on its current
+    state).  [n] fixes the stratum count for {!Lhs} and is advisory for
+    the other backends; indices passed to {!fill} may exceed it only for
+    non-[Lhs] backends.
+    @raise Invalid_argument if [dim <= 0] or [n <= 0]. *)
+
+val backend_of : t -> backend
+val dim : t -> int
+val population : t -> int
+(** The [n] passed to {!create}. *)
+
+val fill : t -> index:int -> float array -> unit
+(** [fill t ~index z] writes sample [index]'s standard-normal deviates
+    into [z.(0 .. dim-1)].  Pure in [index]: any order, any subset, any
+    domain.
+    @raise Invalid_argument if [z] is shorter than [dim], [index < 0],
+    or [index >= n] for an {!Lhs} stream. *)
+
+val fill_uniform : t -> index:int -> float array -> unit
+(** The uniform view of the same sample: for {!Lhs}/{!Sobol} the [(0,1)]
+    points before the normal-quantile map; for {!Mc}/{!Antithetic} the
+    normal CDF of the deviates.  Used by uniformity tests. *)
+
+val sobol_raw_u01 : dim:int -> index:int -> float
+(** The {e unscrambled} Sobol' point [(index, dim)] under this module's
+    gray-code construction and [(x + 1/2) / 2^32] convention — the
+    golden values the scrambled stream is built from (tests, docs).
+    @raise Invalid_argument if [dim] is outside the embedded
+    direction-number table. *)
+
+val owen_scramble : seed:int -> int -> int
+(** The per-dimension scramble: a monotone-in-reversed-bit-space hash of
+    a 32-bit Sobol' integer.  Exposed so tests can verify the
+    net-preserving (Owen) property directly. *)

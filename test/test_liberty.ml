@@ -6,6 +6,7 @@ module Cell = Nsigma_liberty.Cell
 module Ch = Nsigma_liberty.Characterize
 module Library = Nsigma_liberty.Library
 module Moments = Nsigma_stats.Moments
+module Sampler = Nsigma_stats.Sampler
 module Cell_sim = Nsigma_spice.Cell_sim
 
 let check_close ?(eps = 1e-9) msg expected actual =
@@ -241,6 +242,64 @@ let test_library_load_rejects_v2 () =
        Sys.remove path;
        true)
 
+let test_library_load_rejects_v3 () =
+  (* A pre-sampling-layer cache (v3 header) must be detected as stale. *)
+  let path = Filename.temp_file "nsigma_test" ".lvf" in
+  let oc = open_out path in
+  Printf.fprintf oc "NSIGMA_LIB 3 %s %.6f %s %s\n" tech.T.name
+    tech.T.vdd_nominal "fast" (String.make 32 'a');
+  close_out oc;
+  Alcotest.(check bool) "v3 cache rejected as stale" true
+    (try
+       ignore (Library.load tech path);
+       Sys.remove path;
+       false
+     with Failure _ ->
+       Sys.remove path;
+       true)
+
+let test_library_sampling_roundtrip () =
+  (* A table characterised with a non-default sampling configuration
+     keeps it across save/load, and [expect_sampling] accepts it. *)
+  let lib = Library.create tech in
+  let table =
+    Ch.characterize ~n_mc:400 ~slews:small_slews ~loads:[| 0.4e-15; 2e-15 |]
+      ~sampling:Sampler.Lhs ~rtol:0.05 tech
+      (Cell.make Cell.Inv ~strength:1)
+      ~edge:`Fall
+  in
+  Library.add lib table;
+  let path = Filename.temp_file "nsigma_test" ".lvf" in
+  Library.save lib path;
+  let lib2 = Library.load tech path in
+  let lib3 = Library.load ~expect_sampling:(Sampler.Lhs, Some 0.05) tech path in
+  Sys.remove path;
+  let t2 = Library.find lib2 (Cell.make Cell.Inv ~strength:1) ~edge:`Fall in
+  let t3 = Library.find lib3 (Cell.make Cell.Inv ~strength:1) ~edge:`Fall in
+  Alcotest.(check bool) "backend preserved" true (t2.Ch.sampling = Sampler.Lhs);
+  Alcotest.(check bool) "rtol preserved" true (t2.Ch.rtol = Some 0.05);
+  Alcotest.(check bool) "expected sampling accepted" true
+    (t3.Ch.sampling = Sampler.Lhs && t3.Ch.rtol = Some 0.05)
+
+let test_library_load_rejects_sampling_mismatch () =
+  (* A cache characterised under one sampling configuration is stale
+     for a run requesting another (backend or rtol). *)
+  let lib = Library.create tech in
+  Library.add lib (Lazy.force small_table);
+  let path = Filename.temp_file "nsigma_test" ".lvf" in
+  Library.save lib path;
+  let rejects expect =
+    try
+      ignore (Library.load ~expect_sampling:expect tech path);
+      false
+    with Failure _ -> true
+  in
+  let backend_mismatch = rejects (Sampler.Sobol, None) in
+  let rtol_mismatch = rejects (Sampler.Mc, Some 0.01) in
+  Sys.remove path;
+  Alcotest.(check bool) "backend mismatch rejected" true backend_mismatch;
+  Alcotest.(check bool) "rtol mismatch rejected" true rtol_mismatch
+
 let test_library_load_rejects_wrong_vdd () =
   let lib = Library.create tech in
   Library.add lib (Lazy.force small_table);
@@ -287,6 +346,9 @@ let () =
           Alcotest.test_case "kernel roundtrip" `Slow test_library_roundtrip_keeps_kernel;
           Alcotest.test_case "kernel mismatch" `Slow test_library_load_rejects_kernel_mismatch;
           Alcotest.test_case "v2 cache stale" `Quick test_library_load_rejects_v2;
+          Alcotest.test_case "v3 cache stale" `Quick test_library_load_rejects_v3;
+          Alcotest.test_case "sampling roundtrip" `Slow test_library_sampling_roundtrip;
+          Alcotest.test_case "sampling mismatch" `Slow test_library_load_rejects_sampling_mismatch;
           Alcotest.test_case "vdd check" `Slow test_library_load_rejects_wrong_vdd;
         ] );
     ]
