@@ -26,6 +26,8 @@ module Engine = Nsigma_sta.Engine
 module Provider = Nsigma_sta.Provider
 module Path = Nsigma_sta.Path
 module Path_mc = Nsigma_sta.Path_mc
+module Ssta = Nsigma_sta.Ssta
+module Stat_max = Nsigma_stats.Stat_max
 module Moments = Nsigma_stats.Moments
 module Sampler = Nsigma_stats.Sampler
 module Timing_report = Nsigma_sta.Timing_report
@@ -70,6 +72,13 @@ let exec_of_jobs = function
   | None -> Executor.default ()
   | Some j -> Executor.domain_pool ~jobs:j ()
 
+(* Closed-choice flags go through Arg.enum so a typo is rejected at
+   parse time with the valid spellings listed, instead of surfacing as
+   a raw exception from the name-to-variant conversion. *)
+let kernel_conv =
+  Arg.enum
+    [ ("fast", Cell_sim.Fast); ("rk4", Cell_sim.Rk4); ("auto", Cell_sim.Auto) ]
+
 let kernel_arg =
   let doc =
     "Simulation kernel: $(b,fast) (analytic effective-current), $(b,rk4) \
@@ -77,7 +86,12 @@ let kernel_arg =
      fallback).  Defaults to $(b,NSIGMA_KERNEL) (unset: fast for \
      characterisation, rk4 for path Monte-Carlo)."
   in
-  Arg.(value & opt (some string) None & info [ "kernel" ] ~docv:"NAME" ~doc)
+  Arg.(value & opt (some kernel_conv) None & info [ "kernel" ] ~docv:"NAME" ~doc)
+
+let sampling_conv =
+  Arg.enum
+    [ ("mc", Sampler.Mc); ("antithetic", Sampler.Antithetic);
+      ("lhs", Sampler.Lhs); ("sobol", Sampler.Sobol) ]
 
 let sampling_arg =
   let doc =
@@ -88,7 +102,7 @@ let sampling_arg =
      populations depend on the choice; mc reproduces pre-sampler runs \
      exactly."
   in
-  Arg.(value & opt (some string) None & info [ "sampling" ] ~docv:"NAME" ~doc)
+  Arg.(value & opt (some sampling_conv) None & info [ "sampling" ] ~docv:"NAME" ~doc)
 
 let rtol_arg =
   let doc =
@@ -103,7 +117,7 @@ let rtol_arg =
 let sampling_of_flags sampling rtol =
   let backend =
     match sampling with
-    | Some name -> Sampler.backend_of_string name
+    | Some backend -> backend
     | None -> Sampler.default_backend ()
   in
   (match rtol with
@@ -160,7 +174,7 @@ let characterize_cmd =
     let exec = exec_of_jobs jobs in
     let kernel =
       match kernel with
-      | Some name -> Cell_sim.kernel_of_string name
+      | Some k -> k
       | None -> Cell_sim.default_kernel ()
     in
     let sampling, rtol = sampling_of_flags sampling rtol in
@@ -244,12 +258,41 @@ let analyze_cmd =
     let doc = "Use a stored coefficients file instead of refitting." in
     Arg.(value & opt (some string) None & info [ "coeffs" ] ~docv:"FILE" ~doc)
   in
+  let engine_arg =
+    let doc =
+      "Timing engine: $(b,scalar) (nominal arrival walk + per-path N-sigma \
+       calibration, the legacy flow) or $(b,ssta) (block-based full-graph \
+       statistical pass propagating four-moment arrival distributions)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("scalar", `Scalar); ("ssta", `Ssta) ]) `Scalar
+      & info [ "engine" ] ~docv:"NAME" ~doc)
+  in
+  let max_arg =
+    let doc =
+      "Statistical max operator for the ssta engine: $(b,clark) (exact \
+       bivariate-Gaussian moments) or $(b,moment) (skewness/kurtosis-aware \
+       Cornish-Fisher moment matching)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("clark", Stat_max.Clark); ("moment", Stat_max.Moment) ])
+          Stat_max.Clark
+      & info [ "max" ] ~docv:"NAME" ~doc)
+  in
+  let period_arg =
+    let doc =
+      "Clock period (ps) for the ssta slack report.  Default: the worst \
+       +3$(b,σ) arrival, so the most critical endpoint reads slack 0."
+    in
+    Arg.(value & opt (some float) None & info [ "period" ] ~docv:"PS" ~doc)
+  in
   let run vdd library circuit verilog sigma mc coeffs jobs kernel sampling rtol
-      metrics progress =
+      engine maxop period metrics progress =
     setup_obs metrics progress;
     let tech = tech_of_vdd vdd in
     let exec = exec_of_jobs jobs in
-    let kernel = Option.map Cell_sim.kernel_of_string kernel in
     let sampling, rtol = sampling_of_flags sampling rtol in
     let lib =
       Metrics.span "cli.load_library" (fun () -> Library.load tech library)
@@ -267,39 +310,78 @@ let analyze_cmd =
       | None, None -> failwith "pass --circuit or --verilog"
     in
     Printf.printf "%s\n%!" (N.stats nl);
-    let model =
-      Metrics.span "cli.build_model" (fun () ->
-          match coeffs with Some f -> Model.load lib f | None -> Model.build lib)
-    in
     let design = Design.attach_parasitics tech nl in
-    let report = Engine.analyze tech (Provider.nominal lib) design in
-    let path = Engine.critical_path report in
-    Printf.printf "nominal critical path (%d stages): %.1f ps\n"
-      (Path.n_stages path) (path.Path.total *. 1e12);
-    List.iter
-      (fun s ->
-        Printf.printf "T_path(%+dσ) = %.1f ps\n"
-          s (Model.path_quantile_of_path model design path ~sigma:s *. 1e12))
-      [ -sigma; 0; sigma ];
-    if mc > 0 then begin
-      Printf.printf "path Monte-Carlo (%d samples)...\n%!" mc;
-      let stats =
-        Path_mc.run ?kernel ~n:mc ~exec ~sampling ?rtol tech design path
+    match engine with
+    | `Scalar ->
+      let model =
+        Metrics.span "cli.build_model" (fun () ->
+            match coeffs with
+            | Some f -> Model.load lib f
+            | None -> Model.build lib)
       in
-      Printf.printf "MC: mu=%.1f ps, %+dσ=%.1f ps, %+dσ=%.1f ps\n"
-        (stats.Path_mc.moments.Moments.mean *. 1e12)
-        (-sigma)
-        (stats.Path_mc.quantile (-sigma) *. 1e12)
-        sigma
-        (stats.Path_mc.quantile sigma *. 1e12);
-      Format.printf "%a@." Timing_report.pp_sampling stats.Path_mc.sampling
-    end
+      let report = Engine.analyze tech (Provider.nominal lib) design in
+      let path = Engine.critical_path report in
+      Printf.printf "nominal critical path (%d stages): %.1f ps\n"
+        (Path.n_stages path) (path.Path.total *. 1e12);
+      List.iter
+        (fun s ->
+          Printf.printf "T_path(%+dσ) = %.1f ps\n"
+            s (Model.path_quantile_of_path model design path ~sigma:s *. 1e12))
+        [ -sigma; 0; sigma ];
+      if mc > 0 then begin
+        Printf.printf "path Monte-Carlo (%d samples)...\n%!" mc;
+        let stats =
+          Path_mc.run ?kernel ~n:mc ~exec ~sampling ?rtol tech design path
+        in
+        Printf.printf "MC: mu=%.1f ps, %+dσ=%.1f ps, %+dσ=%.1f ps\n"
+          (stats.Path_mc.moments.Moments.mean *. 1e12)
+          (-sigma)
+          (stats.Path_mc.quantile (-sigma) *. 1e12)
+          sigma
+          (stats.Path_mc.quantile sigma *. 1e12);
+        Format.printf "%a@." Timing_report.pp_sampling stats.Path_mc.sampling
+      end
+    | `Ssta ->
+      let config = { Ssta.op = maxop; corr = Ssta.Tracked } in
+      Printf.printf "block-based SSTA pass (%s max, tracked correlation)...\n%!"
+        (Stat_max.operator_name maxop);
+      let provider =
+        Metrics.span "cli.ssta_provider" (fun () ->
+            Ssta.lvf_provider tech lib design)
+      in
+      let report = Ssta.analyze ~config tech provider design in
+      let worst = Ssta.circuit_dist report in
+      let q3 = Ssta.quantile worst ~sigma:3.0 in
+      let period = match period with Some ps -> ps *. 1e-12 | None -> q3 in
+      Format.printf "%a@." (Timing_report.pp_ssta nl)
+        (Timing_report.of_ssta ~period report);
+      if mc > 0 then begin
+        Printf.printf
+          "validating against per-path Monte-Carlo (%d samples)...\n%!" mc;
+        let v = Ssta.validate ~n:mc ~config ~provider tech lib design in
+        Printf.printf
+          "MC max over %d paths: mu=%.1f ps, +3σ=%.1f ps (%.2fs)\n"
+          v.Ssta.va_n_paths
+          (v.Ssta.va_mc.Moments.mean *. 1e12)
+          (v.Ssta.va_mc_p3 *. 1e12) v.Ssta.va_mc_seconds;
+        Printf.printf
+          "SSTA same coverage:   mu=%.1f ps, +3σ=%.1f ps (%.2fs)\n"
+          (v.Ssta.va_ssta.Ssta.d_mean *. 1e12)
+          (Ssta.quantile v.Ssta.va_ssta ~sigma:3.0 *. 1e12)
+          v.Ssta.va_ssta_seconds;
+        Printf.printf
+          "errors: mean %.2f%%, +3σ %.2f%%, -3σ %.2f%%; speedup %.1fx\n"
+          (v.Ssta.va_err_mean *. 100.)
+          (v.Ssta.va_err_p3 *. 100.)
+          (v.Ssta.va_err_m3 *. 100.)
+          (v.Ssta.va_mc_seconds /. Float.max 1e-9 v.Ssta.va_ssta_seconds)
+      end
   in
   let term =
     Term.(
       const run $ vdd_arg $ library_arg $ circuit_arg $ verilog_arg $ sigma_arg
       $ mc_arg 0 $ coeffs_arg $ jobs_arg $ kernel_arg $ sampling_arg $ rtol_arg
-      $ metrics_arg $ progress_arg)
+      $ engine_arg $ max_arg $ period_arg $ metrics_arg $ progress_arg)
   in
   Cmd.v
     (Cmd.info "analyze"

@@ -1,248 +1,84 @@
-module Netlist = Nsigma_netlist.Netlist
-module Cell = Nsigma_liberty.Cell
-module Metrics = Nsigma_obs.Metrics
+(* Scalar corner engine: the (float, float) instantiation of
+   Engine_core.  Delays and arrivals are plain seconds, reconvergence
+   takes the strict max, and criticality is the arrival time itself —
+   bit-identical to the pre-refactor scalar walker. *)
 
 type net_arrival = { time : float; slew : float }
 
-type pred = {
-  p_gate : int;
-  p_in_net : int;
-  p_in_edge : Provider.edge;
-  p_tap : int;
-  p_wire_delay : float;
-  p_pin_slew : float;
-  p_cell_delay : float;
-  p_load : float;
-}
+type report = (float, float) Engine_core.report
 
-type slot = { arr : net_arrival; pred : pred option }
-
-type po_result = {
-  po_net : int;
-  po_edge : Provider.edge;
-  po_tap : int;
-  po_wire : float;
-  po_time : float;  (** arrival including the final wire segment *)
-}
-
-type report = {
-  design : Design.t;
-  slots : slot option array array;  (** [net].[edge index] *)
-  pos : po_result list;  (** sorted worst-first *)
-}
-
-let edge_index = function Provider.Rise -> 0 | Provider.Fall -> 1
-
-(* Input-edge candidates that can cause the given output edge. *)
-let in_edges_for kind out_edge =
-  match kind with
-  | Cell.Xor2 | Cell.Xnor2 -> [ Provider.Rise; Provider.Fall ]
-  | _ ->
-    if Cell.inverting kind then [ Provider.flip out_edge ] else [ out_edge ]
-
-let analyze ?(input_slew = Provider.input_slew_default) ?(load_model = `Total)
-    tech provider (design : Design.t) =
-  Metrics.span "sta.analyze" @@ fun () ->
-  let nl = design.Design.netlist in
-  let slots = Array.make_matrix nl.Netlist.n_nets 2 None in
-  Array.iter
-    (fun pi ->
-      let slot = Some { arr = { time = 0.0; slew = input_slew }; pred = None } in
-      slots.(pi).(0) <- slot;
-      slots.(pi).(1) <- slot)
-    nl.Netlist.primary_inputs;
-  (* Sink index of each gate pin within its input net's fanout list —
-     each (gate, pin) pair appears in exactly one net's sink list. *)
-  let sink_index =
-    Array.map (fun g -> Array.map (fun _ -> 0) g.Netlist.inputs) nl.Netlist.gates
-  in
-  Array.iter
-    (fun sinks ->
-      List.iteri
-        (fun k (gate, pin) -> if gate >= 0 then sink_index.(gate).(pin) <- k)
-        sinks)
-    design.Design.fanouts;
-  let order = Netlist.topo_order nl in
-  let cell_of_driver net =
-    let d = design.Design.drivers.(net) in
-    if d < 0 then None else Some nl.Netlist.gates.(d).Netlist.cell
-  in
-  Array.iter
-    (fun gi ->
-      let gate = nl.Netlist.gates.(gi) in
-      let out_net = gate.Netlist.output in
-      let load =
-        match load_model with
-        | `Total -> Design.total_load tech design ~net:out_net
-        | `Effective ->
-          Design.effective_load tech design ~net:out_net ~driver:gate.Netlist.cell
-      in
-      List.iter
-        (fun out_edge ->
-          let best = ref None in
-          Array.iteri
-            (fun pin in_net ->
-              List.iter
-                (fun in_edge ->
-                  match slots.(in_net).(edge_index in_edge) with
-                  | None -> ()
-                  | Some { arr; _ } ->
-                    let driven_by_pi = design.Design.drivers.(in_net) < 0 in
-                    let k = sink_index.(gi).(pin) in
-                    let tap = Design.tap_of_sink design ~net:in_net ~sink_index:k in
-                    let wire_delay =
-                      if driven_by_pi then 0.0
-                      else
-                        provider.Provider.wire_delay ~net:in_net
-                          ~driver:(cell_of_driver in_net)
-                          ~sink:(Some gate.Netlist.cell)
-                          ~tree:(Design.loaded_parasitic tech design ~net:in_net)
-                          ~tap
-                    in
-                    let pin_slew =
-                      if driven_by_pi then arr.slew
-                      else
-                        provider.Provider.wire_slew_degrade ~wire_delay
-                          ~slew_at_root:arr.slew
-                    in
-                    let cell_delay =
-                      provider.Provider.cell_delay gate ~edge:out_edge
-                        ~input_slew:pin_slew ~load_cap:load
-                    in
-                    let time = arr.time +. wire_delay +. cell_delay in
-                    let better =
-                      match !best with
-                      | None -> true
-                      | Some (t, _) -> time > t
-                    in
-                    if better then
-                      best :=
-                        Some
-                          ( time,
-                            {
-                              p_gate = gi;
-                              p_in_net = in_net;
-                              p_in_edge = in_edge;
-                              p_tap = tap;
-                              p_wire_delay = wire_delay;
-                              p_pin_slew = pin_slew;
-                              p_cell_delay = cell_delay;
-                              p_load = load;
-                            } ))
-                (in_edges_for gate.Netlist.cell.Cell.kind out_edge))
-            gate.Netlist.inputs;
-          match !best with
-          | None -> ()
-          | Some (time, pred) ->
-            let out_slew =
-              provider.Provider.cell_out_slew gate ~edge:out_edge
-                ~input_slew:pred.p_pin_slew ~load_cap:load
-            in
-            slots.(out_net).(edge_index out_edge) <-
-              Some { arr = { time; slew = out_slew }; pred = Some pred })
-        [ Provider.Rise; Provider.Fall ])
-    order;
-  (* Primary-output arrivals through their final wire segment. *)
-  let pos = ref [] in
-  Array.iter
-    (fun po ->
-      let sinks = design.Design.fanouts.(po) in
-      let po_sink_index =
-        match
-          List.find_index (fun (gate, _) -> gate = -1) sinks
-        with
-        | Some k -> k
-        | None -> 0
-      in
-      let driven_by_pi = design.Design.drivers.(po) < 0 in
-      List.iter
-        (fun edge ->
-          match slots.(po).(edge_index edge) with
-          | None -> ()
-          | Some { arr; _ } ->
-            let tap = Design.tap_of_sink design ~net:po ~sink_index:po_sink_index in
-            let wire =
-              if driven_by_pi then 0.0
-              else
-                provider.Provider.wire_delay ~net:po ~driver:(cell_of_driver po)
-                  ~sink:None
-                  ~tree:(Design.loaded_parasitic tech design ~net:po)
-                  ~tap
-            in
-            pos :=
-              {
-                po_net = po;
-                po_edge = edge;
-                po_tap = tap;
-                po_wire = wire;
-                po_time = arr.time +. wire;
-              }
-              :: !pos)
-        [ Provider.Rise; Provider.Fall ])
-    nl.Netlist.primary_outputs;
-  let pos =
-    List.sort (fun a b -> Float.compare b.po_time a.po_time) !pos
-  in
-  { design; slots; pos }
-
-let arrival report ~net ~edge =
-  Option.map (fun s -> s.arr) report.slots.(net).(edge_index edge)
-
-let design_of report = report.design
-
-let po_arrival report ~net ~edge =
-  List.find_opt (fun po -> po.po_net = net && po.po_edge = edge) report.pos
-  |> Option.map (fun po -> po.po_time)
-
-let extract_path report (po : po_result) =
-  let rec walk net edge acc =
-    match report.slots.(net).(edge_index edge) with
-    | None | Some { pred = None; _ } -> acc
-    | Some { pred = Some p; _ } ->
-      let hop =
-        {
-          Path.in_net = p.p_in_net;
-          in_edge = p.p_in_edge;
-          tap = p.p_tap;
-          wire_delay = p.p_wire_delay;
-          pin_slew = p.p_pin_slew;
-          gate = p.p_gate;
-          out_edge = edge;
-          cell_delay = p.p_cell_delay;
-          load_cap = p.p_load;
-          out_net = net;
-        }
-      in
-      walk p.p_in_net p.p_in_edge (hop :: acc)
-  in
-  let hops = walk po.po_net po.po_edge [] in
+let scalar_algebra : (float, float) Engine_core.algebra =
   {
-    Path.hops;
-    end_net = po.po_net;
-    end_tap = po.po_tap;
-    end_wire_delay = po.po_wire;
-    total = po.po_time;
+    source = 0.0;
+    no_delay = 0.0;
+    add = ( +. );
+    key = (fun t -> t);
+    join = (fun old_v cand -> if cand > old_v then cand else old_v);
   }
 
-let circuit_delay report =
-  match report.pos with [] -> 0.0 | po :: _ -> po.po_time
+let model_of_provider (p : Provider.t) : (float, float) Engine_core.model =
+  {
+    m_label = p.Provider.label;
+    m_cell_delay =
+      (fun gate ~edge ~in_net:_ ~in_edge:_ ~input_slew ~load_cap ->
+        p.Provider.cell_delay gate ~edge ~input_slew ~load_cap);
+    m_cell_out_slew =
+      (fun gate ~edge ~in_net:_ ~in_edge:_ ~input_slew ~load_cap ->
+        p.Provider.cell_out_slew gate ~edge ~input_slew ~load_cap);
+    m_wire_delay = p.Provider.wire_delay;
+    m_wire_slew_degrade =
+      (fun ~wire_delay ~slew_at_root ->
+        p.Provider.wire_slew_degrade ~wire_delay ~slew_at_root);
+  }
 
-let critical_path report =
-  match report.pos with
+let analyze ?input_slew ?load_model tech provider design =
+  Engine_core.analyze ?input_slew ?load_model scalar_algebra
+    (model_of_provider provider) tech design
+
+let arrival report ~net ~edge =
+  Engine_core.arrival report ~net ~edge
+  |> Option.map (fun a ->
+         { time = a.Engine_core.value; slew = a.Engine_core.slew })
+
+let design_of = Engine_core.design_of
+
+let po_arrival report ~net ~edge = Engine_core.po_arrival report ~net ~edge
+
+let extract_path report (po : (float, float) Engine_core.po_result) =
+  let hops =
+    List.map
+      (fun (p, out_edge, out_net) ->
+        {
+          Path.in_net = p.Engine_core.p_in_net;
+          in_edge = p.Engine_core.p_in_edge;
+          tap = p.Engine_core.p_tap;
+          wire_delay = p.Engine_core.p_wire_delay;
+          pin_slew = p.Engine_core.p_pin_slew;
+          gate = p.Engine_core.p_gate;
+          out_edge;
+          cell_delay = p.Engine_core.p_cell_delay;
+          load_cap = p.Engine_core.p_load;
+          out_net;
+        })
+      (Engine_core.preds_of report po)
+  in
+  {
+    Path.hops;
+    end_net = po.Engine_core.po_net;
+    end_tap = po.Engine_core.po_tap;
+    end_wire_delay = po.Engine_core.po_wire;
+    total = po.Engine_core.po_value;
+  }
+
+let circuit_delay (report : report) =
+  match report.Engine_core.pos with
+  | [] -> 0.0
+  | po :: _ -> po.Engine_core.po_value
+
+let critical_path (report : report) =
+  match report.Engine_core.pos with
   | [] -> invalid_arg "Engine.critical_path: no primary-output arrivals"
   | po :: _ -> extract_path report po
 
 let worst_paths report ~k =
-  (* Keep the worst edge per PO net, then take the top k. *)
-  let seen = Hashtbl.create 16 in
-  let distinct =
-    List.filter
-      (fun po ->
-        if Hashtbl.mem seen po.po_net then false
-        else begin
-          Hashtbl.add seen po.po_net ();
-          true
-        end)
-      report.pos
-  in
-  List.filteri (fun i _ -> i < k) distinct |> List.map (extract_path report)
+  Engine_core.distinct_pos report ~k |> List.map (extract_path report)

@@ -1,0 +1,274 @@
+(* Generic arrival-propagation core.
+
+   The topological walk, unateness handling, sink/tap bookkeeping and
+   predecessor recording are identical for every timing engine in the
+   repository; what differs is the *arrival value algebra* — what a
+   delay is, how it is added to an arrival, how reconverging arrivals
+   merge, and how candidates are ranked for criticality.  The scalar
+   corner engine ({!Engine}) instantiates this core with plain floats
+   (add = (+.), join = max); the statistical engine ({!Ssta})
+   instantiates it with four-moment distributions (join = Clark or
+   moment-matching statistical max). *)
+
+module Netlist = Nsigma_netlist.Netlist
+module Cell = Nsigma_liberty.Cell
+module Metrics = Nsigma_obs.Metrics
+
+type ('d, 'a) algebra = {
+  source : 'a;  (* arrival at a primary input (t = 0) *)
+  no_delay : 'd;  (* the free wire segment of a PI-driven net *)
+  add : 'a -> 'd -> 'a;  (* propagate an arrival through a delay *)
+  key : 'a -> float;  (* criticality ranking (scalar: the time itself) *)
+  join : 'a -> 'a -> 'a;  (* merge old and candidate arrival (old first) *)
+}
+
+type ('d, 'a) model = {
+  m_label : string;
+  m_cell_delay :
+    Netlist.gate ->
+    edge:Provider.edge ->
+    in_net:int ->
+    in_edge:Provider.edge ->
+    input_slew:float ->
+    load_cap:float ->
+    'd;
+  m_cell_out_slew :
+    Netlist.gate ->
+    edge:Provider.edge ->
+    in_net:int ->
+    in_edge:Provider.edge ->
+    input_slew:float ->
+    load_cap:float ->
+    float;
+  m_wire_delay :
+    net:int ->
+    driver:Cell.t option ->
+    sink:Cell.t option ->
+    tree:Nsigma_rcnet.Rctree.t ->
+    tap:int ->
+    'd;
+  m_wire_slew_degrade : wire_delay:'d -> slew_at_root:float -> float;
+}
+
+type 'a net_arrival = { value : 'a; slew : float }
+
+type 'd pred = {
+  p_gate : int;
+  p_in_net : int;
+  p_in_edge : Provider.edge;
+  p_tap : int;
+  p_wire_delay : 'd;
+  p_pin_slew : float;
+  p_cell_delay : 'd;
+  p_load : float;
+}
+
+type ('d, 'a) slot = { arr : 'a net_arrival; pred : 'd pred option }
+
+type ('d, 'a) po_result = {
+  po_net : int;
+  po_edge : Provider.edge;
+  po_tap : int;
+  po_wire : 'd;
+  po_value : 'a;  (** arrival including the final wire segment *)
+}
+
+type ('d, 'a) report = {
+  design : Design.t;
+  slots : ('d, 'a) slot option array array;  (** [net].[edge index] *)
+  pos : ('d, 'a) po_result list;  (** sorted worst-first by [key] *)
+}
+
+let edge_index = function Provider.Rise -> 0 | Provider.Fall -> 1
+
+(* Input-edge candidates that can cause the given output edge. *)
+let in_edges_for kind out_edge =
+  match kind with
+  | Cell.Xor2 | Cell.Xnor2 -> [ Provider.Rise; Provider.Fall ]
+  | _ ->
+    if Cell.inverting kind then [ Provider.flip out_edge ] else [ out_edge ]
+
+let analyze ?(span = "sta.analyze") ?(input_slew = Provider.input_slew_default)
+    ?(load_model = `Total) (alg : ('d, 'a) algebra) (model : ('d, 'a) model)
+    tech (design : Design.t) : ('d, 'a) report =
+  Metrics.span span @@ fun () ->
+  let nl = design.Design.netlist in
+  let slots = Array.make_matrix nl.Netlist.n_nets 2 None in
+  Array.iter
+    (fun pi ->
+      let slot = Some { arr = { value = alg.source; slew = input_slew }; pred = None } in
+      slots.(pi).(0) <- slot;
+      slots.(pi).(1) <- slot)
+    nl.Netlist.primary_inputs;
+  (* Sink index of each gate pin within its input net's fanout list —
+     each (gate, pin) pair appears in exactly one net's sink list. *)
+  let sink_index =
+    Array.map (fun g -> Array.map (fun _ -> 0) g.Netlist.inputs) nl.Netlist.gates
+  in
+  Array.iter
+    (fun sinks ->
+      List.iteri
+        (fun k (gate, pin) -> if gate >= 0 then sink_index.(gate).(pin) <- k)
+        sinks)
+    design.Design.fanouts;
+  let order = Netlist.topo_order nl in
+  let cell_of_driver net =
+    let d = design.Design.drivers.(net) in
+    if d < 0 then None else Some nl.Netlist.gates.(d).Netlist.cell
+  in
+  Array.iter
+    (fun gi ->
+      let gate = nl.Netlist.gates.(gi) in
+      let out_net = gate.Netlist.output in
+      let load =
+        match load_model with
+        | `Total -> Design.total_load tech design ~net:out_net
+        | `Effective ->
+          Design.effective_load tech design ~net:out_net ~driver:gate.Netlist.cell
+      in
+      List.iter
+        (fun out_edge ->
+          let best = ref None in
+          Array.iteri
+            (fun pin in_net ->
+              List.iter
+                (fun in_edge ->
+                  match slots.(in_net).(edge_index in_edge) with
+                  | None -> ()
+                  | Some { arr; _ } ->
+                    let driven_by_pi = design.Design.drivers.(in_net) < 0 in
+                    let k = sink_index.(gi).(pin) in
+                    let tap = Design.tap_of_sink design ~net:in_net ~sink_index:k in
+                    let wire_delay =
+                      if driven_by_pi then alg.no_delay
+                      else
+                        model.m_wire_delay ~net:in_net
+                          ~driver:(cell_of_driver in_net)
+                          ~sink:(Some gate.Netlist.cell)
+                          ~tree:(Design.loaded_parasitic tech design ~net:in_net)
+                          ~tap
+                    in
+                    let pin_slew =
+                      if driven_by_pi then arr.slew
+                      else
+                        model.m_wire_slew_degrade ~wire_delay
+                          ~slew_at_root:arr.slew
+                    in
+                    let cell_delay =
+                      model.m_cell_delay gate ~edge:out_edge ~in_net ~in_edge
+                        ~input_slew:pin_slew ~load_cap:load
+                    in
+                    let value = alg.add (alg.add arr.value wire_delay) cell_delay in
+                    let pred =
+                      {
+                        p_gate = gi;
+                        p_in_net = in_net;
+                        p_in_edge = in_edge;
+                        p_tap = tap;
+                        p_wire_delay = wire_delay;
+                        p_pin_slew = pin_slew;
+                        p_cell_delay = cell_delay;
+                        p_load = load;
+                      }
+                    in
+                    (match !best with
+                    | None -> best := Some (value, pred)
+                    | Some (old_value, old_pred) ->
+                      (* Merge arrivals through [join]; the recorded
+                         predecessor is the argmax of [key] — for the
+                         scalar algebra this reproduces the strict
+                         [time > t] keep-new rule exactly. *)
+                      let keep_new = alg.key value > alg.key old_value in
+                      best :=
+                        Some
+                          ( alg.join old_value value,
+                            if keep_new then pred else old_pred )))
+                (in_edges_for gate.Netlist.cell.Cell.kind out_edge))
+            gate.Netlist.inputs;
+          match !best with
+          | None -> ()
+          | Some (value, pred) ->
+            let out_slew =
+              model.m_cell_out_slew gate ~edge:out_edge ~in_net:pred.p_in_net
+                ~in_edge:pred.p_in_edge ~input_slew:pred.p_pin_slew
+                ~load_cap:load
+            in
+            slots.(out_net).(edge_index out_edge) <-
+              Some { arr = { value; slew = out_slew }; pred = Some pred })
+        [ Provider.Rise; Provider.Fall ])
+    order;
+  (* Primary-output arrivals through their final wire segment. *)
+  let pos = ref [] in
+  Array.iter
+    (fun po ->
+      let sinks = design.Design.fanouts.(po) in
+      let po_sink_index =
+        match List.find_index (fun (gate, _) -> gate = -1) sinks with
+        | Some k -> k
+        | None -> 0
+      in
+      let driven_by_pi = design.Design.drivers.(po) < 0 in
+      List.iter
+        (fun edge ->
+          match slots.(po).(edge_index edge) with
+          | None -> ()
+          | Some { arr; _ } ->
+            let tap = Design.tap_of_sink design ~net:po ~sink_index:po_sink_index in
+            let wire =
+              if driven_by_pi then alg.no_delay
+              else
+                model.m_wire_delay ~net:po ~driver:(cell_of_driver po) ~sink:None
+                  ~tree:(Design.loaded_parasitic tech design ~net:po)
+                  ~tap
+            in
+            pos :=
+              {
+                po_net = po;
+                po_edge = edge;
+                po_tap = tap;
+                po_wire = wire;
+                po_value = alg.add arr.value wire;
+              }
+              :: !pos)
+        [ Provider.Rise; Provider.Fall ])
+    nl.Netlist.primary_outputs;
+  let pos =
+    List.sort
+      (fun a b -> Float.compare (alg.key b.po_value) (alg.key a.po_value))
+      !pos
+  in
+  { design; slots; pos }
+
+let arrival report ~net ~edge =
+  Option.map (fun s -> s.arr) report.slots.(net).(edge_index edge)
+
+let design_of report = report.design
+
+let po_arrival report ~net ~edge =
+  List.find_opt (fun po -> po.po_net = net && po.po_edge = edge) report.pos
+  |> Option.map (fun po -> po.po_value)
+
+(* Predecessor chain of a PO result, source-first, each paired with the
+   output edge it produced — the raw material for path extraction. *)
+let preds_of report (po : ('d, 'a) po_result) =
+  let rec walk net edge acc =
+    match report.slots.(net).(edge_index edge) with
+    | None | Some { pred = None; _ } -> acc
+    | Some { pred = Some p; _ } ->
+      walk p.p_in_net p.p_in_edge ((p, edge, net) :: acc)
+  in
+  walk po.po_net po.po_edge []
+
+let distinct_pos report ~k =
+  let seen = Hashtbl.create 16 in
+  let distinct =
+    List.filter
+      (fun po ->
+        if Hashtbl.mem seen po.po_net then false
+        else begin
+          Hashtbl.add seen po.po_net ();
+          true
+        end)
+      report.pos
+  in
+  List.filteri (fun i _ -> i < k) distinct

@@ -1,0 +1,124 @@
+(** Generic arrival-propagation core, parameterised over an
+    arrival-value algebra.
+
+    One topological walk serves every timing engine: the scalar corner
+    engine ({!Engine}) instantiates the algebra with plain floats
+    (['d = 'a = float], add = (+.), join = max, key = identity), and the
+    statistical engine ({!Ssta}) instantiates it with four-moment
+    distributions whose join is a statistical max
+    ({!Nsigma_stats.Stat_max}).  The walk itself — unateness, sink/tap
+    bookkeeping, predecessor recording, PO wire segments, worst-first
+    ordering — is shared, so the two engines agree on circuit structure
+    by construction. *)
+
+module Netlist = Nsigma_netlist.Netlist
+module Cell = Nsigma_liberty.Cell
+
+type ('d, 'a) algebra = {
+  source : 'a;  (** arrival at a primary input (t = 0) *)
+  no_delay : 'd;  (** the free wire segment of a PI-driven net *)
+  add : 'a -> 'd -> 'a;  (** propagate an arrival through a delay *)
+  key : 'a -> float;  (** criticality ranking (scalar: the time itself) *)
+  join : 'a -> 'a -> 'a;
+      (** merge the accumulated arrival (first) with a new candidate
+          (second) at a reconvergent input *)
+}
+(** The algebra must satisfy: [key (join a b) >= max (key a) (key b)] up
+    to the model's approximation, and [join] with a strictly-dominated
+    operand should be close to the dominating one.  The scalar instance
+    satisfies both exactly. *)
+
+type ('d, 'a) model = {
+  m_label : string;
+  m_cell_delay :
+    Netlist.gate ->
+    edge:Provider.edge ->
+    in_net:int ->
+    in_edge:Provider.edge ->
+    input_slew:float ->
+    load_cap:float ->
+    'd;
+  m_cell_out_slew :
+    Netlist.gate ->
+    edge:Provider.edge ->
+    in_net:int ->
+    in_edge:Provider.edge ->
+    input_slew:float ->
+    load_cap:float ->
+    float;
+  m_wire_delay :
+    net:int ->
+    driver:Cell.t option ->
+    sink:Cell.t option ->
+    tree:Nsigma_rcnet.Rctree.t ->
+    tap:int ->
+    'd;
+  m_wire_slew_degrade : wire_delay:'d -> slew_at_root:float -> float;
+}
+(** A delay model producing ['d]-valued delays — the generic
+    counterpart of {!Provider.t}.  The cell hooks additionally see the
+    candidate's input net and edge ([in_net]/[in_edge]) so statistical
+    providers can propagate per-net slew sensitivities (the cell–wire
+    interaction term); scalar providers ignore them. *)
+
+type 'a net_arrival = { value : 'a; slew : float }
+
+type 'd pred = {
+  p_gate : int;
+  p_in_net : int;
+  p_in_edge : Provider.edge;
+  p_tap : int;
+  p_wire_delay : 'd;
+  p_pin_slew : float;
+  p_cell_delay : 'd;
+  p_load : float;
+}
+(** The argmax-criticality predecessor recorded at each slot. *)
+
+type ('d, 'a) slot = { arr : 'a net_arrival; pred : 'd pred option }
+
+type ('d, 'a) po_result = {
+  po_net : int;
+  po_edge : Provider.edge;
+  po_tap : int;
+  po_wire : 'd;
+  po_value : 'a;  (** arrival including the final wire segment *)
+}
+
+type ('d, 'a) report = {
+  design : Design.t;
+  slots : ('d, 'a) slot option array array;  (** [net].[edge index] *)
+  pos : ('d, 'a) po_result list;  (** sorted worst-first by [key] *)
+}
+
+val edge_index : Provider.edge -> int
+
+val in_edges_for : Cell.kind -> Provider.edge -> Provider.edge list
+(** Input-edge candidates that can cause the given output edge:
+    XOR-class cells consider both polarities, inverting cells flip. *)
+
+val analyze :
+  ?span:string ->
+  ?input_slew:float ->
+  ?load_model:[ `Total | `Effective ] ->
+  ('d, 'a) algebra ->
+  ('d, 'a) model ->
+  Nsigma_process.Technology.t ->
+  Design.t ->
+  ('d, 'a) report
+(** One topological pass.  [span] names the {!Nsigma_obs.Metrics.span}
+    wrapping the walk (default ["sta.analyze"]).
+    @raise Invalid_argument on a cyclic netlist. *)
+
+val arrival : ('d, 'a) report -> net:int -> edge:Provider.edge -> 'a net_arrival option
+val design_of : ('d, 'a) report -> Design.t
+val po_arrival : ('d, 'a) report -> net:int -> edge:Provider.edge -> 'a option
+
+val preds_of :
+  ('d, 'a) report -> ('d, 'a) po_result -> ('d pred * Provider.edge * int) list
+(** Predecessor chain of a PO result, source-first; each element is
+    [(pred, out_edge, out_net)] of one hop. *)
+
+val distinct_pos : ('d, 'a) report -> k:int -> ('d, 'a) po_result list
+(** Worst PO results keeping only the worst edge per distinct PO net,
+    truncated to [k]. *)

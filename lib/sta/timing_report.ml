@@ -43,6 +43,68 @@ let violations t = List.filter (fun e -> e.slack < 0.0) t.endpoints
 
 let edge_name = function Provider.Rise -> "r" | Provider.Fall -> "f"
 
+(* ---------------- statistical (SSTA) endpoints ---------------- *)
+
+type stat_endpoint = {
+  s_net : int;
+  s_edge : Provider.edge;
+  s_dist : Ssta.dist;
+  s_q3 : float;
+  s_slack : float;
+}
+
+type stat_t = {
+  s_period : float;
+  s_endpoints : stat_endpoint list;
+  s_wns : float;
+  s_tns : float;
+}
+
+let of_ssta ~period (report : Ssta.report) =
+  if period <= 0.0 then invalid_arg "Timing_report.of_ssta: period <= 0";
+  let endpoints =
+    Ssta.pos report
+    |> List.map (fun (net, edge, d) ->
+           let q3 = Ssta.quantile d ~sigma:3.0 in
+           { s_net = net; s_edge = edge; s_dist = d; s_q3 = q3; s_slack = period -. q3 })
+    |> List.sort (fun a b -> Float.compare a.s_slack b.s_slack)
+  in
+  let s_wns = match endpoints with [] -> period | e :: _ -> e.s_slack in
+  let s_tns =
+    List.fold_left
+      (fun acc e -> if e.s_slack < 0.0 then acc +. e.s_slack else acc)
+      0.0 endpoints
+  in
+  { s_period = period; s_endpoints = endpoints; s_wns; s_tns }
+
+let stat_violations t = List.filter (fun e -> e.s_slack < 0.0) t.s_endpoints
+
+let pp_ssta nl ppf t =
+  Format.fprintf ppf "@[<v>statistical timing summary @@ period %.1f ps@,"
+    (t.s_period *. 1e12);
+  Format.fprintf ppf
+    "  WNS(+3σ) %.2f ps   TNS(+3σ) %.2f ps   %d endpoints, %d violated@,"
+    (t.s_wns *. 1e12) (t.s_tns *. 1e12)
+    (List.length t.s_endpoints)
+    (List.length (stat_violations t));
+  Format.fprintf ppf "  %-12s %4s %9s %8s %7s %7s %9s %9s %9s@," "endpoint"
+    "edge" "mu(ps)" "sig(ps)" "skew" "kurt" "-3s(ps)" "+3s(ps)" "slack(ps)";
+  List.iteri
+    (fun i e ->
+      if i < 10 then begin
+        let s = Ssta.to_summary e.s_dist in
+        Format.fprintf ppf
+          "  %-12s %4s %9.2f %8.2f %7.3f %7.3f %9.2f %9.2f %9.2f@,"
+          nl.Netlist.net_names.(e.s_net) (edge_name e.s_edge)
+          (s.Nsigma_stats.Moments.mean *. 1e12)
+          (s.Nsigma_stats.Moments.std *. 1e12)
+          s.Nsigma_stats.Moments.skewness s.Nsigma_stats.Moments.kurtosis
+          (Ssta.quantile e.s_dist ~sigma:(-3.0) *. 1e12)
+          (e.s_q3 *. 1e12) (e.s_slack *. 1e12)
+      end)
+    t.s_endpoints;
+  Format.fprintf ppf "@]"
+
 let pp nl ppf t =
   Format.fprintf ppf "@[<v>timing summary @@ period %.1f ps@," (t.period *. 1e12);
   Format.fprintf ppf "  WNS %.2f ps   TNS %.2f ps   %d endpoints, %d violated@,"

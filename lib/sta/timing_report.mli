@@ -28,6 +28,37 @@ val violations : t -> endpoint list
 val pp : Nsigma_netlist.Netlist.t -> Format.formatter -> t -> unit
 (** Human-readable summary: WNS/TNS plus the worst endpoints. *)
 
+(** {2 Statistical endpoints}
+
+    The SSTA counterpart of the scalar view: each endpoint carries its
+    full arrival distribution, sign-off slack is taken against the +3σ
+    Cornish–Fisher quantile (the paper's calibration target level). *)
+
+type stat_endpoint = {
+  s_net : int;
+  s_edge : Provider.edge;
+  s_dist : Ssta.dist;  (** arrival distribution at the PO tap *)
+  s_q3 : float;  (** +3σ arrival quantile *)
+  s_slack : float;  (** period − +3σ arrival; negative = violated *)
+}
+
+type stat_t = {
+  s_period : float;
+  s_endpoints : stat_endpoint list;  (** sorted worst-slack first *)
+  s_wns : float;  (** worst +3σ slack *)
+  s_tns : float;  (** total negative +3σ slack *)
+}
+
+val of_ssta : period:float -> Ssta.report -> stat_t
+(** Build the statistical slack view of an {!Ssta.analyze} result. *)
+
+val stat_violations : stat_t -> stat_endpoint list
+(** Statistical endpoints whose +3σ arrival misses the period. *)
+
+val pp_ssta : Nsigma_netlist.Netlist.t -> Format.formatter -> stat_t -> unit
+(** Statistical summary: WNS/TNS at +3σ plus per-endpoint
+    μ, σ, γ, κ and ±3σ quantiles for the worst endpoints. *)
+
 val pp_path :
   Nsigma_netlist.Netlist.t -> period:float -> Format.formatter -> Path.t -> unit
 (** PrimeTime-flavoured single-path report: per-stage incr/path columns

@@ -38,6 +38,10 @@ let add (acc : t) x =
   let m2 = acc.m2 +. term1 in
   { n; mean; m2; m3; m4 }
 
+(* Merging with [empty] must be the identity *physically* (the other
+   accumulator is returned unchanged, so every derived statistic is
+   bitwise equal), not just numerically: the general Pébay formulas
+   with na = 0 would still compute 0/0-free but rounded values. *)
 let merge (a : t) (b : t) =
   if a.n = 0 then b
   else if b.n = 0 then a
@@ -72,19 +76,20 @@ let of_array xs = Array.fold_left add empty xs
 let count (acc : t) = acc.n
 let mean (acc : t) = acc.mean
 
-let variance (acc : t) = if acc.n = 0 then 0.0 else acc.m2 /. float_of_int acc.n
+let variance (acc : t) =
+  if acc.n = 0 then 0.0 else Float.max 0.0 (acc.m2 /. float_of_int acc.n)
 
 let std acc = sqrt (variance acc)
 
 let skewness (acc : t) =
-  if acc.n = 0 || acc.m2 = 0.0 then 0.0
+  if acc.n = 0 || acc.m2 <= 0.0 then 0.0
   else begin
     let nf = float_of_int acc.n in
     sqrt nf *. acc.m3 /. (acc.m2 ** 1.5)
   end
 
 let kurtosis (acc : t) =
-  if acc.n = 0 || acc.m2 = 0.0 then 3.0
+  if acc.n = 0 || acc.m2 <= 0.0 then 3.0
   else begin
     let nf = float_of_int acc.n in
     nf *. acc.m4 /. (acc.m2 *. acc.m2)
@@ -102,6 +107,56 @@ let summary (acc : t) : summary =
   }
 
 let summary_of_array xs = summary (of_array xs)
+
+(* ---- summary-level distribution arithmetic (SSTA sum operator) ---- *)
+
+(* Central moments (per-sample, not Pébay sums) of a summary:
+   m2 = σ², m3 = γσ³, m4 = κσ⁴. *)
+let central_of_summary (s : summary) =
+  let v = s.std *. s.std in
+  (v, s.skewness *. v *. s.std, s.kurtosis *. v *. v)
+
+(* The combined n is a confidence tag, not a physical sample count: the
+   result of distribution arithmetic is only as trustworthy as its least
+   characterised operand, so take the smaller positive count. *)
+let combine_n (a : int) (b : int) =
+  if a > 0 && b > 0 then min a b else max a b
+
+let of_central ~n ~mean ~m2 ~m3 ~m4 : summary =
+  if m2 <= 0.0 then { n; mean; std = 0.0; skewness = 0.0; kurtosis = 3.0 }
+  else begin
+    let std = sqrt m2 in
+    { n; mean; std; skewness = m3 /. (m2 *. std); kurtosis = m4 /. (m2 *. m2) }
+  end
+
+let scale_shift (s : summary) ~scale ~shift : summary =
+  if scale = 0.0 then
+    { n = s.n; mean = shift; std = 0.0; skewness = 0.0; kurtosis = 3.0 }
+  else begin
+    (* aX + b: σ ↦ |a|σ, γ ↦ sign(a)·γ, κ invariant. *)
+    let sgn = if scale < 0.0 then -1.0 else 1.0 in
+    {
+      n = s.n;
+      mean = (scale *. s.mean) +. shift;
+      std = Float.abs scale *. s.std;
+      skewness = sgn *. s.skewness;
+      kurtosis = (if s.std = 0.0 then 3.0 else s.kurtosis);
+    }
+  end
+
+let add_scaled (a : summary) ~scale (b : summary) : summary =
+  (* a + scale·b for independent a, b: means add; central moments of the
+     scaled term come from scale_shift; cross terms with odd powers of
+     either centred operand vanish, leaving
+     m2 = m2a + m2b, m3 = m3a + m3b, m4 = m4a + m4b + 6·m2a·m2b. *)
+  let b = scale_shift b ~scale ~shift:0.0 in
+  let m2a, m3a, m4a = central_of_summary a in
+  let m2b, m3b, m4b = central_of_summary b in
+  of_central ~n:(combine_n a.n b.n) ~mean:(a.mean +. b.mean) ~m2:(m2a +. m2b)
+    ~m3:(m3a +. m3b)
+    ~m4:(m4a +. m4b +. (6.0 *. m2a *. m2b))
+
+let add_independent a b = add_scaled a ~scale:1.0 b
 
 let pp_summary ppf s =
   Format.fprintf ppf "n=%d mu=%.6g sigma=%.6g gamma=%.4f kappa=%.4f" s.n s.mean

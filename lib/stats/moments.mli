@@ -25,7 +25,10 @@ val add : t -> float -> t
 (** [add acc x] folds one observation into the accumulator. *)
 
 val merge : t -> t -> t
-(** Combine two accumulators as if their samples were concatenated. *)
+(** Combine two accumulators as if their samples were concatenated.
+    Merging with {!empty} (on either side) is a physical identity: the
+    other accumulator is returned unchanged, so [summary] of the result
+    is bitwise equal to [summary] of the non-empty operand. *)
 
 val of_array : float array -> t
 (** Accumulate a whole sample. *)
@@ -53,6 +56,35 @@ val summary : t -> summary
 (** All four moments at once. *)
 
 val summary_of_array : float array -> summary
+
+(** {2 Summary-level distribution arithmetic}
+
+    The SSTA sum operator works on four-moment summaries directly — no
+    sample behind them — so these helpers implement exact moment
+    arithmetic for affine transforms and independent sums.  The [n] of a
+    combined summary is a confidence tag (the smaller positive operand
+    count), not a physical sample count. *)
+
+val of_central : n:int -> mean:float -> m2:float -> m3:float -> m4:float -> summary
+(** Summary from per-sample central moments (m2 = σ², m3 = γσ³,
+    m4 = κσ⁴).  [m2 ≤ 0] yields the degenerate convention σ = 0, γ = 0,
+    κ = 3. *)
+
+val central_of_summary : summary -> float * float * float
+(** [(m2, m3, m4)] central moments of a summary. *)
+
+val scale_shift : summary -> scale:float -> shift:float -> summary
+(** Exact moments of [scale·X + shift]: σ ↦ |scale|σ, γ flips sign with
+    [scale], κ is invariant.  [scale = 0] gives the degenerate constant
+    [shift]. *)
+
+val add_scaled : summary -> scale:float -> summary -> summary
+(** [add_scaled a ~scale b] is the distribution of [A + scale·B] for
+    {e independent} A and B: means add, m2/m3 add, and
+    m4 = m4a + m4b + 6·m2a·m2b (the only surviving cross term). *)
+
+val add_independent : summary -> summary -> summary
+(** [add_scaled a ~scale:1.0 b]. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 (** Render as [n=… μ=… σ=… γ=… κ=…]. *)

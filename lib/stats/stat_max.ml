@@ -1,0 +1,367 @@
+(* Statistical max of two four-moment delay distributions.
+
+   Clark (1961) gives the exact moments of max(X,Y) for bivariate
+   Gaussian (X,Y); we extend his classic mean/variance result to the
+   third and fourth moments by conditioning on D = X - Y and using the
+   one-sided partial-moment recursion of the Gaussian.  The moment-
+   matching variant keeps each input's skewness/kurtosis via a
+   Cornish-Fisher quantile transform under a Gaussian copula and
+   integrates with 2-D Gauss-Hermite quadrature. *)
+
+type operator = Clark | Moment
+
+let operator_name = function Clark -> "clark" | Moment -> "moment"
+
+let operator_of_string = function
+  | "clark" -> Clark
+  | "moment" -> Moment
+  | s ->
+      invalid_arg
+        (Printf.sprintf "Stat_max.operator_of_string: %S (expected \"clark\" or \"moment\")" s)
+
+type result = {
+  dist : Moments.summary;  (** four moments of max(X, Y) *)
+  p_first : float;  (** P(X >= Y) — the Clark tightness probability *)
+}
+
+let clamp_rho rho = Float.min 0.9999 (Float.max (-0.9999) rho)
+
+(* Central moments from raws about 0. *)
+let central_of_raw r1 r2 r3 r4 =
+  let m2 = r2 -. (r1 *. r1) in
+  let m3 = r3 -. (3.0 *. r1 *. r2) +. (2.0 *. r1 *. r1 *. r1) in
+  let m4 =
+    r4
+    -. (4.0 *. r1 *. r3)
+    +. (6.0 *. r1 *. r1 *. r2)
+    -. (3.0 *. r1 *. r1 *. r1 *. r1)
+  in
+  (m2, m3, m4)
+
+let degenerate_winner (a : Moments.summary) (b : Moments.summary) =
+  if a.Moments.mean >= b.Moments.mean then { dist = a; p_first = 1.0 }
+  else { dist = b; p_first = 0.0 }
+
+(* ---------------------------------------------------------------- *)
+(* Clark: exact moments of max of two correlated Gaussians.         *)
+(* ---------------------------------------------------------------- *)
+
+let clark ~rho (sa : Moments.summary) (sb : Moments.summary) =
+  let rho = clamp_rho rho in
+  let mu1 = sa.Moments.mean and s1 = sa.Moments.std in
+  let mu2 = sb.Moments.mean and s2 = sb.Moments.std in
+  let a2 = (s1 *. s1) +. (s2 *. s2) -. (2.0 *. rho *. s1 *. s2) in
+  let a = sqrt (Float.max 0.0 a2) in
+  if a <= 1e-9 *. (s1 +. s2) || a = 0.0 then degenerate_winner sa sb
+  else begin
+    let mud = mu1 -. mu2 in
+    let beta = mud /. a in
+    let phi = Special.normal_pdf beta and cap = Special.normal_cdf beta in
+    (* One-sided partial moments of D ~ N(mud, a²):
+       I_k = ∫₀^∞ d^k f_D(d) dd, via I_k = mud·I_{k-1} + (k-1)a²·I_{k-2}. *)
+    let i0 = cap in
+    let i1 = (mud *. i0) +. (a *. phi) in
+    let i2 = (mud *. i1) +. (a2 *. i0) in
+    let i3 = (mud *. i2) +. (2.0 *. a2 *. i1) in
+    let i4 = (mud *. i3) +. (3.0 *. a2 *. i2) in
+    (* Full raw moments of D; J_k = d_k − I_k covers the D < 0 side. *)
+    let d1 = mud in
+    let d2 = (mud *. mud) +. a2 in
+    let d3 = (mud *. mud *. mud) +. (3.0 *. mud *. a2) in
+    let d4 = (mud *. mud *. mud *. mud) +. (6.0 *. mud *. mud *. a2) +. (3.0 *. a2 *. a2) in
+    let j0 = 1.0 -. i0 and j1 = d1 -. i1 and j2 = d2 -. i2 in
+    let j3 = d3 -. i3 and j4 = d4 -. i4 in
+    (* Conditionally on D = d, X is Gaussian with mean c0 + b·d and
+       variance v (and likewise Y).  E[W^n | D=d] is a polynomial in d;
+       integrating against I (X side, D ≥ 0) or J (Y side, D < 0) gives
+       the exact raw moments of the max. *)
+    let side c0 b v (p0, p1, p2, p3, p4) =
+      let c0_2 = c0 *. c0 in
+      let c0_3 = c0_2 *. c0 in
+      let c0_4 = c0_2 *. c0_2 in
+      let b2 = b *. b in
+      let e1 = (c0 *. p0) +. (b *. p1) in
+      let e2 = ((c0_2 +. v) *. p0) +. (2.0 *. c0 *. b *. p1) +. (b2 *. p2) in
+      let e3 =
+        ((c0_3 +. (3.0 *. c0 *. v)) *. p0)
+        +. (((3.0 *. c0_2 *. b) +. (3.0 *. b *. v)) *. p1)
+        +. (3.0 *. c0 *. b2 *. p2)
+        +. (b2 *. b *. p3)
+      in
+      let e4 =
+        ((c0_4 +. (6.0 *. c0_2 *. v) +. (3.0 *. v *. v)) *. p0)
+        +. (((4.0 *. c0_3 *. b) +. (12.0 *. c0 *. b *. v)) *. p1)
+        +. (((6.0 *. c0_2 *. b2) +. (6.0 *. b2 *. v)) *. p2)
+        +. (4.0 *. c0 *. b2 *. b *. p3)
+        +. (b2 *. b2 *. p4)
+      in
+      (e1, e2, e3, e4)
+    in
+    let cov_xd = (s1 *. s1) -. (rho *. s1 *. s2) in
+    let cov_yd = (rho *. s1 *. s2) -. (s2 *. s2) in
+    let bx = cov_xd /. a2 and by = cov_yd /. a2 in
+    let vx = Float.max 0.0 ((s1 *. s1) -. (cov_xd *. cov_xd /. a2)) in
+    let vy = Float.max 0.0 ((s2 *. s2) -. (cov_yd *. cov_yd /. a2)) in
+    let x1, x2, x3, x4 = side (mu1 -. (bx *. mud)) bx vx (i0, i1, i2, i3, i4) in
+    let y1, y2, y3, y4 = side (mu2 -. (by *. mud)) by vy (j0, j1, j2, j3, j4) in
+    let r1 = x1 +. y1 and r2 = x2 +. y2 and r3 = x3 +. y3 and r4 = x4 +. y4 in
+    let m2, m3, m4 = central_of_raw r1 r2 r3 r4 in
+    {
+      dist =
+        Moments.of_central
+          ~n:(min (max sa.Moments.n 1) (max sb.Moments.n 1))
+          ~mean:r1 ~m2 ~m3 ~m4;
+      p_first = i0;
+    }
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Gauss-Hermite nodes (probabilists' convention, weight φ(z)).     *)
+(* ---------------------------------------------------------------- *)
+
+(* Orthonormal physicists' Hermite recurrence — overflow-free.  Roots
+   are found by scanning for sign changes and bisecting; no magic
+   initial-guess constants, and the cost is paid once (lazy). *)
+let hermite_orthonormal n x =
+  let pim4 = 0.7511255444649425 (* π^(-1/4) *) in
+  let rec go j hjm1 hj =
+    if j = n then hj
+    else
+      let hjp1 =
+        (x *. sqrt (2.0 /. float_of_int (j + 1)) *. hj)
+        -. (sqrt (float_of_int j /. float_of_int (j + 1)) *. hjm1)
+      in
+      go (j + 1) hj hjp1
+  in
+  if n = 0 then pim4 else go 1 pim4 (sqrt 2.0 *. x *. pim4)
+
+let gh_order = 24
+
+let gh_nodes =
+  lazy
+    (let n = gh_order in
+     let f x = hermite_orthonormal n x in
+     let upper = sqrt (float_of_int ((4 * n) + 2)) in
+     let step = upper /. float_of_int (n * 16) in
+     let roots = ref [] in
+     let x = ref 0.0 in
+     (* n even: no root at the origin; scan the positive half line. *)
+     while !x < upper do
+       let x0 = !x and x1 = !x +. step in
+       let f0 = f x0 and f1 = f x1 in
+       if f0 = 0.0 then roots := x0 :: !roots
+       else if f0 *. f1 < 0.0 then begin
+         let lo = ref x0 and hi = ref x1 and flo = ref f0 in
+         for _ = 1 to 80 do
+           let mid = 0.5 *. (!lo +. !hi) in
+           let fm = f mid in
+           if !flo *. fm <= 0.0 then hi := mid
+           else begin
+             lo := mid;
+             flo := fm
+           end
+         done;
+         roots := (0.5 *. (!lo +. !hi)) :: !roots
+       end;
+       x := x1
+     done;
+     let pos = Array.of_list (List.rev !roots) in
+     if 2 * Array.length pos <> n then
+       failwith "Stat_max: Gauss-Hermite root scan lost a root";
+     (* w_i = 2 / h'_n(x_i)² with h'_n = √(2n)·h_{n-1}; Σw = √π for the
+        physicists' weight.  Convert to probabilists': z = √2·x,
+        ω = w/√π, so Σω = 1 and ∫ f(z)φ(z)dz ≈ Σ ω_i f(z_i). *)
+     let sqrt_pi = sqrt Float.pi in
+     let deriv x = sqrt (2.0 *. float_of_int n) *. hermite_orthonormal (n - 1) x in
+     let mk x =
+       let d = deriv x in
+       (sqrt 2.0 *. x, 2.0 /. (d *. d) /. sqrt_pi)
+     in
+     Array.concat
+       [ Array.map (fun x -> mk (-.x)) pos; Array.map mk pos ])
+
+(* ---------------------------------------------------------------- *)
+(* Moment-matching: Cornish-Fisher quantiles + Gaussian copula.     *)
+(* ---------------------------------------------------------------- *)
+
+(* The third-order expansion is only a valid quantile transform where
+   the cubic w(z) is monotone; propagated moments can stray far outside
+   that domain (re-split remainders, long max chains), so both entry
+   points clamp to a region where w'(z) > 0 on |z| ≤ 8 — outside it the
+   cubic would fold back and the threshold bisection in [moment] would
+   return garbage rather than degrade gracefully.  With |γ| ≤ 1 the
+   cubic coefficient is c3 = (κ−3)/24 − γ²/18; requiring c3 ≥ −1/189
+   keeps the fold points beyond |z| = 8 (from c1 ≥ 192·|c3| at γ = 0),
+   and the κ ≤ 7 cap keeps the discriminant 4c2² − 12c1c3 negative on
+   the leptokurtic side. *)
+let clamp_skew g = Float.max (-1.0) (Float.min 1.0 g)
+
+let clamp_cf ~skew ~kurt =
+  let g = clamp_skew skew in
+  let klo = 3.0 +. (24.0 *. ((g *. g /. 18.0) -. (1.0 /. 189.0))) in
+  (g, Float.max klo (Float.min 7.0 kurt))
+
+(* Third-order Cornish-Fisher expansion of the standardised quantile:
+   w(z) = z + γ/6·(z²-1) + (κ-3)/24·(z³-3z) − γ²/36·(2z³-5z). *)
+let cornish_fisher ~skew ~kurt z =
+  let skew, kurt = clamp_cf ~skew ~kurt in
+  let z2 = z *. z in
+  let z3 = z2 *. z in
+  z
+  +. (skew /. 6.0 *. (z2 -. 1.0))
+  +. ((kurt -. 3.0) /. 24.0 *. (z3 -. (3.0 *. z)))
+  -. (skew *. skew /. 36.0 *. ((2.0 *. z3) -. (5.0 *. z)))
+
+(* The Cornish-Fisher quantile as a cubic polynomial in z (ascending
+   coefficients), scaled to the summary's mean and std. *)
+let cf_poly (s : Moments.summary) =
+  let g, k =
+    clamp_cf ~skew:s.Moments.skewness ~kurt:s.Moments.kurtosis
+  in
+  let h = (k -. 3.0) /. 24.0 in
+  let c0 = -.g /. 6.0 in
+  let c1 = 1.0 -. (3.0 *. h) +. (5.0 *. g *. g /. 36.0) in
+  let c2 = g /. 6.0 in
+  let c3 = h -. (g *. g /. 18.0) in
+  [|
+    s.Moments.mean +. (s.Moments.std *. c0);
+    s.Moments.std *. c1;
+    s.Moments.std *. c2;
+    s.Moments.std *. c3;
+  |]
+
+let poly_eval p x =
+  let acc = ref 0.0 in
+  for i = Array.length p - 1 downto 0 do
+    acc := (!acc *. x) +. p.(i)
+  done;
+  !acc
+
+let poly_mul p q =
+  let r = Array.make (Array.length p + Array.length q - 1) 0.0 in
+  Array.iteri
+    (fun i pi -> Array.iteri (fun j qj -> r.(i + j) <- r.(i + j) +. (pi *. qj)) q)
+    p;
+  r
+
+(* Substitute z = alpha + beta·v into the polynomial (binomial shift). *)
+let poly_compose_affine p ~alpha ~beta =
+  let n = Array.length p in
+  let r = Array.make n 0.0 in
+  let lin = [| alpha; beta |] in
+  let pow = ref [| 1.0 |] in
+  for m = 0 to n - 1 do
+    Array.iteri (fun j c -> r.(j) <- r.(j) +. (p.(m) *. c)) !pow;
+    if m < n - 1 then pow := poly_mul !pow lin
+  done;
+  r
+
+(* I_k(t) = ∫_t^∞ v^k φ(v) dv for k = 0 .. kmax, by the recursion
+   I_k = t^(k-1)·φ(t) + (k-1)·I_(k-2); the boundary term vanishes at
+   t = ±∞ so infinite thresholds reduce to full/zero moments. *)
+let upper_partial_moments ~t kmax =
+  let arr = Array.make (kmax + 1) 0.0 in
+  let finite = Float.is_finite t in
+  let phi = if finite then Special.normal_pdf t else 0.0 in
+  arr.(0) <-
+    (if finite then 1.0 -. Special.normal_cdf t else if t > 0.0 then 0.0 else 1.0);
+  if kmax >= 1 then arr.(1) <- phi;
+  for k = 2 to kmax do
+    let boundary = if finite then (t ** float_of_int (k - 1)) *. phi else 0.0 in
+    arr.(k) <- boundary +. (float_of_int (k - 1) *. arr.(k - 2))
+  done;
+  arr
+
+(* Solve q(t) = x on [-zmax, zmax] for a monotone-in-the-bulk quantile
+   polynomial: plain safeguarded bisection on the bracketing interval,
+   with ±∞ when x falls outside the quantile's range. *)
+let solve_threshold q x =
+  let zmax = 8.0 in
+  let qlo = poly_eval q (-.zmax) and qhi = poly_eval q zmax in
+  if x <= qlo then Float.neg_infinity
+  else if x >= qhi then Float.infinity
+  else begin
+    let lo = ref (-.zmax) and hi = ref zmax and flo = ref (qlo -. x) in
+    for _ = 1 to 80 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fm = poly_eval q mid -. x in
+      if !flo *. fm <= 0.0 then hi := mid
+      else begin
+        lo := mid;
+        flo := fm
+      end
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+(* Moment-matching max: condition on the first input's copula variable
+   u.  Given u, X = q1(u) is a constant and the second copula variable
+   is z2 = ρu + √(1-ρ²)·v with v standard normal, so Y = q2(z2) is a
+   cubic polynomial in v and E[max(X,Y)^n | u] is exact via Gaussian
+   partial moments split at the threshold q2 = X.  Only the outer
+   integral over u uses quadrature, and that integrand is smooth — the
+   diagonal kink of the max never meets the quadrature grid. *)
+let rec moment ~rho (sa : Moments.summary) (sb : Moments.summary) =
+  let rho = clamp_rho rho in
+  let s1 = sa.Moments.std and s2 = sb.Moments.std in
+  if s1 = 0.0 && s2 = 0.0 then degenerate_winner sa sb
+  else if s1 = 0.0 then begin
+    (* Condition on the varying input instead; flip P(X ≥ Y). *)
+    let r = moment ~rho sb sa in
+    { r with p_first = 1.0 -. r.p_first }
+  end
+  else begin
+    let q1 = cf_poly sa and q2 = cf_poly sb in
+    let nodes = Lazy.force gh_nodes in
+    let kcop = sqrt (1.0 -. (rho *. rho)) in
+    let r1 = ref 0.0 and r2 = ref 0.0 and r3 = ref 0.0 and r4 = ref 0.0 in
+    let pf = ref 0.0 in
+    Array.iter
+      (fun (u, wu) ->
+        let x = poly_eval q1 u in
+        let e1, e2, e3, e4, p_le =
+          if s2 = 0.0 then begin
+            let y = sb.Moments.mean in
+            let z = if x >= y then x else y in
+            let z2 = z *. z in
+            (z, z2, z2 *. z, z2 *. z2, if x >= y then 1.0 else 0.0)
+          end
+          else begin
+            let tz = solve_threshold q2 x in
+            let vstar =
+              if Float.is_finite tz then (tz -. (rho *. u)) /. kcop else tz
+            in
+            (* Y as a cubic in v, and its 2nd..4th powers. *)
+            let b = poly_compose_affine q2 ~alpha:(rho *. u) ~beta:kcop in
+            let b2 = poly_mul b b in
+            let b3 = poly_mul b2 b in
+            let b4 = poly_mul b2 b2 in
+            let im = upper_partial_moments ~t:vstar 12 in
+            let dot p = Array.fold_left ( +. ) 0.0 (Array.mapi (fun j c -> c *. im.(j)) p) in
+            let p_le = 1.0 -. im.(0) (* P(Y ≤ x | u) *) in
+            let x2 = x *. x in
+            ( (x *. p_le) +. dot b,
+              (x2 *. p_le) +. dot b2,
+              (x2 *. x *. p_le) +. dot b3,
+              (x2 *. x2 *. p_le) +. dot b4,
+              p_le )
+          end
+        in
+        pf := !pf +. (wu *. p_le);
+        r1 := !r1 +. (wu *. e1);
+        r2 := !r2 +. (wu *. e2);
+        r3 := !r3 +. (wu *. e3);
+        r4 := !r4 +. (wu *. e4))
+      nodes;
+    let m2, m3, m4 = central_of_raw !r1 !r2 !r3 !r4 in
+    {
+      dist =
+        Moments.of_central
+          ~n:(min (max sa.Moments.n 1) (max sb.Moments.n 1))
+          ~mean:!r1 ~m2 ~m3 ~m4;
+      p_first = !pf;
+    }
+  end
+
+let apply op ~rho a b =
+  match op with Clark -> clark ~rho a b | Moment -> moment ~rho a b

@@ -1,0 +1,66 @@
+(** Statistical max of two four-moment delay distributions — the
+    reconvergence operator of block-based SSTA.
+
+    Two operators are provided, following the exact-vs-approximate
+    taxonomy of "Gate-Level Statistical Timing Analysis: Exact
+    Solutions, Approximations and Algorithms" (arXiv:2401.03588):
+
+    {ul
+    {- {!Clark}: the inputs are treated as correlated Gaussians (their
+       skewness/kurtosis is ignored) and all four output moments are
+       {e exact} — Clark's 1961 mean/variance result extended to the
+       third and fourth moments by conditioning on [D = X − Y] and
+       integrating the one-sided Gaussian partial-moment recursion.}
+    {- {!Moment}: skewness/kurtosis-aware moment matching.  Each input
+       is represented by a third-order Cornish–Fisher quantile
+       transform (a cubic polynomial) of a standard normal; the pair is
+       coupled through a Gaussian copula with correlation [rho].
+       Conditioned on the first copula variable the max's moments are
+       {e exact} (Gaussian partial moments split at the threshold), so
+       quadrature ({!gh_order}-node Gauss–Hermite) is only applied to
+       the smooth outer integral — the diagonal kink of the max never
+       meets the quadrature grid.}}
+
+    Both return the tightness probability [P(X ≥ Y)], which callers use
+    to re-split the result's variance into globally-correlated and
+    independent components. *)
+
+type operator = Clark | Moment
+
+val operator_name : operator -> string
+(** ["clark"] / ["moment"]. *)
+
+val operator_of_string : string -> operator
+(** @raise Invalid_argument on anything but ["clark"] / ["moment"]. *)
+
+type result = {
+  dist : Moments.summary;  (** four moments of max(X, Y) *)
+  p_first : float;  (** P(X ≥ Y) — the Clark tightness probability *)
+}
+
+val clark : rho:float -> Moments.summary -> Moments.summary -> result
+(** Exact Gaussian max.  [rho] is the correlation of the two inputs,
+    clamped into (−1, 1).  Degenerate inputs (both σ = 0, or X − Y
+    deterministic) return the larger-mean input unchanged. *)
+
+val moment : rho:float -> Moments.summary -> Moments.summary -> result
+(** Cornish–Fisher / Gauss–Hermite moment matching.  On Gaussian inputs
+    (γ = 0, κ = 3) it agrees with {!clark} up to quadrature error. *)
+
+val apply : operator -> rho:float -> Moments.summary -> Moments.summary -> result
+
+val gh_order : int
+(** One-dimensional Gauss–Hermite order used by {!moment} (24). *)
+
+val gh_nodes : (float * float) array Lazy.t
+(** Probabilists' Gauss–Hermite rule [(z_i, ω_i)]: Σω = 1,
+    ∫f(z)φ(z)dz ≈ Σ ω_i f(z_i).  Exposed for tests. *)
+
+val cornish_fisher : skew:float -> kurt:float -> float -> float
+(** Third-order Cornish–Fisher standardised quantile
+    w(z) = z + γ/6(z²−1) + (κ−3)/24(z³−3z) − γ²/36(2z³−5z); the shared
+    quantile convention of {!moment} and SSTA report rendering.
+    Inputs are clamped to the expansion's monotone domain (|γ| ≤ 1,
+    κ ∈ [3 + 4γ²/3 − 0.127, 7]) — outside it the cubic folds back and
+    is not a quantile transform at all, so clamping degrades gracefully
+    where extrapolation would diverge. *)

@@ -196,6 +196,59 @@ let prop_moments_merge_commutative =
       Float.abs (m1.Moments.mean -. m2.Moments.mean) < 1e-9
       && Float.abs (m1.Moments.std -. m2.Moments.std) < 1e-9)
 
+let floats_arb lo hi =
+  QCheck.(list_of_size (Gen.int_range 1 30) (float_range lo hi))
+
+let prop_moments_merge_associative =
+  QCheck.Test.make ~count:100 ~name:"moment merge is associative"
+    QCheck.(triple (floats_arb (-5.) 5.) (floats_arb (-5.) 5.)
+              (floats_arb (-5.) 5.))
+    (fun (xs, ys, zs) ->
+      let acc l = Moments.of_array (Array.of_list l) in
+      let a = acc xs and b = acc ys and c = acc zs in
+      let l = Moments.summary (Moments.merge (Moments.merge a b) c) in
+      let r = Moments.summary (Moments.merge a (Moments.merge b c)) in
+      let close x y = Float.abs (x -. y) <= 1e-9 *. (1.0 +. Float.abs x) in
+      close l.Moments.mean r.Moments.mean
+      && close l.Moments.std r.Moments.std
+      && Float.abs (l.Moments.skewness -. r.Moments.skewness) < 1e-6
+      && Float.abs (l.Moments.kurtosis -. r.Moments.kurtosis) < 1e-6)
+
+let prop_moments_split_merge =
+  QCheck.Test.make ~count:200
+    ~name:"merge of a split sample reproduces of_array (bitwise at the \
+           empty-split boundary)"
+    QCheck.(pair (floats_arb (-50.) 50.) QCheck.small_nat)
+    (fun (xs, k0) ->
+      let a = Array.of_list xs in
+      let n = Array.length a in
+      let k = k0 mod (n + 1) in
+      let merged =
+        Moments.merge
+          (Moments.of_array (Array.sub a 0 k))
+          (Moments.of_array (Array.sub a k (n - k)))
+      in
+      let m = Moments.summary merged in
+      let d = Moments.summary (Moments.of_array a) in
+      if k = 0 || k = n then begin
+        (* One side is [empty]: the merge must be a physical identity,
+           so all four moments agree bit for bit. *)
+        let bit x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) in
+        bit m.Moments.mean d.Moments.mean
+        && bit m.Moments.std d.Moments.std
+        && bit m.Moments.skewness d.Moments.skewness
+        && bit m.Moments.kurtosis d.Moments.kurtosis
+      end
+      else begin
+        (* Interior splits take the pairwise Pébay path: numerically
+           equal, not bitwise. *)
+        let close x y = Float.abs (x -. y) <= 1e-9 *. (1.0 +. Float.abs x) in
+        close m.Moments.mean d.Moments.mean
+        && close m.Moments.std d.Moments.std
+        && Float.abs (m.Moments.skewness -. d.Moments.skewness) < 1e-6
+        && Float.abs (m.Moments.kurtosis -. d.Moments.kurtosis) < 1e-6
+      end)
+
 let prop_quantile_bounds =
   QCheck.Test.make ~count:100 ~name:"quantiles stay within sample range"
     QCheck.(pair (list_of_size (Gen.int_range 2 50) (float_range (-100.) 100.))
@@ -237,6 +290,11 @@ let () =
           qt prop_arrivals_nonnegative;
         ] );
       ( "stats",
-        [ qt prop_moments_merge_commutative; qt prop_quantile_bounds ] );
+        [
+          qt prop_moments_merge_commutative;
+          qt prop_moments_merge_associative;
+          qt prop_moments_split_merge;
+          qt prop_quantile_bounds;
+        ] );
       ( "netlist", [ qt prop_fanout_sizing_monotone ] );
     ]

@@ -1,0 +1,277 @@
+(* Tests for the block-based SSTA engine: the distribution algebra on
+   hand-analysable circuits (chain sums, diamond reconvergence against
+   Clark's closed form), degenerate agreement with the scalar engine,
+   report rendering, and a validate smoke against per-path MC on a real
+   characterised library. *)
+
+module T = Nsigma_process.Technology
+module Variation = Nsigma_process.Variation
+module Cell = Nsigma_liberty.Cell
+module Library = Nsigma_liberty.Library
+module N = Nsigma_netlist.Netlist
+module B = Nsigma_netlist.Builder
+module Bm = Nsigma_netlist.Benchmarks
+module Design = Nsigma_sta.Design
+module Provider = Nsigma_sta.Provider
+module Engine = Nsigma_sta.Engine
+module Engine_core = Nsigma_sta.Engine_core
+module Ssta = Nsigma_sta.Ssta
+module Timing_report = Nsigma_sta.Timing_report
+module Moments = Nsigma_stats.Moments
+module Stat_max = Nsigma_stats.Stat_max
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let tech = T.with_vdd T.default_28nm 0.6
+let ng = Variation.global_deviate_dim
+
+(* A Gaussian delay distribution with purely local (independent)
+   variance: mean [m], standard deviation [s]. *)
+let local_dist m s =
+  {
+    Ssta.d_mean = m;
+    d_a = Array.make ng 0.0;
+    d_b = Array.make ng 0.0;
+    d_var_l = s *. s;
+    d_m3_l = 0.0;
+    d_m4_l = 3.0 *. (s ** 4.0);
+  }
+
+(* Constant-distribution provider: every cell arc contributes [d], wires
+   are free, slews pass through — the SSTA counterpart of test_sta's
+   unit provider. *)
+let const_provider d =
+  {
+    Engine_core.m_label = "const-dist";
+    m_cell_delay =
+      (fun _ ~edge:_ ~in_net:_ ~in_edge:_ ~input_slew:_ ~load_cap:_ ->
+        { Ssta.dd = d; d_slew_tc = 0.0 });
+    m_cell_out_slew =
+      (fun _ ~edge:_ ~in_net:_ ~in_edge:_ ~input_slew ~load_cap:_ -> input_slew);
+    m_wire_delay =
+      (fun ~net:_ ~driver:_ ~sink:_ ~tree:_ ~tap:_ ->
+        { Ssta.dd = Ssta.zero_dist; d_slew_tc = 0.0 });
+    m_wire_slew_degrade = (fun ~wire_delay:_ ~slew_at_root -> slew_at_root);
+  }
+
+let chain n =
+  let b = B.create ~name:"chain" in
+  let a = B.input b "a" in
+  let net = ref a in
+  for _ = 1 to n do
+    net := B.inv b !net
+  done;
+  B.output b !net;
+  B.finish b
+
+(* a fans out to two inverters whose outputs reconverge on a NAND. *)
+let diamond () =
+  let b = B.create ~name:"diamond" in
+  let a = B.input b "a" in
+  let n1 = B.inv b a in
+  let n2 = B.inv b a in
+  B.output b (B.nand2 b n1 n2);
+  B.finish b
+
+(* ---- algebra on hand-analysable circuits ---- *)
+
+let test_chain_sums_moments () =
+  let nl = chain 4 in
+  let design = Design.attach_parasitics tech nl in
+  let d = local_dist 10e-12 1e-12 in
+  let report = Ssta.analyze tech (const_provider d) design in
+  let out = Ssta.circuit_dist report in
+  (* 4 independent Gaussian stages: means and variances add, no joins on
+     a chain so the result is exact. *)
+  check_close "chain mean" 40e-12 out.Ssta.d_mean;
+  check_close "chain var" 4e-24 (Ssta.variance out);
+  let s = Ssta.to_summary out in
+  check_close ~eps:1e-9 "chain skew 0" 1.0 (1.0 +. s.Moments.skewness);
+  check_close ~eps:1e-9 "chain kurt 3" 3.0 s.Moments.kurtosis;
+  (* Cornish-Fisher quantile of a Gaussian is mu + n*sigma exactly. *)
+  check_close "chain +3s" (40e-12 +. (3.0 *. 2e-12))
+    (Ssta.quantile out ~sigma:3.0)
+
+let test_diamond_clark_join () =
+  let nl = diamond () in
+  let design = Design.attach_parasitics tech nl in
+  let d = local_dist 10e-12 1e-12 in
+  let report = Ssta.analyze tech (const_provider d) design in
+  let out = Ssta.circuit_dist report in
+  (* The two NAND input candidates are iid Gaussians (inv + nand, mean
+     20 ps, var 2 ps^2, all variance local so Tracked correlation sees
+     rho = 0).  Clark: E[max] = mu + sigma_delta * phi(0)
+     = mu + sqrt(2 var) / sqrt(2 pi) = mu + sigma / sqrt(pi). *)
+  let mu = 20e-12 and var = 2e-24 in
+  let expected = mu +. (sqrt var /. sqrt Float.pi) in
+  check_close ~eps:1e-9 "diamond mean = Clark closed form" expected
+    out.Ssta.d_mean;
+  (* Var(max) = mu^2 + var - E[max]^2 for iid zero-rho inputs:
+     E[max^2] = mu^2 + var (even power symmetry). *)
+  let evar = (mu *. mu) +. var -. (expected *. expected) in
+  check_close ~eps:1e-6 "diamond variance" evar (Ssta.variance out)
+
+let test_degenerate_matches_scalar () =
+  (* With sigma = 0 every max is a plain max: the statistical engine
+     must reproduce the scalar engine's arrival exactly. *)
+  let scalar_provider =
+    {
+      Provider.label = "unit";
+      cell_delay = (fun _ ~edge:_ ~input_slew:_ ~load_cap:_ -> 10e-12);
+      cell_out_slew = (fun _ ~edge:_ ~input_slew ~load_cap:_ -> input_slew);
+      wire_delay = (fun ~net:_ ~driver:_ ~sink:_ ~tree:_ ~tap:_ -> 0.0);
+      wire_slew_degrade = (fun ~wire_delay:_ ~slew_at_root -> slew_at_root);
+    }
+  in
+  List.iter
+    (fun nl ->
+      let design = Design.attach_parasitics tech nl in
+      let scalar = Engine.analyze tech scalar_provider design in
+      let d = local_dist 10e-12 0.0 in
+      let stat = Ssta.analyze tech (const_provider d) design in
+      let out = Ssta.circuit_dist stat in
+      check_close ~eps:1e-12 "degenerate mean = scalar delay"
+        (Engine.circuit_delay scalar) out.Ssta.d_mean;
+      check_close ~eps:1e-12 "degenerate std 0" 1.0 (1.0 +. Ssta.std out))
+    [ chain 5; diamond () ]
+
+let test_dist_summary_roundtrip () =
+  let s =
+    {
+      Moments.n = 1000;
+      mean = 50e-12;
+      std = 8e-12;
+      skewness = 0.45;
+      kurtosis = 3.6;
+    }
+  in
+  List.iter
+    (fun frac ->
+      let d = Ssta.of_summary ~global_frac:frac s in
+      let back = Ssta.to_summary d in
+      check_close ~eps:1e-9 "roundtrip mean" s.Moments.mean back.Moments.mean;
+      check_close ~eps:1e-9 "roundtrip std" s.Moments.std back.Moments.std)
+    [ 0.0; 0.35; 1.0 ]
+
+let test_max_op_counters () =
+  let was = Nsigma_obs.Metrics.enabled () in
+  Nsigma_obs.Metrics.set_enabled true;
+  let before = Nsigma_obs.Metrics.find_counter "sta.ssta.max_ops" in
+  let clark_before = Nsigma_obs.Metrics.find_counter "sta.ssta.max.clark" in
+  let design = Design.attach_parasitics tech (diamond ()) in
+  let d = local_dist 10e-12 1e-12 in
+  ignore (Ssta.analyze tech (const_provider d) design);
+  let ops = Nsigma_obs.Metrics.find_counter "sta.ssta.max_ops" - before in
+  let clark =
+    Nsigma_obs.Metrics.find_counter "sta.ssta.max.clark" - clark_before
+  in
+  Nsigma_obs.Metrics.set_enabled was;
+  (* One reconvergence per output edge of the NAND. *)
+  Alcotest.(check bool) "max ops ticked" true (ops >= 1);
+  Alcotest.(check int) "default operator is clark" ops clark
+
+(* ---- statistical timing report ---- *)
+
+let test_stat_report () =
+  let nl = diamond () in
+  let design = Design.attach_parasitics tech nl in
+  let d = local_dist 10e-12 1e-12 in
+  let report = Ssta.analyze tech (const_provider d) design in
+  let q3 = Ssta.quantile (Ssta.circuit_dist report) ~sigma:3.0 in
+  let tr = Timing_report.of_ssta ~period:q3 report in
+  (* Period pinned at the worst +3s arrival: worst slack is exactly 0
+     and nothing is violated. *)
+  check_close ~eps:1e-9 "wns 0 at q3 period" 1.0
+    (1.0 +. (tr.Timing_report.s_wns /. 1e-12));
+  Alcotest.(check int) "no violations" 0
+    (List.length (Timing_report.stat_violations tr));
+  let tight =
+    Timing_report.of_ssta ~period:(q3 *. 0.5) report
+  in
+  Alcotest.(check bool) "violations at half period" true
+    (List.length (Timing_report.stat_violations tight) > 0);
+  Alcotest.(check bool) "tns negative" true (tight.Timing_report.s_tns < 0.0);
+  let rendered = Format.asprintf "%a" (Timing_report.pp_ssta nl) tr in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report mentions WNS" true (contains rendered "WNS")
+
+(* ---- validate smoke on a real library ---- *)
+
+let library =
+  lazy
+    (let cells =
+       List.concat_map
+         (fun k ->
+           [ Cell.make k ~strength:1; Cell.make k ~strength:2;
+             Cell.make k ~strength:4; Cell.make k ~strength:8 ])
+         Cell.all_kinds
+     in
+     Library.load_or_characterize ~n_mc:250
+       ~slews:[| 10e-12; 50e-12; 150e-12; 300e-12 |]
+       ~path:(Filename.concat (Filename.get_temp_dir_name ()) "nsigma_test_ssta.lvf")
+       tech cells)
+
+let test_validate_smoke () =
+  let lib = Lazy.force library in
+  let bm = List.hd Bm.small_variants in
+  let design = Design.attach_parasitics tech (bm.Bm.generate ()) in
+  let v = Ssta.validate ~n:120 ~k:4 tech lib design in
+  Alcotest.(check bool) "covers paths" true (v.Ssta.va_n_paths >= 1);
+  Alcotest.(check int) "mc samples" 120 v.Ssta.va_mc_n;
+  (* Loose smoke bars: the full-accuracy gate lives in bench ssta. *)
+  Alcotest.(check bool) "mean within 15%" true
+    (Float.abs v.Ssta.va_err_mean < 0.15);
+  Alcotest.(check bool) "+3s within 25%" true
+    (Float.abs v.Ssta.va_err_p3 < 0.25);
+  Alcotest.(check bool) "ssta worst PO covers validated subset" true
+    (Ssta.quantile v.Ssta.va_ssta_full ~sigma:3.0
+     >= Ssta.quantile v.Ssta.va_ssta ~sigma:3.0 -. 1e-15)
+
+let test_lvf_provider_sanity () =
+  let lib = Lazy.force library in
+  let bm = List.hd Bm.small_variants in
+  let design = Design.attach_parasitics tech (bm.Bm.generate ()) in
+  let provider = Ssta.lvf_provider tech lib design in
+  let report = Ssta.analyze tech provider design in
+  let out = Ssta.circuit_dist report in
+  Alcotest.(check bool) "positive mean" true (out.Ssta.d_mean > 0.0);
+  Alcotest.(check bool) "positive sigma" true (Ssta.std out > 0.0);
+  (* The global corners must explain part of the variance (shared vth /
+     beta response), but local mismatch must survive too. *)
+  let vg = Ssta.variance out -. out.Ssta.d_var_l in
+  Alcotest.(check bool) "global share positive" true (vg > 0.0);
+  Alcotest.(check bool) "local share positive" true (out.Ssta.d_var_l > 0.0);
+  (* Scalar nominal arrival should sit near the SSTA mean (the
+     statistical pass re-centres arcs on the same tables). *)
+  let scalar = Engine.analyze tech (Provider.nominal lib) design in
+  let rel =
+    Float.abs (out.Ssta.d_mean -. Engine.circuit_delay scalar)
+    /. Engine.circuit_delay scalar
+  in
+  Alcotest.(check bool) "mean near nominal (20%)" true (rel < 0.20)
+
+let () =
+  Alcotest.run "nsigma_ssta"
+    [
+      ( "algebra",
+        [
+          Alcotest.test_case "chain sums moments" `Quick test_chain_sums_moments;
+          Alcotest.test_case "diamond clark join" `Quick test_diamond_clark_join;
+          Alcotest.test_case "degenerate = scalar" `Quick
+            test_degenerate_matches_scalar;
+          Alcotest.test_case "summary roundtrip" `Quick test_dist_summary_roundtrip;
+          Alcotest.test_case "max-op counters" `Quick test_max_op_counters;
+        ] );
+      ("report", [ Alcotest.test_case "stat report" `Quick test_stat_report ]);
+      ( "validate",
+        [
+          Alcotest.test_case "lvf provider sanity" `Slow test_lvf_provider_sanity;
+          Alcotest.test_case "validate smoke" `Slow test_validate_smoke;
+        ] );
+    ]

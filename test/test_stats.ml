@@ -566,6 +566,162 @@ let test_sparkline_shape () =
   let s = Histogram.sparkline ~width:10 h in
   Alcotest.(check bool) "sparkline non-empty" true (String.length s > 0)
 
+(* ---------- Moments summary arithmetic (SSTA sum operator) ---------- *)
+
+let test_moments_empty_merge_identity () =
+  let acc = Moments.of_array [| 1.0; 2.5; -0.75; 4.0 |] in
+  (* The identity is physical: the non-empty operand comes back itself,
+     so every derived statistic is bitwise unchanged. *)
+  Alcotest.(check bool) "merge empty acc == acc" true
+    (Moments.merge Moments.empty acc == acc);
+  Alcotest.(check bool) "merge acc empty == acc" true
+    (Moments.merge acc Moments.empty == acc);
+  Alcotest.(check bool) "merge empty empty == empty" true
+    (Moments.merge Moments.empty Moments.empty == Moments.empty)
+
+let test_add_scaled_pairwise () =
+  (* The population of all pairwise sums x_i + s*y_j is exactly the
+     independent sum of the two empirical distributions, so add_scaled
+     on the two summaries must reproduce its moments. *)
+  let g = Rng.create ~seed:33 in
+  let xs = Array.init 40 (fun _ -> Rng.gaussian g +. 2.0) in
+  let ys = Array.init 37 (fun _ -> Float.abs (Rng.gaussian g) *. 0.5) in
+  let scale = 0.7 in
+  let pairs =
+    Array.concat
+      (Array.to_list
+         (Array.map (fun x -> Array.map (fun y -> x +. (scale *. y)) ys) xs))
+  in
+  let direct = Moments.summary_of_array pairs in
+  let s =
+    Moments.add_scaled (Moments.summary_of_array xs) ~scale
+      (Moments.summary_of_array ys)
+  in
+  check_close ~eps:1e-10 "pairwise mean" direct.Moments.mean s.Moments.mean;
+  check_close ~eps:1e-10 "pairwise std" direct.Moments.std s.Moments.std;
+  check_close ~eps:1e-8 "pairwise skew" direct.Moments.skewness s.Moments.skewness;
+  check_close ~eps:1e-8 "pairwise kurt" direct.Moments.kurtosis s.Moments.kurtosis
+
+let test_scale_shift_matches_sample () =
+  let g = Rng.create ~seed:34 in
+  let xs = Array.init 200 (fun _ -> Float.abs (Rng.gaussian g) +. 0.1) in
+  List.iter
+    (fun (scale, shift) ->
+      let mapped = Array.map (fun x -> (scale *. x) +. shift) xs in
+      let direct = Moments.summary_of_array mapped in
+      let s = Moments.scale_shift (Moments.summary_of_array xs) ~scale ~shift in
+      check_close ~eps:1e-10 "ss mean" direct.Moments.mean s.Moments.mean;
+      check_close ~eps:1e-10 "ss std" direct.Moments.std s.Moments.std;
+      check_close ~eps:1e-8 "ss skew" direct.Moments.skewness s.Moments.skewness;
+      check_close ~eps:1e-8 "ss kurt" direct.Moments.kurtosis s.Moments.kurtosis)
+    [ (2.0, 1.0); (-1.5, 0.25); (0.0, 7.0) ]
+
+(* ---------- Stat_max: goldens vs the closed-form Gaussian max ---------- *)
+
+module Stat_max = Nsigma_stats.Stat_max
+
+let std_normal =
+  { Moments.n = 100_000; mean = 0.0; std = 1.0; skewness = 0.0; kurtosis = 3.0 }
+
+let test_gh_rule_moments () =
+  let nodes = Lazy.force Stat_max.gh_nodes in
+  let s k =
+    Array.fold_left (fun acc (z, w) -> acc +. (w *. (z ** k))) 0.0 nodes
+  in
+  check_close ~eps:1e-9 "GH weights sum to 1" 1.0 (s 0.0);
+  check_close ~eps:1e-9 "GH E[z] = 0" 1.0 (1.0 +. s 1.0);
+  check_close ~eps:1e-9 "GH E[z^2] = 1" 1.0 (s 2.0);
+  check_close ~eps:1e-9 "GH E[z^4] = 3" 3.0 (s 4.0)
+
+let test_clark_iid_gaussian_golden () =
+  (* M = max(X, Y), X and Y iid N(0,1).  Raw moments: E[M^k] =
+     2 E[X^k Phi(X)], so the even powers equal E[X^k] (x^2k is even) and
+     the odd ones are E[M] = 1/sqrt(pi), E[M^3] = 5/(2 sqrt(pi)). *)
+  let r = Stat_max.clark ~rho:0.0 std_normal std_normal in
+  let spi = sqrt Float.pi in
+  let mu = 1.0 /. spi in
+  let r3 = 5.0 /. (2.0 *. spi) in
+  let m2 = 1.0 -. (mu *. mu) in
+  let m3 = r3 -. (3.0 *. mu) +. (2.0 *. (mu ** 3.0)) in
+  let m4 =
+    3.0 -. (4.0 *. mu *. r3) +. (6.0 *. mu *. mu) -. (3.0 *. (mu ** 4.0))
+  in
+  let d = r.Stat_max.dist in
+  check_close ~eps:1e-9 "iid max mean" mu d.Moments.mean;
+  check_close ~eps:1e-9 "iid max std" (sqrt m2) d.Moments.std;
+  check_close ~eps:1e-8 "iid max skew" (m3 /. (m2 ** 1.5)) d.Moments.skewness;
+  check_close ~eps:1e-8 "iid max kurt" (m4 /. (m2 *. m2)) d.Moments.kurtosis;
+  (* erf is evaluated through a ~1e-8-accurate rational approximation. *)
+  check_close ~eps:1e-6 "iid tightness 1/2" 0.5 r.Stat_max.p_first
+
+let test_clark_correlated_mean_golden () =
+  (* Equal means and unit variances at correlation rho:
+     E[max] = sqrt((1 - rho) / pi). *)
+  List.iter
+    (fun rho ->
+      let r = Stat_max.clark ~rho std_normal std_normal in
+      check_close ~eps:1e-9
+        (Printf.sprintf "corr mean rho=%.1f" rho)
+        (sqrt ((1.0 -. rho) /. Float.pi))
+        r.Stat_max.dist.Moments.mean)
+    [ -0.5; 0.0; 0.5; 0.9 ]
+
+let test_clark_dominant_input () =
+  let hi = { std_normal with Moments.mean = 10.0; std = 0.1 } in
+  let lo = { std_normal with Moments.mean = 0.0; std = 0.1 } in
+  let r = Stat_max.clark ~rho:0.0 hi lo in
+  check_close ~eps:1e-6 "dominant mean" 10.0 r.Stat_max.dist.Moments.mean;
+  check_close ~eps:1e-6 "dominant std" 0.1 r.Stat_max.dist.Moments.std;
+  check_close ~eps:1e-6 "dominant tightness" 1.0 r.Stat_max.p_first
+
+let test_moment_matches_clark_on_gaussian () =
+  (* On Gaussian inputs the CF transform is the identity, so the
+     moment-matching operator must agree with Clark's exact result up to
+     quadrature error. *)
+  let a = { std_normal with Moments.mean = 1.0; std = 2.0 } in
+  let b = std_normal in
+  List.iter
+    (fun rho ->
+      let c = (Stat_max.clark ~rho a b).Stat_max.dist in
+      let m = (Stat_max.moment ~rho a b).Stat_max.dist in
+      check_close ~eps:2e-3 "gauss mean" c.Moments.mean m.Moments.mean;
+      check_close ~eps:2e-3 "gauss std" c.Moments.std m.Moments.std;
+      if Float.abs (c.Moments.skewness -. m.Moments.skewness) > 5e-3 then
+        Alcotest.failf "gauss skew: clark %.4f vs moment %.4f"
+          c.Moments.skewness m.Moments.skewness)
+    [ -0.3; 0.0; 0.6 ]
+
+let test_cornish_fisher_identity_and_clamp () =
+  (* Gaussian inputs: w(z) = z exactly. *)
+  List.iter
+    (fun z ->
+      check_close ~eps:1e-12 "CF identity" z
+        (Stat_max.cornish_fisher ~skew:0.0 ~kurt:3.0 z))
+    [ -3.0; -1.0; 0.0; 0.5; 3.0 ];
+  (* Far outside the monotone domain the inputs are clamped, so the
+     transform stays strictly increasing (a genuine quantile function)
+     over the solver's bisection range. *)
+  let prev = ref Float.neg_infinity in
+  let ok = ref true in
+  for i = 0 to 160 do
+    let z = -8.0 +. (float_of_int i /. 10.0) in
+    let w = Stat_max.cornish_fisher ~skew:5.0 ~kurt:50.0 z in
+    if w <= !prev then ok := false;
+    prev := w
+  done;
+  Alcotest.(check bool) "clamped CF strictly increasing" true !ok
+
+let test_operator_names () =
+  Alcotest.(check string) "clark name" "clark"
+    (Stat_max.operator_name Stat_max.Clark);
+  Alcotest.(check bool) "roundtrip" true
+    (Stat_max.operator_of_string "moment" = Stat_max.Moment);
+  Alcotest.check_raises "unknown operator"
+    (Invalid_argument
+       "Stat_max.operator_of_string: \"bogus\" (expected \"clark\" or \
+        \"moment\")") (fun () ->
+      ignore (Stat_max.operator_of_string "bogus"))
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "nsigma_stats"
@@ -599,8 +755,27 @@ let () =
           Alcotest.test_case "symmetric skew" `Quick test_moments_symmetric_zero_skew;
           Alcotest.test_case "merge = concat" `Quick test_moments_merge_equals_concat;
           Alcotest.test_case "degenerate" `Quick test_moments_empty_degenerate;
+          Alcotest.test_case "empty merge identity" `Quick
+            test_moments_empty_merge_identity;
+          Alcotest.test_case "add_scaled pairwise" `Quick test_add_scaled_pairwise;
+          Alcotest.test_case "scale_shift" `Quick test_scale_shift_matches_sample;
           qt prop_moments_shift_invariance;
           qt prop_moments_scale;
+        ] );
+      ( "stat_max",
+        [
+          Alcotest.test_case "GH rule moments" `Quick test_gh_rule_moments;
+          Alcotest.test_case "clark iid golden" `Quick
+            test_clark_iid_gaussian_golden;
+          Alcotest.test_case "clark correlated mean" `Quick
+            test_clark_correlated_mean_golden;
+          Alcotest.test_case "clark dominant input" `Quick
+            test_clark_dominant_input;
+          Alcotest.test_case "moment = clark on gaussian" `Quick
+            test_moment_matches_clark_on_gaussian;
+          Alcotest.test_case "cornish-fisher" `Quick
+            test_cornish_fisher_identity_and_clamp;
+          Alcotest.test_case "operator names" `Quick test_operator_names;
         ] );
       ( "quantile",
         [
