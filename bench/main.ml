@@ -1533,6 +1533,222 @@ let sampling_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Batch: SoA fast kernel + PCM surrogate vs the scalar planned loop.  *)
+(* ------------------------------------------------------------------ *)
+
+let batch_mc = env_int "NSIGMA_BENCH_BATCH_MC" 4096
+let batch_reps = env_int "NSIGMA_BENCH_BATCH_REPS" 4
+let batch_ref_n = env_int "NSIGMA_BENCH_BATCH_REF" 131072
+
+(* The design target for the approximate (--no-bit-identical) SoA path
+   is 3x over the scalar planned loop; like the plan bench, the
+   shippable default gate is a regression bar below the measured range,
+   with the aspirational target recorded in the JSON as
+   [target_speedup].  On this toolchain the measured ceiling is far
+   lower: replacing both transcendentals with linear shams moves a
+   sample from ~2.15 µs to only ~1.85 µs (they are ~400 ns of the
+   total), so even a free polynomial path tops out near 1.16x
+   end-to-end, and the fitted kernels land at parity with glibc
+   (±5% run-to-run).  The gate therefore only guards against the SoA
+   path regressing materially below the scalar loop. *)
+let batch_target_speedup = 3.0
+
+let batch_min_speedup =
+  match Sys.getenv_opt "NSIGMA_BENCH_BATCH_MIN_SPEEDUP" with
+  | Some v -> (try float_of_string v with _ -> 0.85)
+  | None -> 0.85
+
+(* Max relative error of the approximate path's population mean vs the
+   exact one, in percent. *)
+let batch_max_err_pct =
+  match Sys.getenv_opt "NSIGMA_BENCH_BATCH_MAX_ERR" with
+  | Some v -> (try float_of_string v with _ -> 0.1)
+  | None -> 0.1
+
+let batch_min_pcm_reduction =
+  match Sys.getenv_opt "NSIGMA_BENCH_BATCH_MIN_PCM_REDUCTION" with
+  | Some v -> (try float_of_string v with _ -> 8.0)
+  | None -> 8.0
+
+(* PCM must match plain MC's tail accuracy at [batch_mc] samples within
+   this factor (its surrogate bias replaces sampling noise). *)
+let batch_pcm_slack =
+  match Sys.getenv_opt "NSIGMA_BENCH_BATCH_PCM_SLACK" with
+  | Some v -> (try float_of_string v with _ -> 1.5)
+  | None -> 1.5
+
+let batch_bench () =
+  header "Batch — SoA fast kernel + PCM surrogate vs scalar planned loop";
+  let kernel = Cell_sim.Fast in
+  let input_slew = 40e-12 in
+  let workload =
+    [ (Cell.make Inv ~strength:1, `Rise);
+      (Cell.make Inv ~strength:8, `Fall);
+      (Cell.make Nand2 ~strength:2, `Rise);
+      (Cell.make Aoi21 ~strength:1, `Fall) ]
+    |> List.map (fun (cell, edge) -> (cell, edge, Cell.fo4_load tech cell))
+  in
+  Printf.printf "workload: %d arcs x mc=%d (%s kernel)\n%!"
+    (List.length workload) batch_mc (Cell_sim.kernel_name kernel);
+  (* ---- throughput + bit-identity: scalar vs SoA vs SoA+approx ---- *)
+  let pass_over ~batch ~approx () =
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    let out =
+      List.map
+        (fun (cell, edge, load) ->
+          fst
+            (Monte_carlo.arc_delays_planned ~exec:Executor.sequential ~kernel
+               ~batch ~approx tech (Rng.create ~seed:5) ~n:batch_mc
+               ~plan:(fun () -> Cell.plan tech cell ~output_edge:edge)
+               ~input_slew ~load_cap:load))
+        workload
+    in
+    (out, Unix.gettimeofday () -. t0)
+  in
+  (* Interleave the three variants so they share contention epochs; keep
+     each side's fastest rep. *)
+  let scalar_out = ref [] and batch_out = ref [] and approx_out = ref [] in
+  let t_scalar = ref infinity
+  and t_batch = ref infinity
+  and t_approx = ref infinity in
+  for _ = 1 to max 2 batch_reps do
+    let s, ts = pass_over ~batch:false ~approx:false () in
+    let b, tb = pass_over ~batch:true ~approx:false () in
+    let a, ta = pass_over ~batch:true ~approx:true () in
+    scalar_out := s;
+    batch_out := b;
+    approx_out := a;
+    t_scalar := Float.min !t_scalar ts;
+    t_batch := Float.min !t_batch tb;
+    t_approx := Float.min !t_approx ta
+  done;
+  let same_bits u p =
+    Array.length u = Array.length p
+    && Array.for_all Fun.id
+         (Array.init (Array.length u) (fun i ->
+              (Float.is_nan u.(i) && Float.is_nan p.(i))
+              || Int64.equal (Int64.bits_of_float u.(i))
+                   (Int64.bits_of_float p.(i))))
+  in
+  let bit_identical = List.for_all2 same_bits !scalar_out !batch_out in
+  let speedup = !t_scalar /. Float.max 1e-9 !t_approx in
+  let speedup_exact = !t_scalar /. Float.max 1e-9 !t_batch in
+  (* Approximate-path accuracy: relative population-mean error per arc. *)
+  let nominal_err_pct =
+    List.fold_left2
+      (fun acc s a ->
+        let mean xs =
+          let ok = Monte_carlo.compact_nan xs in
+          Array.fold_left ( +. ) 0.0 ok /. float_of_int (Array.length ok)
+        in
+        let ms = mean s in
+        Float.max acc (pct (Float.abs ((mean a -. ms) /. ms))))
+      0.0 !scalar_out !approx_out
+  in
+  Printf.printf
+    "  scalar %.3fs   soa %.3fs (%.2fx)   soa+approx %.3fs (%.2fx)\n"
+    !t_scalar !t_batch speedup_exact !t_approx speedup;
+  Printf.printf "  bit-identical soa vs scalar: %b   approx mean err %.4f%%\n%!"
+    bit_identical nominal_err_pct;
+  if speedup < batch_target_speedup then
+    Printf.printf
+      "  (below the %.1fx design target; gate is the %.2fx regression bar)\n%!"
+      batch_target_speedup batch_min_speedup;
+  (* ---- PCM surrogate: tail accuracy per kernel evaluation ---- *)
+  let tails =
+    [ Quantile.probability_of_sigma (-3.0); Quantile.probability_of_sigma 3.0 ]
+  in
+  let sorted_delays backend ~seed ~n (cell, edge, load) =
+    let s =
+      Monte_carlo.arc_delays_sampled ~exec:Executor.sequential ~kernel
+        ~sampling:backend tech (Rng.create ~seed) ~n
+        ~plan:(fun () -> Cell.plan tech cell ~output_edge:edge)
+        ~input_slew ~load_cap:load
+    in
+    let d = Monte_carlo.compact_nan s.Monte_carlo.s_delays in
+    Array.sort Float.compare d;
+    d
+  in
+  let refs =
+    List.map
+      (fun arc ->
+        Array.of_list
+          (List.map
+             (Quantile.of_sorted
+                (sorted_delays Sampler.Mc ~seed:424242 ~n:batch_ref_n arc))
+             tails))
+      workload
+  in
+  let rmse backend n =
+    let acc = ref 0.0 and cnt = ref 0 in
+    for rep = 1 to batch_reps do
+      List.iteri
+        (fun ai arc ->
+          let sorted = sorted_delays backend ~seed:(1000 + rep) ~n arc in
+          List.iteri
+            (fun ti p ->
+              let q_ref = (List.nth refs ai).(ti) in
+              let e = (Quantile.of_sorted sorted p -. q_ref) /. q_ref in
+              acc := !acc +. (e *. e);
+              incr cnt)
+            tails)
+        workload
+    done;
+    sqrt (!acc /. float_of_int !cnt)
+  in
+  let mc_rmse = rmse Sampler.Mc batch_mc in
+  let pcm_rmse = rmse Sampler.Pcm batch_mc in
+  (* Kernel simulations PCM actually spends: the collocation points of
+     the widest arc (the worst case across the workload). *)
+  let pcm_kernel_evals =
+    List.fold_left
+      (fun acc (cell, edge, _) ->
+        let sk = Cell.plan tech cell ~output_edge:edge in
+        let dim =
+          Variation.global_deviate_dim + Nsigma_spice.Arc.skeleton_local_dim sk
+        in
+        max acc (Sampler.Pcm.n_points ~dim))
+      0 workload
+  in
+  let pcm_reduction = float_of_int batch_mc /. float_of_int pcm_kernel_evals in
+  Printf.printf
+    "  mc@%d rmse %.4f%%   pcm rmse %.4f%% from <=%d kernel evals (%.1fx \
+     fewer)\n%!"
+    batch_mc (pct mc_rmse) (pct pcm_rmse) pcm_kernel_evals pcm_reduction;
+  let pass =
+    bit_identical
+    && speedup >= batch_min_speedup
+    && nominal_err_pct <= batch_max_err_pct
+    && pcm_reduction >= batch_min_pcm_reduction
+    && pcm_rmse <= batch_pcm_slack *. mc_rmse
+  in
+  let json =
+    Printf.sprintf
+      {|{"experiment": "batch", "kernel": "%s", "arcs": %d, "mc": %d, "reps": %d, "scalar_seconds": %.3f, "soa_seconds": %.3f, "approx_seconds": %.3f, "speedup_exact": %.3f, "speedup": %.3f, "min_speedup": %.2f, "target_speedup": %.2f, "bit_identical": %b, "nominal_err_pct": %.5f, "max_nominal_err_pct": %.2f, "n_ref": %d, "mc_rmse": %.6f, "pcm_rmse": %.6f, "pcm_slack": %.2f, "pcm_kernel_evals": %d, "pcm_reduction": %.3f, "min_pcm_reduction": %.2f, "pass": %b}|}
+      (Cell_sim.kernel_name kernel)
+      (List.length workload) batch_mc batch_reps !t_scalar !t_batch !t_approx
+      speedup_exact speedup batch_min_speedup batch_target_speedup
+      bit_identical nominal_err_pct batch_max_err_pct batch_ref_n mc_rmse
+      pcm_rmse batch_pcm_slack pcm_kernel_evals pcm_reduction
+      batch_min_pcm_reduction pass
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_batch.json" in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Printf.printf "  appended to BENCH_batch.json\n";
+  if not pass then begin
+    Printf.eprintf
+      "batch bench FAILED: speedup %.2fx (need >= %.2fx), bit_identical %b, \
+       mean err %.4f%% (max %.2f%%), pcm reduction %.1fx (need >= %.1fx), \
+       pcm rmse %.4f%% vs mc %.4f%% (slack %.1fx)\n"
+      speedup batch_min_speedup bit_identical nominal_err_pct
+      batch_max_err_pct pcm_reduction batch_min_pcm_reduction (pct pcm_rmse)
+      (pct mc_rmse) batch_pcm_slack;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* SSTA: block-based full-graph pass vs matched-coverage per-path MC.  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1658,12 +1874,25 @@ let ssta_bench () =
     exit 1
   end
 
+(* Every experiment the dispatch below accepts, in menu order — the
+   single source for both the usage line and the unknown-name error. *)
+let experiments =
+  [ "fig2"; "fig3"; "fig4"; "table1"; "table2"; "fig7"; "fig8"; "fig9";
+    "fig10"; "fig11"; "table3"; "speedup"; "exec"; "kernel"; "obs"; "plan";
+    "sampling"; "batch"; "ssta"; "ablation"; "highsigma"; "micro"; "all" ]
+
 let usage () =
-  print_endline
-    "usage: main.exe [--jobs N] [--metrics FILE] \
-     [fig2|fig3|fig4|table1|table2|fig7|fig8|fig9|fig10|fig11|table3 \
-     [circuits...]|speedup|exec|kernel|obs|plan|sampling|ssta|ablation|\
-     highsigma|micro|all]"
+  Printf.printf
+    "usage: main.exe [--jobs N] [--metrics FILE] [%s] [circuits...]\n"
+    (String.concat "|" experiments)
+
+let unknown_experiment name =
+  Printf.eprintf
+    "bench: unknown experiment %S\nvalid experiments: %s\n(run with no \
+     argument or \"all\" for the full paper sweep)\n"
+    name
+    (String.concat ", " experiments);
+  exit 2
 
 (* [--jobs N] (or [-j N]) installs itself as NSIGMA_JOBS so every
    sampling loop — characterisation, path MC, wire lab — picks it up
@@ -1729,9 +1958,11 @@ let () =
   | "obs" :: _ -> obs_bench ()
   | "plan" :: _ -> plan_bench ()
   | "sampling" :: _ -> sampling_bench ()
+  | "batch" :: _ -> batch_bench ()
   | "ssta" :: _ -> ssta_bench ()
   | "ablation" :: _ -> ablation ()
   | "highsigma" :: _ -> highsigma ()
   | "micro" :: _ -> micro ()
-  | _ -> usage ());
+  | ("--help" | "-h" | "help") :: _ -> usage ()
+  | name :: _ -> unknown_experiment name);
   Printf.printf "\n[bench] total wall time %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -60,6 +60,16 @@ let mc_arg default =
   let doc = "Monte-Carlo samples." in
   Arg.(value & opt int default & info [ "mc" ] ~docv:"N" ~doc)
 
+(* Numeric flag validation: fail at parse time with a descriptive
+   message instead of surfacing a deep Invalid_argument mid-run. *)
+let check_mc ~allow_zero mc =
+  if mc < 0 || ((not allow_zero) && mc = 0) then
+    failwith
+      (Printf.sprintf "--mc must be %s (got %d)"
+         (if allow_zero then "zero (skip Monte-Carlo) or positive"
+          else "positive")
+         mc)
+
 let jobs_arg =
   let doc =
     "Worker domains for Monte-Carlo sampling: 1 runs sequentially, 0 \
@@ -91,16 +101,18 @@ let kernel_arg =
 let sampling_conv =
   Arg.enum
     [ ("mc", Sampler.Mc); ("antithetic", Sampler.Antithetic);
-      ("lhs", Sampler.Lhs); ("sobol", Sampler.Sobol) ]
+      ("lhs", Sampler.Lhs); ("sobol", Sampler.Sobol); ("pcm", Sampler.Pcm) ]
 
 let sampling_arg =
   let doc =
     "Deviate stream for Monte-Carlo sampling: $(b,mc) (independent \
      pseudo-random, the bit-exact legacy stream), $(b,antithetic) \
-     (paired ±z), $(b,lhs) (Latin hypercube) or $(b,sobol) (scrambled \
-     Sobol').  Defaults to $(b,NSIGMA_SAMPLING) (unset: mc).  Delay \
-     populations depend on the choice; mc reproduces pre-sampler runs \
-     exactly."
+     (paired ±z), $(b,lhs) (Latin hypercube), $(b,sobol) (scrambled \
+     Sobol') or $(b,pcm) (probabilistic collocation: simulate only the \
+     O(d²) Hermite collocation points, replay the MC population through \
+     a fitted second-order surrogate).  Defaults to $(b,NSIGMA_SAMPLING) \
+     (unset: mc).  Delay populations depend on the choice; mc reproduces \
+     pre-sampler runs exactly."
   in
   Arg.(value & opt (some sampling_conv) None & info [ "sampling" ] ~docv:"NAME" ~doc)
 
@@ -112,6 +124,24 @@ let rtol_arg =
      (fixed sample counts, golden runs unchanged)."
   in
   Arg.(value & opt (some float) None & info [ "rtol" ] ~docv:"TOL" ~doc)
+
+let batch_arg =
+  let doc =
+    "Route fast-kernel Monte-Carlo through the batched \
+     structure-of-arrays evaluator (fused stage loops over whole sample \
+     blocks).  A pure throughput switch: populations stay bit-identical \
+     to the scalar loop."
+  in
+  Arg.(value & flag & info [ "batch" ] ~doc)
+
+let no_bit_identical_arg =
+  let doc =
+    "Let the batched kernel use polynomial transcendental approximations \
+     (relative error ≤ 1e-7) instead of libm — faster, but populations \
+     are no longer bitwise-reproducible against default runs.  Implies \
+     $(b,--batch)."
+  in
+  Arg.(value & flag & info [ "no-bit-identical" ] ~doc)
 
 (* Resolve the CLI sampling flags and record them as run-report context. *)
 let sampling_of_flags sampling rtol =
@@ -170,6 +200,7 @@ let characterize_cmd =
   in
   let run vdd mc output cells jobs kernel sampling rtol metrics progress =
     setup_obs metrics progress;
+    check_mc ~allow_zero:false mc;
     let tech = tech_of_vdd vdd in
     let exec = exec_of_jobs jobs in
     let kernel =
@@ -289,11 +320,23 @@ let analyze_cmd =
     Arg.(value & opt (some float) None & info [ "period" ] ~docv:"PS" ~doc)
   in
   let run vdd library circuit verilog sigma mc coeffs jobs kernel sampling rtol
-      engine maxop period metrics progress =
+      batch no_bit_identical engine maxop period metrics progress =
     setup_obs metrics progress;
+    check_mc ~allow_zero:true mc;
+    (match period with
+    | Some p when p <= 0.0 ->
+      failwith (Printf.sprintf "--period must be positive (got %g ps)" p)
+    | _ -> ());
     let tech = tech_of_vdd vdd in
     let exec = exec_of_jobs jobs in
     let sampling, rtol = sampling_of_flags sampling rtol in
+    (* --no-bit-identical implies the batch layer (the approximation
+       only exists there); characterize has no such flags on purpose —
+       .lvf fingerprints pin bit-exact populations. *)
+    let approx = no_bit_identical in
+    let batch = batch || approx in
+    Obs_report.set_context "batch"
+      (if approx then "approx" else if batch then "on" else "off");
     let lib =
       Metrics.span "cli.load_library" (fun () -> Library.load tech library)
     in
@@ -331,7 +374,8 @@ let analyze_cmd =
       if mc > 0 then begin
         Printf.printf "path Monte-Carlo (%d samples)...\n%!" mc;
         let stats =
-          Path_mc.run ?kernel ~n:mc ~exec ~sampling ?rtol tech design path
+          Path_mc.run ?kernel ~n:mc ~exec ~sampling ?rtol ~batch ~approx tech
+            design path
         in
         Printf.printf "MC: mu=%.1f ps, %+dσ=%.1f ps, %+dσ=%.1f ps\n"
           (stats.Path_mc.moments.Moments.mean *. 1e12)
@@ -347,7 +391,7 @@ let analyze_cmd =
         (Stat_max.operator_name maxop);
       let provider =
         Metrics.span "cli.ssta_provider" (fun () ->
-            Ssta.lvf_provider tech lib design)
+            Ssta.lvf_provider ~exec ~batch ~approx tech lib design)
       in
       let report = Ssta.analyze ~config tech provider design in
       let worst = Ssta.circuit_dist report in
@@ -381,7 +425,8 @@ let analyze_cmd =
     Term.(
       const run $ vdd_arg $ library_arg $ circuit_arg $ verilog_arg $ sigma_arg
       $ mc_arg 0 $ coeffs_arg $ jobs_arg $ kernel_arg $ sampling_arg $ rtol_arg
-      $ engine_arg $ max_arg $ period_arg $ metrics_arg $ progress_arg)
+      $ batch_arg $ no_bit_identical_arg $ engine_arg $ max_arg $ period_arg
+      $ metrics_arg $ progress_arg)
   in
   Cmd.v
     (Cmd.info "analyze"

@@ -17,6 +17,10 @@ let m_non_convergent = Metrics.counter "mc.non_convergent"
 let m_sampling_batches = Metrics.counter "sampling.batches"
 let m_sampling_saved = Metrics.counter "sampling.samples_saved"
 
+(* Kernel simulations spent on collocation points by the PCM surrogate
+   backend — the denominator of its "samples from few sims" claim. *)
+let m_pcm_collocations = Metrics.counter "sampling.pcm.collocations"
+
 type run = { delays : float array; n_failed : int }
 
 (* [split] advances the caller's generator exactly once, so successive
@@ -114,27 +118,55 @@ let compact_nan xs =
     out
   end
 
-let arc_delays_planned ?(exec = Executor.default ()) ?kernel tech g ~n ~plan
-    ~input_slew ~load_cap =
+(* Samples per SoA batch on the batched fast path.  Also the executor
+   chunk, so one worker fills, evaluates and drains a whole batch
+   without synchronisation. *)
+let batch_chunk = 256
+
+let arc_delays_planned ?(exec = Executor.default ()) ?kernel ?(batch = false)
+    ?(approx = false) tech g ~n ~plan ~input_slew ~load_cap =
   let kernel =
     match kernel with Some k -> k | None -> Cell_sim.default_kernel ()
   in
   let base = Rng.split g in
   let out_slews = Array.make n Float.nan in
   let delays =
-    Executor.map_float_array exec ~init:plan
-      (fun sk i ->
-        let sample = Variation.draw tech (Rng.derive base ~index:i) in
-        Arc.fill tech sk sample;
-        match
-          Cell_sim.run_compiled ~kernel tech (Arc.skeleton_compiled sk)
-            ~input_slew ~load_cap
-        with
-        | r ->
-          out_slews.(i) <- r.Cell_sim.output_slew;
-          r.Cell_sim.delay
-        | exception Failure _ -> Float.nan)
-      ~n
+    if (batch || approx) && kernel = Cell_sim.Fast then begin
+      (* SoA batch path: same draws, same fills, same per-sample FP
+         sequence (with [approx] off) — only the loop order changes, so
+         the population is bit-identical to the scalar branch below. *)
+      let delays = Array.make n Float.nan in
+      Executor.map_ranges exec ~chunk:batch_chunk
+        ~init:(fun () -> (plan (), Cell_sim.Batch.create batch_chunk))
+        (fun (sk, b) ~lo ~hi ->
+          for i = lo to hi - 1 do
+            let sample = Variation.draw tech (Rng.derive base ~index:i) in
+            Arc.fill tech sk sample;
+            Cell_sim.Batch.load b (i - lo) (Arc.skeleton_compiled sk)
+              ~input_slew ~load_cap
+          done;
+          Cell_sim.Batch.eval ~approx tech b ~n:(hi - lo);
+          for i = lo to hi - 1 do
+            delays.(i) <- Cell_sim.Batch.delay b (i - lo);
+            out_slews.(i) <- Cell_sim.Batch.output_slew b (i - lo)
+          done)
+        ~n;
+      delays
+    end
+    else
+      Executor.map_float_array exec ~init:plan
+        (fun sk i ->
+          let sample = Variation.draw tech (Rng.derive base ~index:i) in
+          Arc.fill tech sk sample;
+          match
+            Cell_sim.run_compiled ~kernel tech (Arc.skeleton_compiled sk)
+              ~input_slew ~load_cap
+          with
+          | r ->
+            out_slews.(i) <- r.Cell_sim.output_slew;
+            r.Cell_sim.delay
+          | exception Failure _ -> Float.nan)
+        ~n
   in
   Metrics.incr m_samples ~by:n;
   if Metrics.enabled () then begin
@@ -171,7 +203,8 @@ type sampled = {
 }
 
 let arc_delays_sampled ?(exec = Executor.default ()) ?kernel ?sampling ?rtol
-    ?(min_batch = min_adaptive_batch) tech g ~n ~plan ~input_slew ~load_cap =
+    ?(min_batch = min_adaptive_batch) ?(batch = false) ?(approx = false) tech g
+    ~n ~plan ~input_slew ~load_cap =
   let kernel =
     match kernel with Some k -> k | None -> Cell_sim.default_kernel ()
   in
@@ -182,11 +215,84 @@ let arc_delays_sampled ?(exec = Executor.default ()) ?kernel ?sampling ?rtol
   | Sampler.Mc, None ->
     (* The default configuration delegates to the legacy planned loop —
        trivially bit-identical to pre-sampler populations, and metric
-       accounting stays in one place. *)
+       accounting stays in one place.  The batch flags only apply here:
+       the adaptive and variance-reduced paths below stay scalar (their
+       per-index deviate streams don't chunk naturally). *)
     let delays, slews =
-      arc_delays_planned ~exec ~kernel tech g ~n ~plan ~input_slew ~load_cap
+      arc_delays_planned ~exec ~kernel ~batch ~approx tech g ~n ~plan
+        ~input_slew ~load_cap
     in
     { s_delays = delays; s_out_slews = slews; s_requested = n; s_batches = 1 }
+  | Sampler.Pcm, _ -> (
+    (* Probabilistic collocation: simulate only at the O(dim²) Hermite
+       collocation points, fit second-order surrogates for delay and
+       output slew, then replay the full plain-MC deviate population
+       through the surrogates.  [rtol] is ignored — surrogate samples
+       cost a few dozen flops, so there is nothing to stop early for. *)
+    let base = Rng.split g in
+    let sk = plan () in
+    let dim = Variation.global_deviate_dim + Arc.skeleton_local_dim sk in
+    let n_pts = Sampler.Pcm.n_points ~dim in
+    let zbuf = Array.make dim 0.0 in
+    let cdel = Array.make n_pts Float.nan in
+    let cslew = Array.make n_pts Float.nan in
+    let collocate () =
+      (* Sequential on the calling domain: the point count is tiny and
+         this keeps the fit independent of the executor backend. *)
+      try
+        for p = 0 to n_pts - 1 do
+          Sampler.Pcm.fill_point ~dim p zbuf;
+          Arc.fill tech sk (Variation.of_deviates tech zbuf);
+          let r =
+            Cell_sim.run_compiled ~kernel tech (Arc.skeleton_compiled sk)
+              ~input_slew ~load_cap
+          in
+          cdel.(p) <- r.Cell_sim.delay;
+          cslew.(p) <- r.Cell_sim.output_slew
+        done;
+        true
+      with Failure _ -> false
+    in
+    let positive a =
+      Array.for_all (fun v -> Float.is_finite v && v > 0.0) a
+    in
+    match collocate () && positive cdel && positive cslew with
+    | false ->
+      (* A non-functional (or non-positive — the fit runs in log space)
+         collocation corner poisons the whole fit; fall back to honest
+         sampling rather than extrapolate. *)
+      Log.warn "pcm: collocation failed, falling back to MC%s"
+        (Log.kv [ ("points", string_of_int n_pts) ]);
+      let delays, slews =
+        arc_delays_planned ~exec ~kernel ~batch ~approx tech g ~n ~plan
+          ~input_slew ~load_cap
+      in
+      { s_delays = delays; s_out_slews = slews; s_requested = n; s_batches = 1 }
+    | true ->
+      (* Fit in log space: near-threshold delay grows exponentially in
+         the vth corners, so a quadratic captures log-delay far better
+         than delay itself — same collocation points, same second-order
+         surrogate, but the exponential replay recovers most of the tail
+         curvature a raw-space quadratic clips (its ±3σ quantile bias is
+         ~3x larger on the high-sigma workloads). *)
+      let sd = Sampler.Pcm.fit ~dim ~values:(Array.map Stdlib.log cdel) in
+      let ss = Sampler.Pcm.fit ~dim ~values:(Array.map Stdlib.log cslew) in
+      let sampler = Sampler.create Sampler.Pcm base ~dim ~n in
+      let out_slews = Array.make n Float.nan in
+      let delays =
+        Executor.map_float_array exec
+          ~init:(fun () -> Array.make dim 0.0)
+          (fun z i ->
+            Sampler.fill sampler ~index:i z;
+            out_slews.(i) <- Stdlib.exp (Sampler.Pcm.eval ss z);
+            Stdlib.exp (Sampler.Pcm.eval sd z))
+          ~n
+      in
+      Metrics.incr m_samples ~by:n_pts;
+      Metrics.incr m_pcm_collocations ~by:n_pts;
+      if n > n_pts then Metrics.incr m_sampling_saved ~by:(n - n_pts);
+      { s_delays = delays; s_out_slews = out_slews; s_requested = n;
+        s_batches = 1 })
   | _ ->
     let base = Rng.split g in
     let sampler =

@@ -95,6 +95,11 @@ val min_adaptive_batch : int
 (** Default minimum batch (256): adaptive sampling never tests
     convergence — hence never stops — below this many samples. *)
 
+val batch_chunk : int
+(** Samples per SoA batch — and per {!Nsigma_exec.Executor.map_ranges}
+    chunk — on the batched fast path (256).  Shared with the path-level
+    batch runner so both layers chunk identically. *)
+
 type sampled = {
   s_delays : float array;
       (** delays in sample order, length = samples actually drawn; NaN
@@ -110,6 +115,8 @@ val arc_delays_sampled :
   ?sampling:Nsigma_stats.Sampler.backend ->
   ?rtol:float ->
   ?min_batch:int ->
+  ?batch:bool ->
+  ?approx:bool ->
   Nsigma_process.Technology.t ->
   Nsigma_stats.Rng.t ->
   n:int ->
@@ -122,7 +129,23 @@ val arc_delays_sampled :
     {!Nsigma_stats.Sampler.default_backend}[ ()], i.e. plain MC unless
     [NSIGMA_SAMPLING] says otherwise).  With the [Mc] backend and no
     [rtol] it delegates to {!arc_delays_planned} — bitwise-identical to
-    the pre-sampler populations, as test_sampler asserts.
+    the pre-sampler populations, as test_sampler asserts — forwarding
+    [batch]/[approx]; the adaptive and variance-reduced paths stay
+    scalar.
+
+    The [Pcm] backend replaces sampling altogether: the kernel is
+    simulated only at the [Sampler.Pcm.n_points ~dim] Hermite
+    collocation points (counted under [sampling.pcm.collocations], with
+    the [n − points] never-simulated samples under
+    [sampling.samples_saved]), second-order surrogates are fitted for
+    log-delay and log output slew — near-threshold delay is close to
+    exponential in the vth corners, so the quadratic lives in log space
+    where it fits — and the full plain-MC deviate population is
+    replayed through them (exponentiated).  [rtol] is ignored for [Pcm]
+    (surrogate samples are almost free).  If any collocation simulation
+    fails or returns a non-positive response the call falls back to
+    {!arc_delays_planned} with a warning — better honest sampling than
+    a surrogate extrapolated over a hole.
 
     [rtol] enables adaptive stopping: sampling proceeds in doubling
     batches from [min_batch] (default {!min_adaptive_batch}) and stops
@@ -137,6 +160,8 @@ val arc_delays_sampled :
 val arc_delays_planned :
   ?exec:Nsigma_exec.Executor.t ->
   ?kernel:Cell_sim.kernel ->
+  ?batch:bool ->
+  ?approx:bool ->
   Nsigma_process.Technology.t ->
   Nsigma_stats.Rng.t ->
   n:int ->
@@ -152,4 +177,14 @@ val arc_delays_planned :
     NaN marking non-convergent samples (in both arrays).  Guaranteed
     bit-identical to {!arc_results} on the same (generator state, seed,
     kernel), for every executor backend — the RNG discipline, draw order
-    and floating-point evaluation order are preserved exactly. *)
+    and floating-point evaluation order are preserved exactly.
+
+    [batch] (default false) routes evaluation through the SoA
+    {!Cell_sim.Batch} kernel in {!Nsigma_exec.Executor.map_ranges}
+    chunks — still bit-identical (loop interchange does not perturb any
+    sample's FP sequence; test_batch asserts this).  [approx] (default
+    false, implies [batch]) additionally swaps the transcendentals for
+    {!Nsigma_stats.Fastmath}'s polynomial kernels — the opt-in
+    [--no-bit-identical] mode, within 1e-7 relative error per call.
+    Both flags only apply to the [Fast] kernel; other kernels ignore
+    them and run the scalar loop. *)

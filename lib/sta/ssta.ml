@@ -29,6 +29,8 @@ module Elmore = Nsigma_rcnet.Elmore
 module Wire_gen = Nsigma_rcnet.Wire_gen
 module Arc = Nsigma_spice.Arc
 module Cell_sim = Nsigma_spice.Cell_sim
+module Monte_carlo = Nsigma_spice.Monte_carlo
+module Executor = Nsigma_exec.Executor
 module Variation = Nsigma_process.Variation
 module Moments = Nsigma_stats.Moments
 module Stat_max = Nsigma_stats.Stat_max
@@ -305,15 +307,25 @@ type slew_sens = {
   ss_root : float;  (* the mean slew these sensitivities describe (s) *)
 }
 
-let lvf_provider ?(seed = 421) ?(wire_samples = 96) ?(frac_samples = 128) tech
+let lvf_provider ?(seed = 421) ?(wire_samples = 96) ?(frac_samples = 128)
+    ?(exec = Executor.default ()) ?(batch = false) ?(approx = false) tech
     (lib : Library.t) (design : Design.t) : provider =
+  let use_batch = batch || approx in
   let master = Rng.create ~seed in
   let wire_rng = Rng.derive master ~index:1 in
   let frac_rng = Rng.derive master ~index:2 in
   (* Paired mini-MC per (cell, edge): the same deviate vectors with and
      without local mismatch (local_scale = 0), fast kernel both times.
      iid standard deviates make the second-order regression a moment
-     average: a_i = E[d·z_i], b_i = E[d·(z_i²−1)]/2. *)
+     average: a_i = E[d·z_i], b_i = E[d·(z_i²−1)]/2.
+
+     The cache is the memoization seam: every net driven by the same
+     (cell, edge) pair shares one regression, because the mini-MC runs
+     at the fixed reference operating point (Characterize.reference_slew
+     / FO4 load) — the per-net operating point only enters later, via
+     the dist_of_table rescale.  On a netlist with hundreds of instances
+     of a handful of cell types this collapses the regression cost to
+     one run per type. *)
   let frac_cache : (string * int, arc_response) Hashtbl.t = Hashtbl.create 32 in
   let arc_response (cell : Cell.t) edge =
     let cache_key = (Cell.name cell, Engine_core.edge_index edge) in
@@ -328,30 +340,90 @@ let lvf_provider ?(seed = 421) ?(wire_samples = 96) ?(frac_samples = 128) tech
         let dim = ng + Arc.skeleton_local_dim sk in
         let rng = Rng.derive frac_rng ~index:(Hashtbl.hash cache_key) in
         let nf = float_of_int frac_samples in
-        let full = ref Moments.empty and glob = ref Moments.empty in
-        let sl_full = ref Moments.empty and sl_glob = ref Moments.empty in
+        (* Per-sample results land in index-addressed arrays (each
+           worker writes disjoint slots), and the moment accumulators
+           fold over them in index order on this domain afterwards — so
+           any executor backend, and the batched kernel, reproduce the
+           sequential population bit for bit. *)
+        let d_fulls = Array.make frac_samples 0.0 in
+        let s_fulls = Array.make frac_samples 0.0 in
         let d_globs = Array.make frac_samples 0.0 in
         let s_globs = Array.make frac_samples 0.0 in
         let zs = Array.make_matrix frac_samples ng 0.0 in
-        for i = 0 to frac_samples - 1 do
+        let draw i =
           let g = Rng.derive rng ~index:i in
           let z = Array.init dim (fun _ -> Rng.gaussian g) in
           Array.blit z 0 zs.(i) 0 ng;
-          let run v =
-            Arc.fill tech sk v;
-            Cell_sim.run ~kernel:Cell_sim.Fast tech (Arc.skeleton_arc sk)
-              ~input_slew:slew ~load_cap:load
-          in
-          let r_full = run (Variation.of_deviates tech z) in
-          let r_glob =
-            run { (Variation.of_deviates tech z) with Variation.local_scale = 0.0 }
-          in
-          full := Moments.add !full r_full.Cell_sim.delay;
-          glob := Moments.add !glob r_glob.Cell_sim.delay;
-          sl_full := Moments.add !sl_full r_full.Cell_sim.output_slew;
-          sl_glob := Moments.add !sl_glob r_glob.Cell_sim.output_slew;
-          d_globs.(i) <- r_glob.Cell_sim.delay;
-          s_globs.(i) <- r_glob.Cell_sim.output_slew
+          z
+        in
+        if use_batch then
+          (* Two SoA batches per chunk — one for the full draws, one for
+             the globals-only twins — so both populations evaluate as
+             fused loops. *)
+          let chunk = Monte_carlo.batch_chunk in
+          Executor.map_ranges exec ~chunk
+            ~init:(fun () ->
+              ( Cell.plan tech cell ~output_edge:(edge_of edge),
+                Cell_sim.Batch.create chunk,
+                Cell_sim.Batch.create chunk ))
+            (fun (sk, bf, bg) ~lo ~hi ->
+              for i = lo to hi - 1 do
+                let z = draw i in
+                let t = i - lo in
+                Arc.fill tech sk (Variation.of_deviates tech z);
+                Cell_sim.Batch.load bf t (Arc.skeleton_compiled sk)
+                  ~input_slew:slew ~load_cap:load;
+                Arc.fill tech sk
+                  { (Variation.of_deviates tech z) with
+                    Variation.local_scale = 0.0 };
+                Cell_sim.Batch.load bg t (Arc.skeleton_compiled sk)
+                  ~input_slew:slew ~load_cap:load
+              done;
+              let m = hi - lo in
+              Cell_sim.Batch.eval ~approx tech bf ~n:m;
+              Cell_sim.Batch.eval ~approx tech bg ~n:m;
+              for i = lo to hi - 1 do
+                let t = i - lo in
+                if Cell_sim.Batch.failed bf t || Cell_sim.Batch.failed bg t
+                then
+                  failwith
+                    "Ssta.lvf_provider: fast kernel failed at the reference \
+                     point";
+                d_fulls.(i) <- Cell_sim.Batch.delay bf t;
+                s_fulls.(i) <- Cell_sim.Batch.output_slew bf t;
+                d_globs.(i) <- Cell_sim.Batch.delay bg t;
+                s_globs.(i) <- Cell_sim.Batch.output_slew bg t
+              done)
+            ~n:frac_samples
+        else
+          ignore
+            (Executor.map_scratch exec
+               ~init:(fun () -> Cell.plan tech cell ~output_edge:(edge_of edge))
+               (fun sk i ->
+                 let z = draw i in
+                 let run v =
+                   Arc.fill tech sk v;
+                   Cell_sim.run ~kernel:Cell_sim.Fast tech (Arc.skeleton_arc sk)
+                     ~input_slew:slew ~load_cap:load
+                 in
+                 let r_full = run (Variation.of_deviates tech z) in
+                 let r_glob =
+                   run
+                     { (Variation.of_deviates tech z) with
+                       Variation.local_scale = 0.0 }
+                 in
+                 d_fulls.(i) <- r_full.Cell_sim.delay;
+                 s_fulls.(i) <- r_full.Cell_sim.output_slew;
+                 d_globs.(i) <- r_glob.Cell_sim.delay;
+                 s_globs.(i) <- r_glob.Cell_sim.output_slew)
+               ~n:frac_samples);
+        let full = ref Moments.empty and glob = ref Moments.empty in
+        let sl_full = ref Moments.empty and sl_glob = ref Moments.empty in
+        for i = 0 to frac_samples - 1 do
+          full := Moments.add !full d_fulls.(i);
+          glob := Moments.add !glob d_globs.(i);
+          sl_full := Moments.add !sl_full s_fulls.(i);
+          sl_glob := Moments.add !sl_glob s_globs.(i)
         done;
         (* iid standard regressors make the second-order least squares a
            moment average: a_j = E[y·z_j], b_j = E[y·(z_j²−1)]/2. *)
@@ -459,20 +531,33 @@ let lvf_provider ?(seed = 421) ?(wire_samples = 96) ?(frac_samples = 128) tech
         let rng = Rng.derive wire_rng ~index:net in
         let accs = Array.map (fun _ -> Moments.empty) taps in
         let elmore_sum = Array.map (fun _ -> 0.0) taps in
-        for i = 0 to wire_samples - 1 do
-          let v = Variation.draw tech (Rng.derive rng ~index:i) in
-          let varied = Wire_gen.vary tech v base in
-          let loaded =
-            List.fold_left
-              (fun tr (node, c) -> Rctree.add_cap tr node c)
-              varied loads
-          in
-          Array.iteri
-            (fun j tap ->
-              accs.(j) <- Moments.add accs.(j) (Elmore.d2m_at loaded tap);
-              elmore_sum.(j) <- elmore_sum.(j) +. Elmore.delay_at loaded tap)
-            taps
-        done;
+        (* Per-sample tap rows from the executor, folded into the moment
+           accumulators in index order on this domain — bit-identical to
+           the sequential loop on every backend. *)
+        let rows =
+          Executor.map_array exec
+            (fun i ->
+              let v = Variation.draw tech (Rng.derive rng ~index:i) in
+              let varied = Wire_gen.vary tech v base in
+              let loaded =
+                List.fold_left
+                  (fun tr (node, c) -> Rctree.add_cap tr node c)
+                  varied loads
+              in
+              Array.map
+                (fun tap ->
+                  (Elmore.d2m_at loaded tap, Elmore.delay_at loaded tap))
+                taps)
+            ~n:wire_samples
+        in
+        Array.iter
+          (fun row ->
+            Array.iteri
+              (fun j (d2m, elm) ->
+                accs.(j) <- Moments.add accs.(j) d2m;
+                elmore_sum.(j) <- elmore_sum.(j) +. elm)
+              row)
+          rows;
         Metrics.incr m_wire_mc ~by:wire_samples;
         Array.mapi
           (fun j tap ->

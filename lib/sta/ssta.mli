@@ -97,6 +97,9 @@ val lvf_provider :
   ?seed:int ->
   ?wire_samples:int ->
   ?frac_samples:int ->
+  ?exec:Nsigma_exec.Executor.t ->
+  ?batch:bool ->
+  ?approx:bool ->
   Nsigma_process.Technology.t ->
   Nsigma_liberty.Library.t ->
   Design.t ->
@@ -114,9 +117,24 @@ val lvf_provider :
     segments get a per-net mini-MC ([wire_samples] outcomes of
     {!Nsigma_rcnet.Wire_gen.vary}) evaluated with the same D2M-at-tap
     metric and PERI slew model as {!Path_mc}'s fast hop, so validation
-    error isolates the propagation approximation.  All caches fill
-    lazily on first use and are owned by the returned provider (not
-    thread-safe). *)
+    error isolates the propagation approximation.
+
+    Both mini-MC loops run on [exec] (default
+    {!Nsigma_exec.Executor.default}[ ()]): workers fill index-addressed
+    per-sample arrays and the moment accumulators fold over them in
+    index order on the calling domain, so populations are bit-identical
+    on every backend.  [batch] routes the paired cell mini-MC through
+    the SoA {!Nsigma_spice.Cell_sim.Batch} kernel (two batches per
+    chunk: full draws and their globals-only twins), still
+    bit-identical; [approx] (implies [batch]) swaps in the polynomial
+    transcendentals — the opt-in [--no-bit-identical] mode.
+
+    The regression is memoized per (cell name, edge): it runs at the
+    fixed reference operating point (reference slew, FO4 load), so every
+    net driven by the same arc shares one mini-MC, and only the
+    per-operating-point table rescale differs between nets.  All caches
+    fill lazily on first use on the calling domain and are owned by the
+    returned provider (not thread-safe). *)
 
 (** {2 Analysis} *)
 

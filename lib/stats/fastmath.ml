@@ -1,0 +1,143 @@
+(* Polynomial transcendental kernels for the batched fast path.
+
+   The planned Monte-Carlo loop is within ~1.5 µs/sample of the libm
+   floor (BENCH_plan.json), so the remaining raw speed is in the
+   transcendentals themselves.  These kernels trade the last ~8 decimal
+   digits for branch-light straight-line code with no C calls in the
+   hot path:
+
+   - [exp]: Cody–Waite range reduction x = k·ln2 + r with |r| ≤ ln2/2
+     (k by the 1.5·2⁵² magic-number round, branch-free), a degree-7
+     Taylor polynomial in Horner form (remainder r^8/8! ≤ 5.2e-9 at the
+     interval edge) and an exact scale-back by a precomputed 2^k table —
+     an array load instead of libm's [ldexp] call.
+   - [log]: mantissa/exponent split by raw exponent-field extraction
+     (two Int64 ops; the mantissa is recovered as x·2^−e through the
+     same table, exactly), normalised to m ∈ [√½, √2), then the atanh
+     series 2·(z + z³/3 + … + z¹³/13) in z = (m−1)/(m+1), |z| ≤ 0.1716
+     (remainder 2z¹⁵/15 ≤ 5e-12).  Because e = 0 whenever
+     |log x| < ln√2 there is no catastrophic cancellation between the
+     e·ln2 term and the series.  Subnormals pre-scale by 2^54.
+   - [log1p]: the same atanh series in z = x/(x+2) for |x| ≤ ½ (where
+     1+x would lose low bits), [log (1+x)] above.
+   - [log1p_exp]: same saturation branches as [Special.log1p_exp]
+     (exact above +35, [exp x] below −35), but the in-band evaluation
+     is fused through the softplus identity
+     log1p(exp x) = max x 0 + log1p(exp (−|x|)): one [exp] of a
+     non-positive argument, whose result t ≤ 1 feeds the atanh series
+     at z = t/(t+2) ≤ 1/3 directly — the exponent split of a full [log]
+     never runs.  This is the hot call of the fast kernel's per-device
+     current model, so its cost sets the approximate path's speed.
+
+   Every kernel keeps relative error ≤ 1e-7 over its useful domain —
+   asserted against libm by test_batch over dense sweeps — which is
+   orders of magnitude below the fast kernel's own model error.  The
+   bound is what the opt-in --no-bit-identical mode advertises; the
+   default paths never call into this module. *)
+
+let max_rel_error = 1e-7
+
+(* fdlibm's split of ln 2: the high word carries 32 mantissa bits, so
+   k·ln2_hi is exact for |k| ≤ 2²¹ and the pair's sum matches ln 2 to
+   the last double bit — the residual k·δ stays below 3e-14 across the
+   whole exp domain. *)
+let ln2_hi = 0x1.62e42feep-1 (* 6.93147180369123816490e-01 *)
+let ln2_lo = 1.90821492927058770002e-10 (* ln 2 − ln2_hi *)
+let inv_ln2 = 1.4426950408889634
+
+(* 2^(i − 1075) for i = 0 … 2100: every power of two from the smallest
+   subnormal (2^−1074) to 2^1025, so both [exp]'s scale-back
+   (k ∈ [−1075, 1025]) and [log]'s mantissa recovery (2^−e,
+   e ∈ [−1021, 1024]) are single unsafe loads. *)
+let pow2_bias = 1075
+let pow2 = Array.init 2101 (fun i -> Float.ldexp 1.0 (i - pow2_bias))
+
+(* Adding then subtracting 1.5·2⁵² rounds to the nearest integer in
+   float arithmetic for |y| < 2⁵¹ — no [Float.round] call, and
+   [int_of_float] of the result is exact. *)
+let round_magic = 0x1.8p52
+
+let[@inline always] exp x =
+  if not (x >= -745.0) then (if x < 0.0 then 0.0 else x (* nan *))
+  else if x > 709.782712893384 then infinity
+  else begin
+    let k = (x *. inv_ln2 +. round_magic) -. round_magic in
+    let r = x -. (k *. ln2_hi) -. (k *. ln2_lo) in
+    (* Horner over 1/k! up to 1/5040. *)
+    let c3 = 0x1.5555555555555p-3 (* 1/6 *) in
+    let c4 = 0x1.5555555555555p-5 (* 1/24 *) in
+    let c5 = 0x1.1111111111111p-7 (* 1/120 *) in
+    let c6 = 0x1.6c16c16c16c17p-10 (* 1/720 *) in
+    let c7 = 0x1.a01a01a01a01ap-13 (* 1/5040 *) in
+    let p = c6 +. (r *. c7) in
+    let p = c5 +. (r *. p) in
+    let p = c4 +. (r *. p) in
+    let p = c3 +. (r *. p) in
+    let p = 0.5 +. (r *. p) in
+    let p = 1.0 +. (r *. p) in
+    let p = 1.0 +. (r *. p) in
+    p *. Array.unsafe_get pow2 (int_of_float k + pow2_bias)
+  end
+
+(* atanh z via its odd Taylor series; callers bound |z| ≤ 1/3 so the
+   truncation error 2z¹⁵/15 is ≤ 1.4e-8 of the leading term (≤ 5e-12
+   at [log]'s |z| ≤ 0.1716). *)
+let[@inline] atanh2 z =
+  let z2 = z *. z in
+  let p = 0.09090909090909091 +. (z2 *. 0.07692307692307693) in
+  let p = 0.1111111111111111 +. (z2 *. p) in
+  let p = 0.14285714285714285 +. (z2 *. p) in
+  let p = 0.2 +. (z2 *. p) in
+  let p = 0.3333333333333333 +. (z2 *. p) in
+  let p = 1.0 +. (z2 *. p) in
+  2.0 *. z *. p
+
+let sqrt_half = 0.7071067811865476
+let two_pow_54 = 0x1p54
+
+let[@inline always] log x =
+  if not (x > 0.0) then (if x = 0.0 then neg_infinity else Float.nan)
+  else if x = infinity then infinity
+  else begin
+    (* Subnormals have a zero exponent field the raw split below cannot
+       normalise; lift them into the normal range first and fold the
+       2^54 back into the integer exponent (keeps the hi/lo ln 2 split
+       exact). *)
+    let x, e_bias =
+      if x < 0x1p-1022 then (x *. two_pow_54, -54) else (x, 0)
+    in
+    (* frexp without the C call (or its tuple): e from the raw exponent
+       field, m = x·2^−e ∈ [½, 1) exactly from the table. *)
+    let e =
+      Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float x) 52)
+      - 1022
+    in
+    let m = x *. Array.unsafe_get pow2 (pow2_bias - e) in
+    let e = e + e_bias in
+    (* Normalise to [√½, √2) so |z| ≤ (√2−1)/(√2+1) = 0.1716. *)
+    let m, e = if m < sqrt_half then (2.0 *. m, e - 1) else (m, e) in
+    let z = (m -. 1.0) /. (m +. 1.0) in
+    let ef = float_of_int e in
+    (ef *. ln2_hi) +. ((ef *. ln2_lo) +. atanh2 z)
+  end
+
+let[@inline always] log1p x =
+  if x > 0.5 || x < -0.5 then log (1.0 +. x)
+  else
+    (* z = x/(x+2) ≤ 0.2: the series keeps full relative accuracy where
+       forming 1+x would round away the low bits of x. *)
+    atanh2 (x /. (x +. 2.0))
+
+(* Same saturation branches as [Special.log1p_exp]; in band the
+   softplus fold keeps the [exp] argument non-positive so t = exp u ≤ 1
+   and log1p t = atanh2 (t/(t+2)) needs no exponent split. *)
+let[@inline always] log1p_exp x =
+  if x > 35.0 then x
+  else if x < -35.0 then exp x
+  else begin
+    (* −|x| and (x+|x|)/2 = max x 0 are single SSE ops: no data-dependent
+       branch on the sign, which the per-device gate overdrives flip
+       unpredictably. *)
+    let t = exp (-.Float.abs x) in
+    ((x +. Float.abs x) *. 0.5) +. atanh2 (t /. (t +. 2.0))
+  end

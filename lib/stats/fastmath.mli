@@ -1,0 +1,34 @@
+(** Polynomial transcendental kernels for the opt-in batched fast path.
+
+    Branch-light polynomial replacements for the libm calls that
+    dominate the analytic kernel ([exp], [log1p], and
+    {!Special.log1p_exp}), used only when the batch layer runs in its
+    [--no-bit-identical] approximation mode.  Each kernel keeps relative
+    error within {!max_rel_error} of libm over its useful domain —
+    asserted over dense sweeps by test_batch — which is far below the
+    fast kernel's own model error but {e not} bitwise-equal, so the
+    default simulation paths never call this module. *)
+
+val max_rel_error : float
+(** [1e-7] — the validated relative-error bound of every kernel below
+    (the measured worst case is ~7e-9 for {!exp}, ~1.3e-12 for {!log},
+    ~1.5e-8 for {!log1p_exp}). *)
+
+val exp : float -> float
+(** Degree-7 Taylor after Cody–Waite [ln 2] range reduction, scaled back
+    exactly through a precomputed 2^k table (an array load, no libm
+    [ldexp] call).  Handles overflow/underflow like libm (saturates to
+    [infinity] / [0.]). *)
+
+val log : float -> float
+(** atanh-series log on the [[√½, √2)]-normalised mantissa; no
+    cancellation near 1 because the exponent term vanishes there. *)
+
+val log1p : float -> float
+(** Series evaluation of [log (1 + x)] that keeps full relative accuracy
+    for small [x]. *)
+
+val log1p_exp : float -> float
+(** [log (1 + exp x)] with the same saturation branches as
+    {!Special.log1p_exp} (identically [x] above +35, [exp x] below −35)
+    and the approximate kernels in between. *)

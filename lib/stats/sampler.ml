@@ -1,10 +1,11 @@
-type backend = Mc | Antithetic | Lhs | Sobol
+type backend = Mc | Antithetic | Lhs | Sobol | Pcm
 
 let backend_name = function
   | Mc -> "mc"
   | Antithetic -> "antithetic"
   | Lhs -> "lhs"
   | Sobol -> "sobol"
+  | Pcm -> "pcm"
 
 let backend_of_string s =
   match String.lowercase_ascii (String.trim s) with
@@ -12,10 +13,12 @@ let backend_of_string s =
   | "antithetic" | "anti" -> Antithetic
   | "lhs" -> Lhs
   | "sobol" | "qmc" -> Sobol
+  | "pcm" | "collocation" -> Pcm
   | other ->
     failwith
       (Printf.sprintf
-         "unknown sampling backend %S (expected mc, antithetic, lhs or sobol)"
+         "unknown sampling backend %S (expected mc, antithetic, lhs, sobol or \
+          pcm)"
          other)
 
 let default_backend () =
@@ -233,10 +236,12 @@ let create backend g ~dim ~n =
   if n <= 0 then invalid_arg "Sampler.create: n must be positive";
   let state =
     match backend with
-    | Mc | Antithetic ->
+    | Mc | Antithetic | Pcm ->
       (* Distinct purpose-index so the per-sample children coincide with
          the legacy [Rng.derive base ~index:i] children: the stream base
-         IS the caller's state, untouched. *)
+         IS the caller's state, untouched.  Pcm surrogate evaluation
+         consumes plain-Mc deviate vectors — the surrogate replaces the
+         kernel, not the sampling distribution. *)
       S_gaussian (Rng.copy g)
     | Lhs ->
       let perms =
@@ -291,8 +296,7 @@ let fill t ~index z =
   check_fill t ~index z;
   match t.state with
   | S_gaussian base ->
-    if t.backend = Mc then fill_mc base ~index ~dim:t.dim z
-    else begin
+    if t.backend = Antithetic then begin
       (* Antithetic pair (2k, 2k+1): the pair shares the deviates of
          plain-Mc index k; the odd member is the exact negation. *)
       fill_mc base ~index:(index / 2) ~dim:t.dim z;
@@ -301,6 +305,7 @@ let fill t ~index z =
           z.(k) <- -.z.(k)
         done
     end
+    else (* Mc and Pcm *) fill_mc base ~index ~dim:t.dim z
   | S_lhs { jitter; perms } ->
     let c = Rng.derive jitter ~index in
     let nf = float_of_int t.n in
@@ -314,6 +319,127 @@ let fill t ~index z =
       let x = owen_scramble ~seed:seeds.(j) (sobol_int dirs.(j) gray) in
       z.(j) <- Special.normal_quantile ((float_of_int x +. 0.5) *. inv_u32)
     done
+
+(* ------------------------------------------------------------------ *)
+(* Probabilistic collocation (second-order Hermite surrogate).         *)
+(* ------------------------------------------------------------------ *)
+
+(* Per arXiv:0710.4634: simulate the kernel only at the roots of the
+   next-higher-order Hermite polynomial and fit a low-order
+   polynomial-chaos expansion; every further sample evaluates the
+   surrogate.  With a second-order expansion over He-basis
+   {1, z_j, z_j²−1, z_j·z_k} the collocation points are the order-3
+   Gauss–Hermite nodes {0, ±√3}: the origin, two single-axis points per
+   dimension and four corner points per dimension pair —
+   1 + 2d + 2d(d−1) = O(d²) kernel calls, against thousands of plain-MC
+   evaluations.  The symmetric point set makes each coefficient a
+   closed-form finite difference (no least-squares solve), exact for any
+   quadratic in z (asserted by test_sampler). *)
+module Pcm = struct
+  (* The positive probabilists' node: root of He₃(z) = z³ − 3z, i.e.
+     z = √3.  Found from the same orthonormal-Hermite recurrence that
+     generates Stat_max's quadrature rule (physicists' x, z = √2·x),
+     bisected exactly like [gh_nodes]' root scan. *)
+  let node =
+    let f x = Stat_max.hermite_orthonormal 3 x in
+    (* Physicists' root √(3/2) ≈ 1.2247 lies in [1.0, 1.5]. *)
+    let lo = ref 1.0 and hi = ref 1.5 in
+    for _ = 1 to 80 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if f !lo *. f mid <= 0.0 then hi := mid else lo := mid
+    done;
+    sqrt 2.0 *. (0.5 *. (!lo +. !hi))
+
+  let n_points ~dim =
+    if dim <= 0 then invalid_arg "Sampler.Pcm.n_points: dim must be positive";
+    1 + (2 * dim) + (2 * dim * (dim - 1))
+
+  (* Deterministic point ordering: origin; then per dimension j the
+     single-axis pair (+node·e_j, −node·e_j); then per pair j < k (in
+     (0,1), (0,2), …, (1,2), … order) the four corners (+,+), (+,−),
+     (−,+), (−,−). *)
+  let fill_point ~dim p z =
+    let m = n_points ~dim in
+    if p < 0 || p >= m then
+      invalid_arg "Sampler.Pcm.fill_point: point index out of range";
+    if Array.length z < dim then
+      invalid_arg "Sampler.Pcm.fill_point: buffer shorter than dim";
+    Array.fill z 0 dim 0.0;
+    if p = 0 then ()
+    else if p <= 2 * dim then begin
+      let j = (p - 1) / 2 in
+      z.(j) <- (if (p - 1) land 1 = 0 then node else -.node)
+    end
+    else begin
+      let q = p - 1 - (2 * dim) in
+      let pair = q / 4 and corner = q mod 4 in
+      let j = ref 0 and rem = ref pair in
+      while !rem >= dim - 1 - !j do
+        rem := !rem - (dim - 1 - !j);
+        incr j
+      done;
+      let k = !j + 1 + !rem in
+      z.(!j) <- (if corner land 2 = 0 then node else -.node);
+      z.(k) <- (if corner land 1 = 0 then node else -.node)
+    end
+
+  type surrogate = {
+    s_dim : int;
+    c0 : float;  (* constant term = surrogate mean *)
+    a : float array;  (* linear (He₁) coefficients *)
+    b : float array;  (* quadratic (He₂) coefficients *)
+    cross : float array;  (* pairwise z_j·z_k coefficients, packed j < k *)
+  }
+
+  let fit ~dim ~values =
+    let m = n_points ~dim in
+    if Array.length values <> m then
+      invalid_arg "Sampler.Pcm.fit: wrong number of collocation values";
+    let f0 = values.(0) in
+    let node2 = node *. node in
+    let a = Array.make dim 0.0 and b = Array.make dim 0.0 in
+    for j = 0 to dim - 1 do
+      let fp = values.(1 + (2 * j)) and fm = values.(2 + (2 * j)) in
+      a.(j) <- (fp -. fm) /. (2.0 *. node);
+      b.(j) <- (fp +. fm -. (2.0 *. f0)) /. (2.0 *. node2)
+    done;
+    let npairs = dim * (dim - 1) / 2 in
+    let cross = Array.make (max npairs 1) 0.0 in
+    let base = 1 + (2 * dim) in
+    for p = 0 to npairs - 1 do
+      let fpp = values.(base + (4 * p))
+      and fpm = values.(base + (4 * p) + 1)
+      and fmp = values.(base + (4 * p) + 2)
+      and fmm = values.(base + (4 * p) + 3) in
+      cross.(p) <- (fpp +. fmm -. fpm -. fmp) /. (4.0 *. node2)
+    done;
+    (* F(0) = c0 − Σb_j (every He₂ is −1 at the origin). *)
+    let sum_b = ref 0.0 in
+    for j = 0 to dim - 1 do
+      sum_b := !sum_b +. b.(j)
+    done;
+    { s_dim = dim; c0 = f0 +. !sum_b; a; b; cross }
+
+  let dim_of s = s.s_dim
+  let mean s = s.c0
+
+  let eval s z =
+    if Array.length z < s.s_dim then
+      invalid_arg "Sampler.Pcm.eval: buffer shorter than dim";
+    let acc = ref s.c0 in
+    for j = 0 to s.s_dim - 1 do
+      let zj = z.(j) in
+      acc := !acc +. (s.a.(j) *. zj) +. (s.b.(j) *. ((zj *. zj) -. 1.0))
+    done;
+    let p = ref 0 in
+    for j = 0 to s.s_dim - 2 do
+      for k = j + 1 to s.s_dim - 1 do
+        acc := !acc +. (s.cross.(!p) *. z.(j) *. z.(k));
+        incr p
+      done
+    done;
+    !acc
+end
 
 let fill_uniform t ~index z =
   check_fill t ~index z;

@@ -8,7 +8,7 @@
     function of (creation state, [i]), which keeps the executor
     bit-identity invariant: no scheduling order can perturb a sample.
 
-    Four backends:
+    Five backends:
 
     - {!Mc} — plain Monte-Carlo, replaying today's
       [Rng.derive]+[gaussian] draw order exactly: the first
@@ -33,6 +33,13 @@
       with a per-dimension hash-based Owen-style scramble that preserves
       the dyadic net structure, mapped through
       {!Special.normal_quantile}.  Best with [n] a power of two.
+    - {!Pcm} — probabilistic collocation: the deviate stream itself is
+      plain {!Mc} (same vectors, bit for bit), but consumers that
+      support it (e.g. [Monte_carlo.arc_delays_sampled]) evaluate the
+      simulation kernel only at the O(d²) Hermite collocation points of
+      {!module-Pcm} and replay the Mc population through the fitted
+      second-order surrogate — thousands of samples from ~1+2d²
+      kernel calls.
 
     Determinism discipline: {!create} derives all internal seeding from
     the passed generator via {!Rng.derive} without advancing it, and
@@ -40,10 +47,10 @@
     are reproducible for any executor schedule and any subset/order of
     indices. *)
 
-type backend = Mc | Antithetic | Lhs | Sobol
+type backend = Mc | Antithetic | Lhs | Sobol | Pcm
 
 val backend_name : backend -> string
-(** ["mc" | "antithetic" | "lhs" | "sobol"]. *)
+(** ["mc" | "antithetic" | "lhs" | "sobol" | "pcm"]. *)
 
 val backend_of_string : string -> backend
 (** Inverse of {!backend_name} (case-insensitive).
@@ -103,3 +110,48 @@ val owen_scramble : seed:int -> int -> int
 (** The per-dimension scramble: a monotone-in-reversed-bit-space hash of
     a 32-bit Sobol' integer.  Exposed so tests can verify the
     net-preserving (Owen) property directly. *)
+
+(** {1 Probabilistic collocation (second-order Hermite surrogate)}
+
+    The machinery behind the {!Pcm} backend, usable on any scalar
+    response: simulate only at the symmetric collocation points built
+    from the order-3 Gauss–Hermite nodes [{0, ±√3}] (the roots of
+    He₃, derived from {!Stat_max.hermite_orthonormal} — the same
+    recurrence behind [Stat_max.gh_nodes]), then {!Pcm.fit} recovers the
+    second-order polynomial-chaos coefficients in closed form (exact on
+    any quadratic in [z]) and {!Pcm.eval} replays arbitrarily many
+    deviate vectors through the surrogate at a few dozen flops each. *)
+
+module Pcm : sig
+  val node : float
+  (** The positive collocation node, √3 (computed, not hard-coded). *)
+
+  val n_points : dim:int -> int
+  (** [1 + 2·dim + 2·dim·(dim−1)]: origin, single-axis pairs, and the
+      four corners of every dimension pair.
+      @raise Invalid_argument if [dim <= 0]. *)
+
+  val fill_point : dim:int -> int -> float array -> unit
+  (** [fill_point ~dim p z] writes collocation point [p] (deterministic
+      ordering: origin; singles [+e_j, −e_j] per dimension; corner
+      quadruples per pair [j < k]) into [z.(0 .. dim-1)].
+      @raise Invalid_argument on a bad index or short buffer. *)
+
+  type surrogate
+
+  val fit : dim:int -> values:float array -> surrogate
+  (** [fit ~dim ~values] with [values.(p)] the response simulated at
+      collocation point [p].  Closed-form finite-difference recovery of
+      the {1, z_j, z_j²−1, z_j·z_k} coefficients.
+      @raise Invalid_argument unless [Array.length values] equals
+      {!n_points}. *)
+
+  val eval : surrogate -> float array -> float
+  (** Evaluate the surrogate at one deviate vector. *)
+
+  val mean : surrogate -> float
+  (** The surrogate's exact population mean (its constant term — every
+      other basis function has zero expectation under φ). *)
+
+  val dim_of : surrogate -> int
+end

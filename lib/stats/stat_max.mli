@@ -52,6 +52,12 @@ val apply : operator -> rho:float -> Moments.summary -> Moments.summary -> resul
 val gh_order : int
 (** One-dimensional Gauss–Hermite order used by {!moment} (24). *)
 
+val hermite_orthonormal : int -> float -> float
+(** The orthonormal physicists' Hermite polynomial Ĥ_n(x) (overflow-free
+    recurrence) — the generator behind {!gh_nodes}' root scan.  Exposed
+    so the collocation-point construction ({!Sampler.Pcm}) derives its
+    nodes from the same machinery (probabilists' z = √2·x). *)
+
 val gh_nodes : (float * float) array Lazy.t
 (** Probabilists' Gauss–Hermite rule [(z_i, ω_i)]: Σω = 1,
     ∫f(z)φ(z)dz ≈ Σ ω_i f(z_i).  Exposed for tests. *)

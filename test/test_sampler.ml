@@ -57,7 +57,8 @@ let test_backend_names () =
         (Sampler.backend_name b ^ " round-trips")
         true
         (Sampler.backend_of_string (Sampler.backend_name b) = b))
-    [ Sampler.Mc; Sampler.Antithetic; Sampler.Lhs; Sampler.Sobol ];
+    [ Sampler.Mc; Sampler.Antithetic; Sampler.Lhs; Sampler.Sobol;
+      Sampler.Pcm ];
   Alcotest.(check bool)
     "anti alias" true
     (Sampler.backend_of_string "anti" = Sampler.Antithetic);
@@ -404,7 +405,8 @@ let test_uniformity () =
           let d = ks_statistic col in
           let scaled =
             match backend with
-            | Sampler.Mc | Sampler.Antithetic -> sqrt (float_of_int n) *. d
+            | Sampler.Mc | Sampler.Antithetic | Sampler.Pcm ->
+              sqrt (float_of_int n) *. d
             | Sampler.Lhs | Sampler.Sobol -> d
           in
           if scaled > threshold_scaled then
@@ -564,6 +566,113 @@ let test_variance_reduction_smoke () =
   if v_lhs > v_mc then
     Alcotest.failf "LHS ±3σ variance %.4g exceeds MC %.4g" v_lhs v_mc
 
+(* ---------- probabilistic collocation (Pcm) ---------- *)
+
+let test_pcm_geometry () =
+  Alcotest.(check bool) "node is sqrt 3" true
+    (Float.abs ((Sampler.Pcm.node *. Sampler.Pcm.node) -. 3.0) < 1e-12);
+  Alcotest.(check int) "points dim 1" 3 (Sampler.Pcm.n_points ~dim:1);
+  Alcotest.(check int) "points dim 4" 33 (Sampler.Pcm.n_points ~dim:4);
+  (match Sampler.Pcm.n_points ~dim:0 with
+  | (_ : int) -> Alcotest.fail "expected Invalid_argument on dim 0"
+  | exception Invalid_argument _ -> ());
+  let dim = 3 in
+  let n_pts = Sampler.Pcm.n_points ~dim in
+  let z = Array.make dim Float.nan in
+  Sampler.Pcm.fill_point ~dim 0 z;
+  Array.iter (fun v -> Alcotest.(check (float 0.0)) "origin" 0.0 v) z;
+  for p = 1 to n_pts - 1 do
+    Sampler.Pcm.fill_point ~dim p z;
+    let active =
+      Array.fold_left (fun acc v -> if v <> 0.0 then acc + 1 else acc) 0 z
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "point %d touches 1 or 2 axes" p)
+      true
+      (active = 1 || active = 2);
+    Array.iter
+      (fun v ->
+        Alcotest.(check bool) "coordinate in {0, ±√3}" true
+          (v = 0.0 || Float.abs (Float.abs v -. Sampler.Pcm.node) < 1e-15))
+      z
+  done
+
+(* The closed-form fit must recover any quadratic exactly: collocate an
+   arbitrary second-order polynomial-chaos expansion and check the
+   surrogate reproduces it at random points (to roundoff). *)
+let test_pcm_quadratic_exact () =
+  let dim = 4 in
+  let a = [| 0.7; -1.3; 0.25; 2.0 |]
+  and b = [| 0.4; -0.6; 1.1; -0.05 |] in
+  let c = Array.make_matrix dim dim 0.0 in
+  c.(0).(1) <- 0.8;
+  c.(0).(3) <- -0.3;
+  c.(1).(2) <- 1.7;
+  c.(2).(3) <- 0.12;
+  let f z =
+    let acc = ref 3.25 in
+    for j = 0 to dim - 1 do
+      acc :=
+        !acc +. (a.(j) *. z.(j)) +. (b.(j) *. ((z.(j) *. z.(j)) -. 1.0));
+      for k = j + 1 to dim - 1 do
+        acc := !acc +. (c.(j).(k) *. z.(j) *. z.(k))
+      done
+    done;
+    !acc
+  in
+  let n_pts = Sampler.Pcm.n_points ~dim in
+  let zbuf = Array.make dim 0.0 in
+  let values =
+    Array.init n_pts (fun p ->
+        Sampler.Pcm.fill_point ~dim p zbuf;
+        f zbuf)
+  in
+  let s = Sampler.Pcm.fit ~dim ~values in
+  Alcotest.(check int) "dim_of" dim (Sampler.Pcm.dim_of s);
+  Alcotest.(check bool) "mean is the constant term" true
+    (Float.abs (Sampler.Pcm.mean s -. 3.25) < 1e-10);
+  let g = Rng.create ~seed:19 in
+  for i = 0 to 199 do
+    let gi = Rng.derive g ~index:i in
+    let z = Array.init dim (fun _ -> Rng.gaussian gi) in
+    let want = f z and got = Sampler.Pcm.eval s z in
+    if Float.abs (got -. want) > 1e-9 *. (1.0 +. Float.abs want) then
+      Alcotest.failf "point %d: surrogate %.17g vs quadratic %.17g" i got want
+  done
+
+(* End to end: the Pcm backend must be deterministic (same seed, same
+   bits), actually skip kernel work, and land its ±3σ quantiles near
+   the plain-MC population it replaces. *)
+let test_pcm_arc_surrogate () =
+  let n = 2048 in
+  let r1 = arc_sampled ~n ~sampling:Sampler.Pcm ~seed:7 ()
+  and r2 = arc_sampled ~n ~sampling:Sampler.Pcm ~seed:7 () in
+  check_bits ~what:"pcm same seed" r1.Monte_carlo.s_delays
+    r2.Monte_carlo.s_delays;
+  Alcotest.(check int) "full population" n
+    (Array.length r1.Monte_carlo.s_delays);
+  Array.iter
+    (fun d ->
+      if not (Float.is_nan d) && d <= 0.0 then
+        Alcotest.failf "non-positive surrogate delay %.3e" d)
+    r1.Monte_carlo.s_delays;
+  let mc = arc_sampled ~n ~sampling:Sampler.Mc ~seed:7 () in
+  let q pop p =
+    let a = Monte_carlo.compact_nan pop in
+    Array.sort Float.compare a;
+    Quantile.of_sorted a p
+  in
+  List.iter
+    (fun sigma ->
+      let p = Quantile.probability_of_sigma sigma in
+      let qp = q r1.Monte_carlo.s_delays p
+      and qm = q mc.Monte_carlo.s_delays p in
+      let rel = Float.abs (qp -. qm) /. qm in
+      if rel > 0.10 then
+        Alcotest.failf "pcm %+gσ quantile off by %.1f%% (pcm %.4e mc %.4e)"
+          sigma (100.0 *. rel) qp qm)
+    [ -3.0; 3.0 ]
+
 let () =
   Alcotest.run "sampler"
     [
@@ -596,6 +705,14 @@ let () =
             test_sobol_stratification;
           Alcotest.test_case "uniformity (KS) per backend" `Quick
             test_uniformity;
+        ] );
+      ( "pcm",
+        [
+          Alcotest.test_case "collocation geometry" `Quick test_pcm_geometry;
+          Alcotest.test_case "quadratic exactness" `Quick
+            test_pcm_quadratic_exact;
+          Alcotest.test_case "arc surrogate determinism + accuracy" `Quick
+            test_pcm_arc_surrogate;
         ] );
       ( "quantile",
         [ Alcotest.test_case "of_sorted/ci edge cases" `Quick
