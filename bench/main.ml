@@ -50,6 +50,7 @@ module Wire_lab = Nsigma.Wire_lab
 module Calibration = Nsigma.Calibration
 module Executor = Nsigma_exec.Executor
 module Metrics = Nsigma_obs.Metrics
+module Trace = Nsigma_obs.Trace
 module Obs_report = Nsigma_obs.Report
 module Lsn = Nsigma_baselines.Lsn_model
 module Burr = Nsigma_baselines.Burr_model
@@ -1198,6 +1199,121 @@ let obs_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Tracing: trace-collector overhead on the hot sampling loop.         *)
+(* ------------------------------------------------------------------ *)
+
+let trace_mc = env_int "NSIGMA_BENCH_TRACE_MC" 300
+
+let trace_tol =
+  match Sys.getenv_opt "NSIGMA_BENCH_TRACE_TOL" with
+  | Some v -> (try float_of_string v with _ -> 2.0)
+  | None -> 2.0
+
+let trace_reps = env_int "NSIGMA_BENCH_TRACE_REPS" 5
+
+let trace_bench () =
+  header "Tracing — trace collector overhead on characterisation";
+  let cells = List.map (fun k -> Cell.make k ~strength:1) Cell.all_kinds in
+  let was_enabled = Trace.enabled () in
+  (* Same protocol as the obs bench: process CPU time (wall clock on a
+     shared box swings several percent from preemption alone), compact
+     before each pass, alternate off/on, keep each side's fastest rep. *)
+  let cpu_time () =
+    let t = Unix.times () in
+    t.Unix.tms_utime +. t.Unix.tms_stime
+  in
+  (* Per-record cost on a tight loop, and the disabled-path guard cost
+     (the acceptance bar is "a single atomic load when off"). *)
+  let ti = Trace.instant_type ~cat:"bench" ~args:[ "k" ] "bench.instant" in
+  let ns_per_record enabled =
+    Trace.set_enabled enabled;
+    for _ = 1 to 1000 do Trace.instant ti ~a:1.0 () done;
+    let n = 20_000_000 in
+    let t0 = cpu_time () in
+    for _ = 1 to n do Trace.instant ti ~a:1.0 () done;
+    let dt = cpu_time () -. t0 in
+    Trace.set_enabled was_enabled;
+    Trace.reset ();
+    dt /. float_of_int n *. 1e9
+  in
+  (* A generous per-domain cap so the characterisation run drops
+     nothing: zero drops at the default size is part of the gate, and
+     the grid workload stays well under it. *)
+  let ns_on = ns_per_record true in
+  let ns_off = ns_per_record false in
+  Printf.printf "  record: %.1f ns enabled, %.1f ns disabled\n%!" ns_on ns_off;
+  let once enabled =
+    Gc.compact ();
+    Trace.reset ();
+    Trace.set_enabled enabled;
+    let t0 = cpu_time () in
+    let lib =
+      Library.characterize_all ~n_mc:trace_mc ~exec:Executor.sequential
+        ~kernel:Cell_sim.Fast tech cells
+    in
+    let dt = cpu_time () -. t0 in
+    Trace.set_enabled was_enabled;
+    (lib, dt)
+  in
+  Printf.printf
+    "characterising %d cells x 2 edges, mc=%d per grid point, %d reps\n%!"
+    (List.length cells) trace_mc trace_reps;
+  let lib_off, off1 = once false in
+  let lib_on, on1 = once true in
+  (* Capture the trace state of the first enabled pass before later reps
+     wipe it: the artifact and the drop/track gate describe a real run. *)
+  let s = Trace.stats () in
+  let trace_file = "BENCH_trace_events.json" in
+  Trace.write trace_file;
+  Printf.printf
+    "  traced run: %d events on %d track(s), %d dropped -> %s (+.folded)\n%!"
+    s.Trace.recorded s.Trace.tracks s.Trace.dropped trace_file;
+  let t_off = ref off1 and t_on = ref on1 in
+  for _ = 2 to trace_reps do
+    let _, off = once false in
+    let _, on = once true in
+    t_off := Float.min !t_off off;
+    t_on := Float.min !t_on on
+  done;
+  Trace.reset ();
+  let t_off = !t_off and t_on = !t_on in
+  let overhead = 100.0 *. ((t_on -. t_off) /. Float.max 1e-9 t_off) in
+  Printf.printf "  trace off %8.2fs\n  trace on  %8.2fs   overhead %+.2f%%\n%!"
+    t_off t_on overhead;
+  (* The regression oracle: tracing must never perturb sampled values. *)
+  let identical =
+    List.for_all
+      (fun (cell, edge) ->
+        let a = Library.find lib_off cell ~edge in
+        let b = Library.find lib_on cell ~edge in
+        a.Ch.points = b.Ch.points)
+      (Library.cells lib_off)
+  in
+  Printf.printf "  bit-identical tables with tracing on vs off: %b\n%!" identical;
+  let pass =
+    identical && overhead <= trace_tol && s.Trace.recorded > 0
+    && s.Trace.dropped = 0
+  in
+  let json =
+    Printf.sprintf
+      {|{"experiment": "trace", "cells": %d, "edges": 2, "n_mc": %d, "reps": %d, "off_seconds": %.3f, "on_seconds": %.3f, "overhead_pct": %.3f, "tolerance_pct": %.1f, "ns_per_record_enabled": %.1f, "ns_per_record_disabled": %.1f, "bit_identical": %b, "events": %d, "tracks": %d, "dropped_events": %d, "pass": %b}|}
+      (List.length cells) trace_mc trace_reps t_off t_on overhead trace_tol
+      ns_on ns_off identical s.Trace.recorded s.Trace.tracks s.Trace.dropped
+      pass
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_trace.json" in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Printf.printf "  appended to BENCH_trace.json\n";
+  if not pass then begin
+    Printf.eprintf
+      "trace bench FAILED: overhead %.2f%% (need <= %.1f%%), bit_identical %b, \
+       events %d, dropped %d\n"
+      overhead trace_tol identical s.Trace.recorded s.Trace.dropped;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Plan: precompiled sampling plans vs per-sample arc rebuild.         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1878,8 +1994,9 @@ let ssta_bench () =
    single source for both the usage line and the unknown-name error. *)
 let experiments =
   [ "fig2"; "fig3"; "fig4"; "table1"; "table2"; "fig7"; "fig8"; "fig9";
-    "fig10"; "fig11"; "table3"; "speedup"; "exec"; "kernel"; "obs"; "plan";
-    "sampling"; "batch"; "ssta"; "ablation"; "highsigma"; "micro"; "all" ]
+    "fig10"; "fig11"; "table3"; "speedup"; "exec"; "kernel"; "obs"; "trace";
+    "plan"; "sampling"; "batch"; "ssta"; "ablation"; "highsigma"; "micro";
+    "all" ]
 
 let usage () =
   Printf.printf
@@ -1956,6 +2073,7 @@ let () =
   | "exec" :: _ -> exec_speedup ()
   | "kernel" :: _ -> kernel_bench ()
   | "obs" :: _ -> obs_bench ()
+  | "trace" :: _ -> trace_bench ()
   | "plan" :: _ -> plan_bench ()
   | "sampling" :: _ -> sampling_bench ()
   | "batch" :: _ -> batch_bench ()

@@ -35,6 +35,8 @@ module Executor = Nsigma_exec.Executor
 module Cell_sim = Nsigma_spice.Cell_sim
 module Metrics = Nsigma_obs.Metrics
 module Obs_report = Nsigma_obs.Report
+module Obs_trace = Nsigma_obs.Trace
+module Monotonic = Nsigma_obs.Monotonic
 module Progress = Nsigma_obs.Progress
 
 open Cmdliner
@@ -168,6 +170,17 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let trace_arg =
+  let doc =
+    "Enable the trace collector and write a Chrome trace-event JSON file \
+     to $(docv) at exit (open in Perfetto or chrome://tracing; one track \
+     per worker domain) plus a collapsed-stack flamegraph next to it \
+     ($(docv).folded).  Defaults to $(b,NSIGMA_TRACE).  Tracing never \
+     perturbs sampled values: populations are bit-identical with tracing \
+     on or off."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let progress_arg =
   let doc =
     "Show a sampled stderr progress ticker with ETA for characterisation \
@@ -176,13 +189,54 @@ let progress_arg =
   in
   Arg.(value & flag & info [ "progress" ] ~doc)
 
-(* Shared by every subcommand that samples: install the run-report
-   destination (explicit flag wins over NSIGMA_METRICS) and arm the
-   progress ticker. *)
-let setup_obs metrics progress =
+(* Expected CLI-usage failures (bad observability paths) exit with code
+   2 and a one-line message — never a raw Sys_error backtrace from an
+   at_exit writer hours into a run. *)
+exception Cli_error of string
+
+(* Probe the destination before the run starts.  Append mode neither
+   truncates an existing file nor clobbers its contents; the at-exit
+   writer replaces it wholesale later. *)
+let check_writable what spec =
+  if spec <> "-" then
+    match open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 spec with
+    | oc -> close_out oc
+    | exception Sys_error msg ->
+      raise (Cli_error (Printf.sprintf "cannot write %s %s: %s" what spec msg))
+
+(* Shared by every subcommand: install the run-report and trace
+   destinations (explicit flags win over NSIGMA_METRICS / NSIGMA_TRACE)
+   and arm the progress ticker. *)
+let setup_obs ?(metrics = None) ?(trace = None) ?(progress = false) () =
+  let resolve flag env =
+    match flag with
+    | Some s -> Some s
+    | None -> (
+      match Sys.getenv_opt env with
+      | Some s when String.trim s <> "" -> Some (String.trim s)
+      | _ -> None)
+  in
+  let metrics = resolve metrics "NSIGMA_METRICS" in
+  let trace = resolve trace "NSIGMA_TRACE" in
+  (match (metrics, trace) with
+  | Some m, Some t when m <> "-" && m = t ->
+    raise
+      (Cli_error
+         (Printf.sprintf
+            "--metrics and --trace both write to %s; give them distinct files"
+            m))
+  | _ -> ());
   (match metrics with
-  | Some spec -> Obs_report.install spec
-  | None -> Obs_report.install_from_env ());
+  | Some spec ->
+    check_writable "run report" spec;
+    Obs_report.install spec
+  | None -> ());
+  (match trace with
+  | Some spec ->
+    check_writable "trace" spec;
+    check_writable "flamegraph" (spec ^ ".folded");
+    Obs_trace.install spec
+  | None -> ());
   if progress then Progress.set_enabled true
 
 (* ---- characterize ---- *)
@@ -198,8 +252,8 @@ let characterize_cmd =
     let doc = "Comma-separated cell names (default: the whole library)." in
     Arg.(value & opt (some string) None & info [ "cells" ] ~docv:"LIST" ~doc)
   in
-  let run vdd mc output cells jobs kernel sampling rtol metrics progress =
-    setup_obs metrics progress;
+  let run vdd mc output cells jobs kernel sampling rtol metrics trace progress =
+    setup_obs ~metrics ~trace ~progress ();
     check_mc ~allow_zero:false mc;
     let tech = tech_of_vdd vdd in
     let exec = exec_of_jobs jobs in
@@ -226,19 +280,20 @@ let characterize_cmd =
       | None -> ""
       | Some r -> Printf.sprintf ", adaptive rtol %g" r)
       (Executor.jobs exec);
-    let t0 = Unix.gettimeofday () in
+    let t0 = Monotonic.now () in
     let lib =
       Metrics.span "cli.characterize" (fun () ->
           Library.characterize_all ~n_mc:mc ~exec ~kernel ~sampling ?rtol tech
             cells)
     in
     Library.save lib output;
-    Printf.printf "wrote %s in %.1fs\n" output (Unix.gettimeofday () -. t0)
+    Printf.printf "wrote %s in %.1fs\n" output (Monotonic.now () -. t0)
   in
   let term =
     Term.(
       const run $ vdd_arg $ mc_arg 2000 $ output $ cells_arg $ jobs_arg
-      $ kernel_arg $ sampling_arg $ rtol_arg $ metrics_arg $ progress_arg)
+      $ kernel_arg $ sampling_arg $ rtol_arg $ metrics_arg $ trace_arg
+      $ progress_arg)
   in
   Cmd.v
     (Cmd.info "characterize"
@@ -254,16 +309,21 @@ let fit_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output coefficients file.")
   in
-  let run vdd library output =
+  let run vdd library output metrics trace progress =
+    setup_obs ~metrics ~trace ~progress ();
     let tech = tech_of_vdd vdd in
     let lib = Library.load tech library in
     Printf.printf "fitting the N-sigma model (Table I + calibration + wire X)...\n%!";
-    let model = Model.build lib in
+    let model = Metrics.span "cli.fit" (fun () -> Model.build lib) in
     Format.printf "%a@." Nsigma.Cell_model.pp model.Model.cell_model;
     Model.save model output;
     Printf.printf "wrote %s\n" output
   in
-  let term = Term.(const run $ vdd_arg $ library_arg $ output) in
+  let term =
+    Term.(
+      const run $ vdd_arg $ library_arg $ output $ metrics_arg $ trace_arg
+      $ progress_arg)
+  in
   Cmd.v
     (Cmd.info "fit"
        ~doc:"Fit the N-sigma model from a characterised library and persist the \
@@ -320,8 +380,8 @@ let analyze_cmd =
     Arg.(value & opt (some float) None & info [ "period" ] ~docv:"PS" ~doc)
   in
   let run vdd library circuit verilog sigma mc coeffs jobs kernel sampling rtol
-      batch no_bit_identical engine maxop period metrics progress =
-    setup_obs metrics progress;
+      batch no_bit_identical engine maxop period metrics trace progress =
+    setup_obs ~metrics ~trace ~progress ();
     check_mc ~allow_zero:true mc;
     (match period with
     | Some p when p <= 0.0 ->
@@ -426,7 +486,7 @@ let analyze_cmd =
       const run $ vdd_arg $ library_arg $ circuit_arg $ verilog_arg $ sigma_arg
       $ mc_arg 0 $ coeffs_arg $ jobs_arg $ kernel_arg $ sampling_arg $ rtol_arg
       $ batch_arg $ no_bit_identical_arg $ engine_arg $ max_arg $ period_arg
-      $ metrics_arg $ progress_arg)
+      $ metrics_arg $ trace_arg $ progress_arg)
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -437,7 +497,8 @@ let analyze_cmd =
 (* ---- report ---- *)
 
 let report_cmd =
-  let run vdd library =
+  let run vdd library metrics trace progress =
+    setup_obs ~metrics ~trace ~progress ();
     let tech = tech_of_vdd vdd in
     let lib = Library.load tech library in
     Printf.printf "library %s at %.2f V: %d tables\n" library vdd
@@ -455,7 +516,11 @@ let report_cmd =
           m.Moments.kurtosis)
       (Library.cells lib)
   in
-  let term = Term.(const run $ vdd_arg $ library_arg) in
+  let term =
+    Term.(
+      const run $ vdd_arg $ library_arg $ metrics_arg $ trace_arg
+      $ progress_arg)
+  in
   Cmd.v
     (Cmd.info "report" ~doc:"Print the reference-condition moments of a library.")
     term
@@ -468,6 +533,9 @@ let main_cmd =
 let () =
   match Cmd.eval ~catch:false main_cmd with
   | code -> exit code
+  | exception Cli_error msg ->
+    Printf.eprintf "nsigma: %s\n" msg;
+    exit 2
   | exception Failure msg ->
     Printf.eprintf "nsigma: %s\n" msg;
     exit 1

@@ -1,5 +1,6 @@
 module Log = Nsigma_obs.Log
 module Metrics = Nsigma_obs.Metrics
+module Trace = Nsigma_obs.Trace
 
 (* Registered up front so run reports always carry the executor keys,
    zero-valued when no pool ever ran. *)
@@ -12,6 +13,16 @@ let t_worker_idle = Metrics.timer "exec.worker.idle"
 let t_pool_wall = Metrics.timer "exec.pool.wall"
 let t_pool_capacity = Metrics.timer "exec.pool.capacity"
 let g_tasks_max = Metrics.gauge "exec.worker.tasks.max"
+
+(* Trace tracks: one [exec.pool] span on the calling domain per pool
+   run; on each worker domain an [exec.worker] span covering its whole
+   lifetime, with one [exec.task] span per fetched range.  [wait_us]
+   on a task is the gap since the worker finished its previous range —
+   queue-wait plus claim latency — so idle gaps are visible per task
+   without comparing tracks by eye. *)
+let st_pool = Trace.span_type ~cat:"exec" ~args:[ "jobs"; "n"; "chunk" ] "exec.pool"
+let st_worker = Trace.span_type ~cat:"exec" "exec.worker"
+let st_task = Trace.span_type ~cat:"exec" ~args:[ "start"; "n"; "wait_us" ] "exec.task"
 
 type t = Sequential | Pool of { jobs : int }
 
@@ -80,20 +91,25 @@ let jobs = function Sequential -> 1 | Pool { jobs } -> jobs
    is measured inside each worker on locals and published to the
    metrics registry only after the join, on the calling domain: the
    hot claim/execute loop shares no metric state between workers, and
-   when metrics are disabled the only cost is one atomic load at run
-   start.  Recording never touches task values or the RNG discipline,
+   when metrics and tracing are disabled the only cost is two atomic
+   loads at run start.  Trace spans append to buffers private to each
+   worker domain.  Neither touches task values or the RNG discipline,
    so the bit-identical invariant is unaffected. *)
 let pool_exec ~jobs ~chunk ~n ~init ~run_range =
   let cursor = Atomic.make 0 in
   let failure = Atomic.make None in
   let measuring = Metrics.enabled () in
+  let tracing = Trace.enabled () in
+  let timed = measuring || tracing in
   let t_run0 = if measuring then Metrics.now () else 0.0 in
   let worker () =
-    let t_start = if measuring then Metrics.now () else 0.0 in
+    let t_start = if timed then Metrics.now () else 0.0 in
+    if tracing then Trace.begin_span st_worker ();
     (* Per-worker scratch: allocated once on the worker domain, never
        shared, so plan fills can mutate it without synchronisation. *)
     let scratch = init () in
     let busy = ref 0.0 and tasks = ref 0 and fetches = ref 0 in
+    let last_done = ref t_start in
     let running = ref true in
     while !running do
       let start = Atomic.fetch_and_add cursor chunk in
@@ -101,7 +117,12 @@ let pool_exec ~jobs ~chunk ~n ~init ~run_range =
       else begin
         incr fetches;
         let stop = min n (start + chunk) in
-        let t0 = if measuring then Metrics.now () else 0.0 in
+        let t0 = if timed then Metrics.now () else 0.0 in
+        if tracing then
+          Trace.begin_span st_task ~a:(float_of_int start)
+            ~b:(float_of_int (stop - start))
+            ~c:(1e6 *. Float.max 0.0 (t0 -. !last_done))
+            ();
         (try
            run_range scratch start stop;
            tasks := !tasks + (stop - start)
@@ -109,12 +130,21 @@ let pool_exec ~jobs ~chunk ~n ~init ~run_range =
            let bt = Printexc.get_raw_backtrace () in
            ignore (Atomic.compare_and_set failure None (Some (e, bt)));
            running := false);
-        if measuring then busy := !busy +. (Metrics.now () -. t0)
+        if timed then begin
+          let t1 = Metrics.now () in
+          busy := !busy +. (t1 -. t0);
+          last_done := t1
+        end;
+        if tracing then Trace.end_span st_task
       end
     done;
-    let wall = if measuring then Metrics.now () -. t_start else 0.0 in
+    if tracing then Trace.end_span st_worker;
+    let wall = if timed then Metrics.now () -. t_start else 0.0 in
     (!busy, wall, !tasks, !fetches)
   in
+  if tracing then
+    Trace.begin_span st_pool ~a:(float_of_int jobs) ~b:(float_of_int n)
+      ~c:(float_of_int chunk) ();
   let workers = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
   let stats = List.map Domain.join workers in
   if measuring then begin
@@ -132,6 +162,7 @@ let pool_exec ~jobs ~chunk ~n ~init ~run_range =
         Metrics.max_gauge g_tasks_max (float_of_int tasks))
       stats
   end;
+  if tracing then Trace.end_span st_pool;
   match Atomic.get failure with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()

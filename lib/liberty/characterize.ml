@@ -9,9 +9,17 @@ module Monte_carlo = Nsigma_spice.Monte_carlo
 module Executor = Nsigma_exec.Executor
 module Metrics = Nsigma_obs.Metrics
 module Progress = Nsigma_obs.Progress
+module Trace = Nsigma_obs.Trace
 
 let m_points = Metrics.counter "characterize.points"
 let h_point_seconds = Metrics.histogram "characterize.point.seconds"
+
+(* One trace span per LVF grid point, on the worker's own track, with a
+   GC probe so allocation spikes are attributable to the exact
+   (slew, load) corner that caused them. *)
+let st_point =
+  Trace.span_type ~cat:"characterize" ~gc:true ~args:[ "slew"; "load" ]
+    "characterize.point"
 
 type point = {
   slew : float;
@@ -128,16 +136,19 @@ let characterize ?(n_mc = 2000) ?(seed = 1) ?(slews = default_slews) ?loads
                 (* Per-point timing is measured on the worker but recorded
                    into its own domain shard, so it adds no contention and
                    cannot perturb the samples. *)
-                let measuring = Metrics.enabled () in
-                let t0 = if measuring then Metrics.now () else 0.0 in
-                let p =
-                  measure_point ~index:idx slews.(idx / n_loads)
-                    loads.(idx mod n_loads)
+                let slew = slews.(idx / n_loads)
+                and load = loads.(idx mod n_loads) in
+                let measure () =
+                  let measuring = Metrics.enabled () in
+                  let t0 = if measuring then Metrics.now () else 0.0 in
+                  let p = measure_point ~index:idx slew load in
+                  if measuring then begin
+                    Metrics.incr m_points;
+                    Metrics.observe h_point_seconds (Metrics.now () -. t0)
+                  end;
+                  p
                 in
-                if measuring then begin
-                  Metrics.incr m_points;
-                  Metrics.observe h_point_seconds (Metrics.now () -. t0)
-                end;
+                let p = Trace.with_span st_point ~a:slew ~b:load measure in
                 tick ();
                 p)
               ~n:n_points))

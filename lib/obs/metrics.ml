@@ -1,7 +1,7 @@
 let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
-let now () = Unix.gettimeofday ()
+let now () = Monotonic.now ()
 
 (* Guards metric creation and shard registration — never held while
    recording, and a domain-local-storage initialiser never runs while
@@ -105,17 +105,26 @@ let timer_value t =
         (0, 0.0) !(t.t_cells))
 
 let span name f =
-  if not (enabled ()) then f ()
-  else begin
-    let t = timer ("stage." ^ name) in
-    let t0 = now () in
-    Fun.protect
-      ~finally:(fun () ->
-        let dt = now () -. t0 in
-        add_time t dt;
-        Log.debug "stage %s done%s" name (Log.kv [ ("seconds", Printf.sprintf "%.3f" dt) ]))
-      f
-  end
+  let timed f =
+    if not (enabled ()) then f ()
+    else begin
+      let t = timer ("stage." ^ name) in
+      let t0 = now () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = now () -. t0 in
+          add_time t dt;
+          Log.debug "stage %s done%s" name (Log.kv [ ("seconds", Printf.sprintf "%.3f" dt) ]))
+        f
+    end
+  in
+  (* Stage spans also land on the trace (with a GC probe each), so the
+     flamegraph and the timer table describe the same tree. *)
+  if Trace.enabled () then
+    Trace.with_span
+      (Trace.span_type ~cat:"stage" ~gc:true ("stage." ^ name))
+      (fun () -> timed f)
+  else timed f
 
 (* ---- log-scale latency histograms ---- *)
 

@@ -23,7 +23,9 @@ val enabled : unit -> bool
 val set_enabled : bool -> unit
 
 val now : unit -> float
-(** Wall-clock seconds ([Unix.gettimeofday]). *)
+(** Monotonic seconds ({!Monotonic.now}) — steps in the wall clock
+    (NTP) cannot produce negative durations.  The epoch is arbitrary:
+    use only differences. *)
 
 (** {2 Counters} *)
 
@@ -64,9 +66,11 @@ val timer_value : timer -> int * float
 (** Merged [(count, total_seconds)]. *)
 
 val span : string -> (unit -> 'a) -> 'a
-(** [span name f] runs [f] and accumulates its wall time into the timer
-    [stage.<name>] (also logged at debug level).  When metrics are
-    disabled this is exactly [f ()]. *)
+(** [span name f] runs [f] and accumulates its elapsed time into the
+    timer [stage.<name>] (also logged at debug level).  When tracing is
+    enabled the same interval is emitted as a [stage.<name>] trace span
+    with a GC probe ({!Trace.with_span}).  When both metrics and
+    tracing are disabled this is exactly [f ()]. *)
 
 (** {2 Log-scale latency histograms} *)
 

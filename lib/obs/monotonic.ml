@@ -1,0 +1,6 @@
+external now_ns_i64 : unit -> (int64[@unboxed])
+  = "nsigma_monotonic_ns" "nsigma_monotonic_ns_unboxed"
+[@@noalloc]
+
+let now_ns () = Int64.to_int (now_ns_i64 ())
+let now () = 1e-9 *. float_of_int (now_ns ())

@@ -1,0 +1,18 @@
+(** Monotonic process clock ([clock_gettime(CLOCK_MONOTONIC)]).
+
+    Use this — never [Unix.gettimeofday] — for every internal duration
+    measurement: the monotonic clock cannot step backwards under NTP
+    adjustment, so span and timer arithmetic cannot produce negative
+    durations.  Wall-clock time is only appropriate for human-facing
+    timestamps in reports.
+
+    The epoch is unspecified (boot time on Linux); only differences
+    between two readings are meaningful. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since the (unspecified) monotonic epoch.  Allocation
+    free — safe in sampling hot loops.  A 63-bit int holds ~292 years
+    of nanoseconds, so overflow is not a practical concern. *)
+
+val now : unit -> float
+(** Same clock in seconds. *)

@@ -1,0 +1,24 @@
+/* Monotonic clock for internal duration measurement.
+ *
+ * CLOCK_MONOTONIC never steps when NTP slews or jumps the wall clock,
+ * so interval arithmetic built on it cannot go negative — which
+ * Unix.gettimeofday cannot guarantee.  Exposed as nanoseconds in an
+ * int64 so the unboxed [@@noalloc] path allocates nothing.
+ */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <stdint.h>
+
+int64_t nsigma_monotonic_ns_unboxed(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * INT64_C(1000000000) + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value nsigma_monotonic_ns(value unit)
+{
+  return caml_copy_int64(nsigma_monotonic_ns_unboxed(unit));
+}

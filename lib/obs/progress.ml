@@ -24,13 +24,13 @@ let create ~label ~total =
     label;
     total;
     count = Atomic.make 0;
-    started = Unix.gettimeofday ();
+    started = Monotonic.now ();
     last_ms = Atomic.make 0;
     live = active () && total > 0;
   }
 
 let render t done_ =
-  let elapsed = Unix.gettimeofday () -. t.started in
+  let elapsed = Monotonic.now () -. t.started in
   let frac = float_of_int done_ /. float_of_int t.total in
   let eta =
     if done_ = 0 then "?"
@@ -44,7 +44,7 @@ let throttle_ms = 200
 let tick t =
   if t.live then begin
     let done_ = 1 + Atomic.fetch_and_add t.count 1 in
-    let ms = int_of_float ((Unix.gettimeofday () -. t.started) *. 1000.0) in
+    let ms = int_of_float ((Monotonic.now () -. t.started) *. 1000.0) in
     let last = Atomic.get t.last_ms in
     if
       (ms - last >= throttle_ms || done_ = t.total)

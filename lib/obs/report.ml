@@ -81,6 +81,16 @@ let to_json ?(elapsed = 0.0) () =
   (match utilization snap with
   | Some u -> add "\"derived\": {\"exec_utilization\": %s}" (json_float u)
   | None -> add "\"derived\": {}");
+  (* Link the trace artifact (if any) and surface drop accounting so a
+     truncated trace is visible from the report alone. *)
+  (if Trace.enabled () || Trace.installed_file () <> None then begin
+     let s = Trace.stats () in
+     add "\"trace\": {\"file\": %s, \"events\": %d, \"tracks\": %d, \"dropped_events\": %d}"
+       (match Trace.installed_file () with
+       | Some f -> Printf.sprintf "\"%s\"" (json_escape f)
+       | None -> "null")
+       s.Trace.recorded s.Trace.tracks s.Trace.dropped
+   end);
   Buffer.add_string b "\n}\n";
   Buffer.contents b
 
@@ -131,6 +141,12 @@ let summary ?(elapsed = 0.0) () =
   (match utilization snap with
   | Some u -> line "executor utilization: %.1f%%" (100.0 *. u)
   | None -> ());
+  (if Trace.enabled () || Trace.installed_file () <> None then begin
+     let s = Trace.stats () in
+     line "trace: %s (%d events on %d tracks, %d dropped)"
+       (Option.value ~default:"(not written)" (Trace.installed_file ()))
+       s.Trace.recorded s.Trace.tracks s.Trace.dropped
+   end);
   Buffer.contents b
 
 let write ?elapsed spec =

@@ -14,6 +14,29 @@ let m_auto_calls = Metrics.counter "kernel.auto.calls"
 let m_auto_fallback = Metrics.counter "kernel.auto.fallback"
 let m_stuck = Metrics.counter "kernel.stuck"
 
+(* The three rare kernel events also land on the trace as instants, so
+   a fallback or stuck transient is attributable to the exact task and
+   moment it happened.  Per-call spans would blow the tracing overhead
+   budget (millions of kernel calls per run); rare events cost nothing
+   when they don't fire. *)
+module Trace = Nsigma_obs.Trace
+
+let tr_stuck = Trace.instant_type ~cat:"kernel" "kernel.stuck"
+let tr_fast_failed = Trace.instant_type ~cat:"kernel" "kernel.fast.failed"
+let tr_auto_fallback = Trace.instant_type ~cat:"kernel" "kernel.auto.fallback"
+
+let note_stuck () =
+  Metrics.incr m_stuck;
+  if Trace.enabled () then Trace.instant tr_stuck ()
+
+let note_fast_failed () =
+  Metrics.incr m_fast_failed;
+  if Trace.enabled () then Trace.instant tr_fast_failed ()
+
+let note_auto_fallback () =
+  Metrics.incr m_auto_fallback;
+  if Trace.enabled () then Trace.instant tr_auto_fallback ()
+
 type result = { delay : float; output_slew : float }
 
 type kernel = Fast | Rk4 | Auto
@@ -99,7 +122,7 @@ let simulate ?(steps_per_phase = 16) tech arc ~input_slew ~load_cap =
      the logger and the [kernel.stuck] counter, so a Monte-Carlo sweep
      can account for stuck corners without catching anything. *)
   let stuck () =
-    Metrics.incr m_stuck;
+    note_stuck ();
     Log.debug "rk4 output stuck%s"
       (Log.kv
          [
@@ -235,7 +258,7 @@ let simulate_fast_ext tech arc ~input_slew ~load_cap =
     u := u1
   done;
   if !next < 3 && !t < tau then begin
-    Metrics.incr m_fast_failed;
+    note_fast_failed ();
     Log.debug "fast ramp stepping did not converge%s"
       (Log.kv
          [
@@ -261,7 +284,7 @@ let simulate_fast_ext tech arc ~input_slew ~load_cap =
           let ui = !a +. (width *. gl_x.(i)) in
           let ii = Arc.drive c ~gate:vdd ~travel:ui in
           if ii <= 0.0 then begin
-            Metrics.incr m_fast_failed;
+            note_fast_failed ();
             Log.debug "fast settled phase cannot reach %.1f%% of swing%s"
               (100.0 *. ui /. vdd)
               (Log.kv
@@ -308,10 +331,10 @@ let run ?kernel tech arc ~input_slew ~load_cap =
     match simulate_fast_ext tech arc ~input_slew ~load_cap with
     | r, false -> r
     | _, true ->
-      Metrics.incr m_auto_fallback;
+      note_auto_fallback ();
       simulate tech arc ~input_slew ~load_cap
     | exception Failure _ ->
-      Metrics.incr m_auto_fallback;
+      note_auto_fallback ();
       simulate tech arc ~input_slew ~load_cap)
 
 let nominal_delay ?kernel tech arc ~input_slew ~load_cap =
@@ -395,7 +418,7 @@ let simulate_compiled ?(steps_per_phase = 16) tech c ~input_slew ~load_cap =
   let st = fresh_scratch () in
   let steps = ref 0 in
   let stuck () =
-    Metrics.incr m_stuck;
+    note_stuck ();
     Log.debug "rk4 output stuck%s"
       (Log.kv
          [
@@ -507,7 +530,7 @@ let simulate_fast_ext_compiled tech c ~input_slew ~load_cap =
     st.s_u <- u1
   done;
   if !next < 3 && st.s_t < tau then begin
-    Metrics.incr m_fast_failed;
+    note_fast_failed ();
     Log.debug "fast ramp stepping did not converge%s"
       (Log.kv
          [
@@ -533,7 +556,7 @@ let simulate_fast_ext_compiled tech c ~input_slew ~load_cap =
           let ui = !a +. (width *. gl_x.(i)) in
           let ii = Arc.drive_settled c ~travel:ui in
           if ii <= 0.0 then begin
-            Metrics.incr m_fast_failed;
+            note_fast_failed ();
             Log.debug "fast settled phase cannot reach %.1f%% of swing%s"
               (100.0 *. ui /. vdd)
               (Log.kv
@@ -785,7 +808,7 @@ module Batch = struct
     for k = 0 to !n_active - 1 do
       let i = (Array.unsafe_get b.active (k)) in
       Array.unsafe_set b.failed (i) true;
-      Metrics.incr m_fast_failed;
+      note_fast_failed ();
       Log.debug "fast ramp stepping did not converge%s"
         (Log.kv
            [
@@ -811,7 +834,7 @@ module Batch = struct
                  let ui = !a +. (width *. (Array.unsafe_get gl_x q)) in
                  let ii = bdrive_settled ~approx arcs i ~travel:ui in
                  if ii <= 0.0 then begin
-                   Metrics.incr m_fast_failed;
+                   note_fast_failed ();
                    Log.debug "fast settled phase cannot reach %.1f%% of swing%s"
                      (100.0 *. ui /. vdd)
                      (Log.kv
@@ -863,8 +886,8 @@ let run_compiled ?kernel tech c ~input_slew ~load_cap =
     match simulate_fast_ext_compiled tech c ~input_slew ~load_cap with
     | r, false -> r
     | _, true ->
-      Metrics.incr m_auto_fallback;
+      note_auto_fallback ();
       simulate_compiled tech c ~input_slew ~load_cap
     | exception Failure _ ->
-      Metrics.incr m_auto_fallback;
+      note_auto_fallback ();
       simulate_compiled tech c ~input_slew ~load_cap)

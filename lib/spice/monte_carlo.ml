@@ -5,6 +5,7 @@ module Rng = Nsigma_stats.Rng
 module Sampler = Nsigma_stats.Sampler
 module Executor = Nsigma_exec.Executor
 module Metrics = Nsigma_obs.Metrics
+module Trace = Nsigma_obs.Trace
 module Log = Nsigma_obs.Log
 
 (* Registered at module init so run reports always carry the MC keys,
@@ -195,6 +196,60 @@ let quantiles_converged sorted ~rtol =
          (hi -. lo) /. 2.0 <= rtol *. Float.abs q)
        tail_probs
 
+(* Worst relative CI half-width over the tail quantiles — the quantity
+   {!quantiles_converged} compares against [rtol], reported on trace
+   convergence events.  Kept separate from the stopping predicate so
+   event emission can never change a stopping decision (the predicate
+   compares un-divided terms; a division here could flip a borderline
+   case). *)
+let quantile_ci_rel sorted =
+  if Array.length sorted < 2 then Float.infinity
+  else
+    List.fold_left
+      (fun acc p ->
+        let q = Quantile.of_sorted sorted p in
+        let lo, hi = Quantile.ci sorted p in
+        let denom = Float.abs q in
+        if denom > 0.0 then Float.max acc ((hi -. lo) /. 2.0 /. denom)
+        else Float.infinity)
+      0.0 tail_probs
+
+(* Trace event stream for the adaptive sampler: one [sampling.batch]
+   instant per convergence check ([target] = population size tested,
+   [ci_rel] = worst ±3σ relative CI half-width, [converged] = rtol
+   verdict, [capped] = stopped by the sample budget), one
+   [sampling.pcm.fit] / [sampling.pcm.fallback] instant per surrogate
+   decision, and a [sampling.drawn] counter track.  Shared by name with
+   the path-level sampler in [Path_mc]. *)
+let tr_batch =
+  Trace.instant_type ~cat:"sampling"
+    ~args:[ "target"; "ci_rel"; "converged"; "capped" ]
+    "sampling.batch"
+
+let tr_pcm_fit =
+  Trace.instant_type ~cat:"sampling" ~args:[ "points"; "dim" ]
+    "sampling.pcm.fit"
+
+let tr_pcm_fallback =
+  Trace.instant_type ~cat:"sampling" ~args:[ "points" ] "sampling.pcm.fallback"
+
+let tc_drawn = Trace.counter_type ~cat:"sampling" "sampling.drawn"
+
+(* Emitted from population copies only — never feeds back into a
+   stopping decision, so drawn populations are bitwise identical with
+   tracing on or off.  Shared with [Path_mc]'s adaptive loop. *)
+let trace_batch_event ~out ~target ~converged ~capped =
+  if Trace.enabled () then begin
+    let sorted = compact_nan (Array.sub out 0 target) in
+    Array.sort Float.compare sorted;
+    Trace.counter tc_drawn (float_of_int target);
+    Trace.instant tr_batch ~a:(float_of_int target)
+      ~b:(quantile_ci_rel sorted)
+      ~c:(if converged then 1.0 else 0.0)
+      ~d:(if capped then 1.0 else 0.0)
+      ()
+  end
+
 type sampled = {
   s_delays : float array;
   s_out_slews : float array;
@@ -263,6 +318,8 @@ let arc_delays_sampled ?(exec = Executor.default ()) ?kernel ?sampling ?rtol
          sampling rather than extrapolate. *)
       Log.warn "pcm: collocation failed, falling back to MC%s"
         (Log.kv [ ("points", string_of_int n_pts) ]);
+      if Trace.enabled () then
+        Trace.instant tr_pcm_fallback ~a:(float_of_int n_pts) ();
       let delays, slews =
         arc_delays_planned ~exec ~kernel ~batch ~approx tech g ~n ~plan
           ~input_slew ~load_cap
@@ -291,6 +348,9 @@ let arc_delays_sampled ?(exec = Executor.default ()) ?kernel ?sampling ?rtol
       Metrics.incr m_samples ~by:n_pts;
       Metrics.incr m_pcm_collocations ~by:n_pts;
       if n > n_pts then Metrics.incr m_sampling_saved ~by:(n - n_pts);
+      if Trace.enabled () then
+        Trace.instant tr_pcm_fit ~a:(float_of_int n_pts) ~b:(float_of_int dim)
+          ();
       { s_delays = delays; s_out_slews = out_slews; s_requested = n;
         s_batches = 1 })
   | _ ->
@@ -353,15 +413,19 @@ let arc_delays_sampled ?(exec = Executor.default ()) ?kernel ?sampling ?rtol
           in
           Executor.map_float_range exec ~init task ~out ~lo:drawn ~hi:target;
           let batches = batches + 1 in
-          if target >= n then (target, batches)
+          if target >= n then begin
+            trace_batch_event ~out ~target ~converged:false ~capped:true;
+            (target, batches)
+          end
           else begin
             let sorted = compact_nan (Array.sub out 0 target) in
             Array.sort Float.compare sorted;
-            if
+            let converged =
               Array.length sorted >= min_batch
               && quantiles_converged sorted ~rtol
-            then (target, batches)
-            else loop target batches
+            in
+            trace_batch_event ~out ~target ~converged ~capped:false;
+            if converged then (target, batches) else loop target batches
           end
         in
         loop 0 0

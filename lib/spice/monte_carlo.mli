@@ -91,6 +91,23 @@ val quantiles_converged : float array -> rtol:float -> bool
     ((hi − lo)/2 ≤ rtol·|q|, 95% order-statistic CI).  Shared by the
     characterisation and path samplers. *)
 
+val quantile_ci_rel : float array -> float
+(** Worst relative CI half-width over the same tail quantiles — the
+    value {!quantiles_converged} compares against [rtol], reported on
+    [sampling.batch] trace events.  [infinity] when the population is
+    too small (or a quantile is zero) to form a relative width.
+    Diagnostic only: the stopping decision always uses
+    {!quantiles_converged}. *)
+
+val trace_batch_event :
+  out:float array -> target:int -> converged:bool -> capped:bool -> unit
+(** Emit one [sampling.batch] convergence instant (and a
+    [sampling.drawn] counter sample) on the trace for a population of
+    [target] samples in [out] — a no-op when tracing is disabled.
+    Works on copies of the population; never affects the samples or the
+    stopping decision.  Shared by the arc- and path-level adaptive
+    loops. *)
+
 val min_adaptive_batch : int
 (** Default minimum batch (256): adaptive sampling never tests
     convergence — hence never stops — below this many samples. *)

@@ -443,14 +443,21 @@ let run ?steps ?kernel ?(n = 1000) ?(seed = 11) ?(exec = Executor.default ())
                 Executor.map_float_range exec ~init task ~out ~lo:drawn
                   ~hi:target;
                 let batches = batches + 1 in
-                if target >= n then (target, batches)
+                if target >= n then begin
+                  Monte_carlo.trace_batch_event ~out ~target ~converged:false
+                    ~capped:true;
+                  (target, batches)
+                end
                 else begin
                   let sorted = Monte_carlo.compact_nan (Array.sub out 0 target) in
                   Array.sort Float.compare sorted;
-                  if
+                  let converged =
                     Array.length sorted >= min_batch
                     && Monte_carlo.quantiles_converged sorted ~rtol
-                  then (target, batches)
+                  in
+                  Monte_carlo.trace_batch_event ~out ~target ~converged
+                    ~capped:false;
+                  if converged then (target, batches)
                   else loop target batches
                 end
               in

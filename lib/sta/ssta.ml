@@ -37,6 +37,7 @@ module Stat_max = Nsigma_stats.Stat_max
 module Quantile = Nsigma_stats.Quantile
 module Rng = Nsigma_stats.Rng
 module Metrics = Nsigma_obs.Metrics
+module Trace = Nsigma_obs.Trace
 
 (* Registered at module init so run reports always carry the sta.ssta.*
    keys, zero-valued when no statistical run happened. *)
@@ -45,6 +46,21 @@ let m_max_clark = Metrics.counter "sta.ssta.max.clark"
 let m_max_moment = Metrics.counter "sta.ssta.max.moment"
 let m_wire_mc = Metrics.counter "sta.ssta.wire_mc_samples"
 let m_frac_mc = Metrics.counter "sta.ssta.cell_frac_samples"
+
+(* Per-reconvergence accuracy signals (arXiv:2401.03588 ablates the max
+   operator exactly here).  [tightness] is Clark's P(first input wins) —
+   dimensionless in [0,1], recorded through the seconds-bucketed
+   histogram as-is, so bucket bounds read as plain numbers.  [delta] is
+   |mean(Clark max) − mean(moment max)| in seconds for the same inputs:
+   the disagreement between the two operators, i.e. where the choice of
+   max actually matters on this netlist.  Both are also emitted as
+   per-max-op trace instants ([tightness], [delta_s], [rho]). *)
+let h_max_tightness = Metrics.histogram "sta.ssta.max.tightness"
+let h_max_delta = Metrics.histogram "sta.ssta.max.delta_seconds"
+
+let tr_max =
+  Trace.instant_type ~cat:"ssta" ~args:[ "tightness"; "delta_s"; "rho" ]
+    "ssta.max"
 
 let ng = Variation.global_deviate_dim
 
@@ -250,7 +266,28 @@ let join_dist (cfg : config) (a : dist) (b : dist) =
   | Stat_max.Clark -> Metrics.incr m_max_clark
   | Stat_max.Moment -> Metrics.incr m_max_moment);
   let rho = rho_of cfg.corr a b in
-  let r = Stat_max.apply cfg.op ~rho (to_summary a) (to_summary b) in
+  let sa = to_summary a and sb = to_summary b in
+  let r = Stat_max.apply cfg.op ~rho sa sb in
+  (* The Clark-vs-moment disagreement costs a second max evaluation, so
+     it is computed only when something records it; it reads the same
+     inputs and never feeds back into the arrival, keeping the
+     propagated graph identical with observability on or off. *)
+  if Metrics.enabled () || Trace.enabled () then begin
+    let alt =
+      Stat_max.apply
+        (match cfg.op with
+        | Stat_max.Clark -> Stat_max.Moment
+        | Stat_max.Moment -> Stat_max.Clark)
+        ~rho sa sb
+    in
+    let delta =
+      Float.abs (r.Stat_max.dist.Moments.mean -. alt.Stat_max.dist.Moments.mean)
+    in
+    Metrics.observe h_max_tightness r.Stat_max.p_first;
+    Metrics.observe h_max_delta delta;
+    if Trace.enabled () then
+      Trace.instant tr_max ~a:r.Stat_max.p_first ~b:delta ~c:rho ()
+  end;
   resplit r a b
 
 (* Criticality ranks by the +3 sigma arrival (Cornish-Fisher, the same

@@ -1,0 +1,510 @@
+(* Tracing layer: bounded-buffer drop accounting, deterministic
+   cross-domain merge, the zero-perturbation invariant (populations must
+   be bit-identical with tracing on vs off, on both kernels), the Chrome
+   trace-event export schema, and the collapsed-stack flamegraph
+   format. *)
+
+module Trace = Nsigma_obs.Trace
+module Metrics = Nsigma_obs.Metrics
+module T = Nsigma_process.Technology
+module Rng = Nsigma_stats.Rng
+module Sampler = Nsigma_stats.Sampler
+module Cell = Nsigma_liberty.Cell
+module Ch = Nsigma_liberty.Characterize
+module Monte_carlo = Nsigma_spice.Monte_carlo
+module Cell_sim = Nsigma_spice.Cell_sim
+module Executor = Nsigma_exec.Executor
+
+let tech = T.with_vdd T.default_28nm 0.6
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* The per-domain cap default mirrors [Trace.default]; tests that shrink
+   it must restore it so later tests see the real capacity. *)
+let default_cap = 65536
+
+let with_trace f =
+  let was = Trace.enabled () in
+  Trace.set_enabled true;
+  Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.reset ();
+      Trace.set_max_records default_cap;
+      Trace.set_enabled was)
+    f
+
+(* ----- recording basics ----- *)
+
+let ti_ping = Trace.instant_type ~cat:"test" ~args:[ "k" ] "test.ping"
+let ts_outer = Trace.span_type ~cat:"test" "test.outer"
+let ts_inner = Trace.span_type ~cat:"test" ~args:[ "x"; "y" ] "test.inner"
+let tc_val = Trace.counter_type ~cat:"test" "test.val"
+
+let test_disabled_noop () =
+  Trace.set_enabled false;
+  Trace.reset ();
+  Trace.instant ti_ping ~a:1.0 ();
+  Trace.counter tc_val 2.0;
+  let r = Trace.with_span ts_outer (fun () -> 42) in
+  Alcotest.(check int) "with_span returns the body's value" 42 r;
+  Alcotest.(check int) "nothing recorded" 0 (Trace.stats ()).Trace.recorded;
+  Alcotest.(check bool) "no events" true (Trace.events () = [])
+
+let test_event_decoding () =
+  with_trace (fun () ->
+      Trace.with_span ts_inner ~a:3.0 ~b:4.0 (fun () ->
+          Trace.instant ti_ping ~a:7.0 ());
+      Trace.counter tc_val 9.0;
+      match Trace.events () with
+      | [ b; i; e; c ] ->
+        Alcotest.(check bool) "begin kind" true (b.Trace.ev_kind = Trace.Begin);
+        Alcotest.(check string) "begin name" "test.inner" b.Trace.ev_name;
+        Alcotest.(check string) "begin cat" "test" b.Trace.ev_cat;
+        Alcotest.(check bool)
+          "begin args carry the declared names" true
+          (b.Trace.ev_args = [ ("x", 3.0); ("y", 4.0) ]);
+        Alcotest.(check bool) "instant kind" true (i.Trace.ev_kind = Trace.Instant);
+        Alcotest.(check bool)
+          "instant arg" true
+          (i.Trace.ev_args = [ ("k", 7.0) ]);
+        Alcotest.(check bool) "end kind" true (e.Trace.ev_kind = Trace.End);
+        Alcotest.(check bool) "end carries no args" true (e.Trace.ev_args = []);
+        Alcotest.(check bool) "counter kind" true (c.Trace.ev_kind = Trace.Counter);
+        Alcotest.(check bool)
+          "counter value" true
+          (c.Trace.ev_args = [ ("value", 9.0) ])
+      | evs ->
+        Alcotest.failf "expected 4 events, got %d" (List.length evs))
+
+(* ----- bounded buffers ----- *)
+
+let test_wraparound_drop_accounting () =
+  with_trace (fun () ->
+      Trace.set_max_records 32;
+      for k = 1 to 100 do
+        Trace.instant ti_ping ~a:(float_of_int k) ()
+      done;
+      let s = Trace.stats () in
+      Alcotest.(check int) "kept exactly the cap" 32 s.Trace.recorded;
+      Alcotest.(check int) "every overflow counted" 68 s.Trace.dropped;
+      (* Drop-newest: the retained records are the oldest ones. *)
+      let evs = Trace.events () in
+      Alcotest.(check int) "events match recorded" 32 (List.length evs);
+      let first = List.hd evs and last = List.nth evs 31 in
+      Alcotest.(check bool)
+        "oldest record retained" true
+        (first.Trace.ev_args = [ ("k", 1.0) ]);
+      Alcotest.(check bool)
+        "newest retained is the 32nd" true
+        (last.Trace.ev_args = [ ("k", 32.0) ]);
+      (* Export must surface the loss, not hide it. *)
+      Alcotest.(check bool)
+        "drop count exported" true
+        (contains ~needle:"\"dropped_events\":68" (Trace.to_chrome_json ()));
+      (* reset clears the drop ledger too. *)
+      Trace.reset ();
+      Alcotest.(check int) "reset zeroes drops" 0 (Trace.stats ()).Trace.dropped)
+
+let test_cap_floor () =
+  with_trace (fun () ->
+      Trace.set_max_records 1;
+      (* Clamped to >= 16, so 16 records survive. *)
+      for k = 1 to 20 do
+        Trace.instant ti_ping ~a:(float_of_int k) ()
+      done;
+      Alcotest.(check int) "cap clamped to 16" 16 (Trace.stats ()).Trace.recorded)
+
+(* ----- cross-domain merge ----- *)
+
+let spawn_workload () =
+  (* Two raw domains plus the main one, each with a nested span pair and
+     a burst of instants; [Domain.spawn] works regardless of the
+     executor's core-count clamp. *)
+  let burn () =
+    (* Enough work that the outer span accrues its own self time (the
+       flamegraph only emits stacks with nonzero self attribution). *)
+    ignore (Sys.opaque_identity (Array.init 10_000 float_of_int))
+  in
+  let worker tag () =
+    Trace.with_span ts_outer (fun () ->
+        burn ();
+        Trace.with_span ts_inner ~a:tag (fun () ->
+            for k = 1 to 50 do
+              Trace.instant ti_ping ~a:(tag +. float_of_int k) ()
+            done);
+        burn ())
+  in
+  let d1 = Domain.spawn (worker 1000.0) in
+  let d2 = Domain.spawn (worker 2000.0) in
+  worker 0.0 ();
+  Domain.join d1;
+  Domain.join d2
+
+let test_merge_deterministic () =
+  with_trace (fun () ->
+      spawn_workload ();
+      let evs = Trace.events () in
+      let s = Trace.stats () in
+      Alcotest.(check int) "3 tracks" 3 s.Trace.tracks;
+      (* Per domain: outer B/E, inner B/E, 50 instants = 54 records. *)
+      Alcotest.(check int)
+        "3 domains x 54 records" (3 * 54) (List.length evs);
+      Alcotest.(check int) "nothing dropped" 0 s.Trace.dropped;
+      (* Re-reading the same buffers must give the identical merge. *)
+      Alcotest.(check bool)
+        "merge is reproducible" true
+        (evs = Trace.events ());
+      (* Global order is sorted by timestamp. *)
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+          a.Trace.ev_ts_ns <= b.Trace.ev_ts_ns && sorted rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "globally time-sorted" true (sorted evs);
+      (* Per-track order must be append order: timestamps nondecreasing
+         and spans strictly nested (every End closes the latest Begin). *)
+      List.iter
+        (fun tid ->
+          let track =
+            List.filter (fun e -> e.Trace.ev_tid = tid) evs
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "track %d time-sorted" tid)
+            true (sorted track);
+          let depth =
+            List.fold_left
+              (fun d e ->
+                Alcotest.(check bool) "no unmatched End" true (d >= 0);
+                match e.Trace.ev_kind with
+                | Trace.Begin -> d + 1
+                | Trace.End -> d - 1
+                | _ -> d)
+              0 track
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "track %d spans balanced" tid)
+            0 depth)
+        [ 0; 1; 2 ])
+
+(* ----- the zero-perturbation invariant ----- *)
+
+let sampled_arc ~kernel () =
+  let cell = Cell.make Cell.Inv ~strength:1 in
+  Monte_carlo.arc_delays_sampled ~exec:Executor.sequential ~kernel
+    ~sampling:Sampler.Mc ~rtol:0.3 tech (Rng.create ~seed:7) ~n:2048
+    ~plan:(fun () -> Cell.plan tech cell ~output_edge:`Rise)
+    ~input_slew:40e-12
+    ~load_cap:(Cell.fo4_load tech cell)
+
+let test_bit_identical_on_off () =
+  (* The adaptive path exercises the convergence-event emission, which
+     sorts copies of the population; stopping decisions must not move. *)
+  List.iter
+    (fun (kname, kernel) ->
+      Trace.set_enabled false;
+      let off = sampled_arc ~kernel () in
+      let on = with_trace (fun () -> sampled_arc ~kernel ()) in
+      Alcotest.(check bool)
+        (kname ^ ": delays bit-identical with tracing on vs off")
+        true
+        (off.Monte_carlo.s_delays = on.Monte_carlo.s_delays);
+      Alcotest.(check bool)
+        (kname ^ ": out slews bit-identical")
+        true
+        (off.Monte_carlo.s_out_slews = on.Monte_carlo.s_out_slews);
+      Alcotest.(check int)
+        (kname ^ ": same batch count")
+        off.Monte_carlo.s_batches on.Monte_carlo.s_batches)
+    [ ("fast", Cell_sim.Fast); ("rk4", Cell_sim.Rk4) ]
+
+let small_table ~exec () =
+  Ch.characterize ~n_mc:64 ~seed:3 ~slews:[| 10e-12; 60e-12 |]
+    ~loads:[| 0.5e-15; 2e-15 |] ~exec ~kernel:Cell_sim.Fast ~rtol:0.4 tech
+    (Cell.make Cell.Nand2 ~strength:1)
+    ~edge:`Fall
+
+let test_characterize_bit_identical_on_off () =
+  Trace.set_enabled false;
+  let off = small_table ~exec:Executor.sequential () in
+  let on = with_trace (fun () -> small_table ~exec:Executor.sequential ()) in
+  Alcotest.(check bool)
+    "characterised tables bit-identical with tracing on vs off" true
+    (off.Ch.points = on.Ch.points)
+
+(* ----- convergence event stream ----- *)
+
+let count_named evs name =
+  List.length (List.filter (fun e -> e.Trace.ev_name = name) evs)
+
+let test_convergence_events () =
+  with_trace (fun () ->
+      let r = sampled_arc ~kernel:Cell_sim.Fast () in
+      let evs = Trace.events () in
+      let batches =
+        List.filter (fun e -> e.Trace.ev_name = "sampling.batch") evs
+      in
+      (* One verdict per adaptive batch, in the sampling category. *)
+      Alcotest.(check int)
+        "one batch event per batch" r.Monte_carlo.s_batches
+        (List.length batches);
+      List.iter
+        (fun e ->
+          Alcotest.(check string) "sampling category" "sampling" e.Trace.ev_cat;
+          List.iter
+            (fun k ->
+              Alcotest.(check bool)
+                (Printf.sprintf "batch event carries %s" k)
+                true
+                (List.mem_assoc k e.Trace.ev_args))
+            [ "target"; "ci_rel"; "converged"; "capped" ])
+        batches;
+      (* The final verdict is the one that stopped the loop. *)
+      let last = List.nth batches (List.length batches - 1) in
+      let drawn = Array.length r.Monte_carlo.s_delays in
+      Alcotest.(check (float 0.0))
+        "final target equals samples drawn" (float_of_int drawn)
+        (List.assoc "target" last.Trace.ev_args);
+      Alcotest.(check bool)
+        "final batch converged or capped" true
+        (List.assoc "converged" last.Trace.ev_args = 1.0
+        || List.assoc "capped" last.Trace.ev_args = 1.0);
+      Alcotest.(check bool)
+        "drawn counter sampled" true
+        (count_named evs "sampling.drawn" >= 1))
+
+let test_seq_vs_pool_event_population () =
+  (* The sampling-event stream derives only from the (deterministic)
+     stopping decisions, so its population is independent of the
+     executor — including on hosts where a requested pool clamps to
+     sequential. *)
+  let names_of evs =
+    List.sort compare
+      (List.filter_map
+         (fun e ->
+           if e.Trace.ev_cat = "sampling" then
+             Some (e.Trace.ev_name, e.Trace.ev_args)
+           else None)
+         evs)
+  in
+  let run exec =
+    with_trace (fun () ->
+        ignore (small_table ~exec ());
+        names_of (Trace.events ()))
+  in
+  let seq = run Executor.sequential in
+  let pool = Executor.domain_pool ~jobs:2 () in
+  let par = run pool in
+  Alcotest.(check bool)
+    "sampling events identical under seq and pool" true (seq = par)
+
+(* ----- stage spans and GC probes ----- *)
+
+let test_metrics_span_emits_trace_and_gc () =
+  with_trace (fun () ->
+      let r =
+        Metrics.span "trace_test" (fun () ->
+            (* Churn enough small boxed values to force a minor
+               collection: native code only refreshes the quick_stat
+               minor-words counter at GC points, so a burst that fits in
+               the minor heap would read as a zero delta. *)
+            let n = ref 0 in
+            for i = 1 to 1_000_000 do
+              let cell = Sys.opaque_identity (i, float_of_int i) in
+              if fst cell land 1 = 0 then incr n
+            done;
+            !n)
+      in
+      Alcotest.(check int) "span body ran" 500_000 r;
+      let evs = Trace.events () in
+      Alcotest.(check int) "stage span opened" 1
+        (List.length
+           (List.filter
+              (fun e ->
+                e.Trace.ev_name = "stage.trace_test"
+                && e.Trace.ev_kind = Trace.Begin)
+              evs));
+      let probes = List.filter (fun e -> e.Trace.ev_name = "gc.probe") evs in
+      Alcotest.(check bool) "GC probe attached" true (probes <> []);
+      let p = List.hd probes in
+      Alcotest.(check string) "gc category" "gc" p.Trace.ev_cat;
+      Alcotest.(check bool)
+        "allocation delta observed" true
+        (List.assoc "minor_words" p.Trace.ev_args > 0.0))
+
+(* ----- Chrome trace-event export ----- *)
+
+let test_chrome_json_schema () =
+  with_trace (fun () ->
+      spawn_workload ();
+      Trace.counter tc_val 5.0;
+      let json = Trace.to_chrome_json () in
+      let count c =
+        String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 json
+      in
+      Alcotest.(check int) "balanced braces" (count '{') (count '}');
+      Alcotest.(check int) "balanced brackets" (count '[') (count ']');
+      Alcotest.(check bool) "even quote count" true (count '"' mod 2 = 0);
+      Alcotest.(check bool)
+        "no trailing comma" false
+        (contains ~needle:",}" json || contains ~needle:", }" json);
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "export contains %S" needle)
+            true (contains ~needle json))
+        [
+          "\"traceEvents\"";
+          "\"thread_name\"";
+          "\"ph\":\"B\"";
+          "\"ph\":\"E\"";
+          "\"ph\":\"i\"";
+          "\"ph\":\"C\"";
+          "\"schema\":\"nsigma-trace\"";
+          "\"tracks\":3";
+          "\"dropped_events\":0";
+        ];
+      (* One thread_name metadata record per track. *)
+      let rec occurrences i acc =
+        if i + 13 > String.length json then acc
+        else if String.sub json i 13 = "\"thread_name\"" then
+          occurrences (i + 13) (acc + 1)
+        else occurrences (i + 1) acc
+      in
+      Alcotest.(check int) "one thread_name per track" 3 (occurrences 0 0))
+
+(* ----- flamegraph export ----- *)
+
+let test_folded_format () =
+  with_trace (fun () ->
+      spawn_workload ();
+      let folded = Trace.to_folded () in
+      Alcotest.(check bool) "non-empty" true (String.length folded > 0);
+      Alcotest.(check bool)
+        "ends with newline" true
+        (folded.[String.length folded - 1] = '\n');
+      let lines =
+        String.split_on_char '\n' folded
+        |> List.filter (fun l -> l <> "")
+      in
+      List.iter
+        (fun line ->
+          (* "stack;frames self_ns": exactly one space, numeric suffix. *)
+          match String.rindex_opt line ' ' with
+          | None -> Alcotest.failf "no separator in %S" line
+          | Some i ->
+            let stack = String.sub line 0 i in
+            let ns = String.sub line (i + 1) (String.length line - i - 1) in
+            Alcotest.(check bool)
+              (Printf.sprintf "stack prefix in %S" line)
+              true
+              (String.length stack > 0 && contains ~needle:"domain-" stack);
+            Alcotest.(check bool)
+              (Printf.sprintf "no embedded spaces in %S" line)
+              false
+              (String.contains stack ' ');
+            (match int_of_string_opt ns with
+            | Some v ->
+              Alcotest.(check bool)
+                (Printf.sprintf "positive self time in %S" line)
+                true (v > 0)
+            | None -> Alcotest.failf "self time not numeric in %S" line))
+        lines;
+      (* The nested workload yields both the outer-only and
+         outer;inner stacks on each of the three tracks.  Track ids
+         depend on how many domains earlier tests registered, so derive
+         the names from the output itself. *)
+      let stacks = List.map (fun l ->
+          String.sub l 0 (String.rindex l ' ')) lines
+      in
+      let domains =
+        List.sort_uniq compare
+          (List.map
+             (fun s ->
+               match String.index_opt s ';' with
+               | Some i -> String.sub s 0 i
+               | None -> s)
+             stacks)
+      in
+      Alcotest.(check int) "three domains in the flamegraph" 3
+        (List.length domains);
+      List.iter
+        (fun d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s stacks present" d)
+            true
+            (List.mem (d ^ ";test.outer") stacks
+            && List.mem (d ^ ";test.outer;test.inner") stacks))
+        domains;
+      Alcotest.(check bool)
+        "lines sorted" true
+        (lines = List.sort String.compare lines))
+
+let test_write_artifacts () =
+  with_trace (fun () ->
+      Trace.instant ti_ping ~a:1.0 ();
+      let path = Filename.temp_file "nsigma_trace" ".json" in
+      Fun.protect
+        ~finally:(fun () ->
+          if Sys.file_exists path then Sys.remove path;
+          if Sys.file_exists (path ^ ".folded") then
+            Sys.remove (path ^ ".folded"))
+        (fun () ->
+          Trace.write path;
+          Alcotest.(check bool) "json written" true (Sys.file_exists path);
+          Alcotest.(check bool)
+            "folded sibling written" true
+            (Sys.file_exists (path ^ ".folded"));
+          let ic = open_in path in
+          let len = in_channel_length ic in
+          let body = really_input_string ic len in
+          close_in ic;
+          Alcotest.(check bool)
+            "file holds the chrome export" true
+            (contains ~needle:"\"traceEvents\"" body)))
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "recording",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "event decoding" `Quick test_event_decoding;
+        ] );
+      ( "buffers",
+        [
+          Alcotest.test_case "wraparound drop accounting" `Quick
+            test_wraparound_drop_accounting;
+          Alcotest.test_case "cap floor" `Quick test_cap_floor;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "deterministic across domains" `Quick
+            test_merge_deterministic;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "sampled arc bit-identical on/off (both kernels)"
+            `Quick test_bit_identical_on_off;
+          Alcotest.test_case "characterize bit-identical on/off" `Quick
+            test_characterize_bit_identical_on_off;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "convergence stream" `Quick test_convergence_events;
+          Alcotest.test_case "seq vs pool populations" `Quick
+            test_seq_vs_pool_event_population;
+          Alcotest.test_case "stage spans carry GC probes" `Quick
+            test_metrics_span_emits_trace_and_gc;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome JSON schema" `Quick test_chrome_json_schema;
+          Alcotest.test_case "flamegraph folded format" `Quick
+            test_folded_format;
+          Alcotest.test_case "write artifacts" `Quick test_write_artifacts;
+        ] );
+    ]
