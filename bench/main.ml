@@ -42,6 +42,8 @@ module Provider = Nsigma_sta.Provider
 module Path = Nsigma_sta.Path
 module Path_mc = Nsigma_sta.Path_mc
 module Ssta = Nsigma_sta.Ssta
+module Incremental = Nsigma_sta.Incremental
+module Edit = Nsigma_netlist.Edit
 module Stat_max = Nsigma_stats.Stat_max
 module Model = Nsigma.Model
 module Cell_model = Nsigma.Cell_model
@@ -1990,13 +1992,294 @@ let ssta_bench () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Incremental re-timing: per-edit fan-out-cone re-evaluation vs an   *)
+(* honest from-scratch pass, plus provider-store cold/warm startup.   *)
+(* ------------------------------------------------------------------ *)
+
+let incr_circuit =
+  match Sys.getenv_opt "NSIGMA_BENCH_INCR_CIRCUIT" with
+  | Some v when v <> "" -> v
+  | _ -> "c5315"
+
+let incr_edits = env_int "NSIGMA_BENCH_INCR_EDITS" 24
+
+let incr_min_speedup =
+  match Sys.getenv_opt "NSIGMA_BENCH_INCR_MIN_SPEEDUP" with
+  | Some v -> (try float_of_string v with _ -> 10.0)
+  | None -> 10.0
+
+let incr_max_warm_frac =
+  match Sys.getenv_opt "NSIGMA_BENCH_INCR_MAX_WARM_FRAC" with
+  | Some v -> (try float_of_string v with _ -> 0.05)
+  | None -> 0.05
+
+(* Characterisation-grade regression sampling (the default 128 is a
+   smoke setting: at 128 paired samples the moment-regression
+   coefficients carry ~9% noise).  Shared by the incremental handle,
+   the store-timing handles and every from-scratch provider — the two
+   sides must agree on every provider knob for bitwise identity. *)
+let incr_frac = env_int "NSIGMA_BENCH_INCR_FRAC" 4096
+
+(* Longest downstream distance (in gate stages) from each gate to a
+   primary output — every gate downstream of g has a strictly smaller
+   depth, so depth bounds the re-timing cone. *)
+let downstream_depth (nl : N.t) =
+  let order = N.topo_order nl in
+  let fanouts = N.fanouts_of nl in
+  let depth = Array.make (Array.length nl.N.gates) 0 in
+  for i = Array.length order - 1 downto 0 do
+    let g = order.(i) in
+    depth.(g) <-
+      List.fold_left
+        (fun acc (sg, _) -> if sg >= 0 then max acc (1 + depth.(sg)) else acc)
+        0
+        fanouts.(nl.N.gates.(g).N.output)
+  done;
+  depth
+
+(* A deterministic ECO-shaped workload — cell resizes, wire re-routes
+   and sink-load bumps.  Two-thirds of the edits target the endpoint
+   region (gates within a few stages of a primary output), where timing
+   ECOs actually land — fixing a failing endpoint means touching the
+   last stages of its path; the remaining third lands anywhere, so the
+   recorded speedup distribution also covers deep mid-cone edits whose
+   perturbation cascades through half the circuit.  The same sequence
+   is applied to the incremental design and its from-scratch twin, so
+   every edit must validate against both (they start structurally
+   identical). *)
+let incr_workload st (nl : N.t) n =
+  let fanouts = N.fanouts_of nl in
+  let drivers = N.driver_of nl in
+  let n_gates = Array.length nl.N.gates in
+  let depth = downstream_depth nl in
+  let shallow =
+    List.filter (fun g -> depth.(g) <= 6) (List.init n_gates Fun.id)
+    |> Array.of_list
+  in
+  (* A swap also invalidates its input nets (pin caps), re-timing the
+     input drivers' cones — an endpoint swap site must keep that whole
+     frontier in the endpoint region. *)
+  let shallow_swap =
+    Array.to_list shallow
+    |> List.filter (fun g ->
+           Array.for_all
+             (fun net -> drivers.(net) < 0 || depth.(drivers.(net)) <= 6)
+             nl.N.gates.(g).N.inputs)
+    |> Array.of_list
+  in
+  let pick_from pool fallback =
+    if Array.length pool > 0 then pool.(Random.State.int st (Array.length pool))
+    else fallback ()
+  in
+  let pick_gate endpointish =
+    if endpointish then
+      pick_from shallow (fun () -> Random.State.int st n_gates)
+    else Random.State.int st n_gates
+  in
+  let pick_swap_gate endpointish =
+    if endpointish then
+      pick_from shallow_swap (fun () -> pick_gate endpointish)
+    else Random.State.int st n_gates
+  in
+  let swap ep =
+    let gi = pick_swap_gate ep in
+    let cur = nl.N.gates.(gi).N.cell in
+    let choices =
+      List.filter (fun s -> s <> cur.Cell.strength) Cell.standard_strengths
+    in
+    let strength = List.nth choices (Random.State.int st (List.length choices)) in
+    Edit.Swap_cell { gate = gi; cell = Cell.make cur.Cell.kind ~strength }
+  in
+  let scale ep =
+    let net = nl.N.gates.(pick_gate ep).N.output in
+    Edit.Scale_wire
+      {
+        net;
+        r_scale = 0.8 +. Random.State.float st 0.7;
+        c_scale = 0.8 +. Random.State.float st 0.7;
+      }
+  in
+  let rec bump ep =
+    let net = nl.N.gates.(pick_gate ep).N.output in
+    match List.length fanouts.(net) with
+    | 0 -> bump ep
+    | k ->
+      Edit.Bump_sink_load
+        {
+          net;
+          sink = Random.State.int st k;
+          delta_cap = (0.2 +. Random.State.float st 1.8) *. 1e-15;
+        }
+  in
+  ( Array.length shallow,
+    List.init n (fun i ->
+        let ep = i * 3 < 2 * n in
+        match i mod 3 with 0 -> swap ep | 1 -> scale ep | _ -> bump ep) )
+
+let incr_bench () =
+  header "Incremental re-timing — per-edit cone re-evaluation vs from-scratch";
+  let lib = library () in
+  let nl = (Bm.find incr_circuit).Bm.generate () in
+  let nl_twin = (Bm.find incr_circuit).Bm.generate () in
+  let design = Design.attach_parasitics tech nl in
+  let twin = Design.attach_parasitics tech nl_twin in
+  let n_shallow, edits =
+    incr_workload (Random.State.make [| 0x1ce |]) nl incr_edits
+  in
+  Printf.printf
+    "circuit %s: %d gates, %d nets, %d POs; %d edits (2/3 in the %d-gate \
+     endpoint region, 1/3 anywhere)\n%!"
+    incr_circuit
+    (Array.length nl.N.gates)
+    nl.N.n_nets
+    (Array.length nl.N.primary_outputs)
+    (List.length edits) n_shallow;
+  let was_enabled = Metrics.enabled () in
+  Metrics.set_enabled true;
+  (* Provider store: time the whole per-(cell, edge) regression cost
+     cold (empty store) and store-warm (second fresh handle, same
+     directory) — the warm load must be a small fraction of cold. *)
+  let store_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nsigma_bench_incr_store_%d" (Unix.getpid ()))
+  in
+  (if Sys.file_exists store_dir then
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat store_dir f))
+       (Sys.readdir store_dir)
+   else Unix.mkdir store_dir 0o755);
+  let cold_handle =
+    Ssta.lvf_handle ~frac_samples:incr_frac ~store_dir:(Some store_dir) tech
+      lib design
+  in
+  let t0 = Unix.gettimeofday () in
+  cold_handle.Ssta.h_prewarm ();
+  let cold_s = Unix.gettimeofday () -. t0 in
+  (* Steady-state warm load: best of three fresh handles, so one cold
+     page-cache read or GC pause doesn't swamp a measurement that is
+     only tens of milliseconds of file I/O. *)
+  let warm_once () =
+    let h =
+      Ssta.lvf_handle ~frac_samples:incr_frac ~store_dir:(Some store_dir) tech
+        lib design
+    in
+    let t0 = Unix.gettimeofday () in
+    h.Ssta.h_prewarm ();
+    (Unix.gettimeofday () -. t0, h)
+  in
+  let warm_s, handle =
+    let w1, _ = warm_once () in
+    let w2, _ = warm_once () in
+    let w3, h = warm_once () in
+    (Float.min w1 (Float.min w2 w3), h)
+  in
+  let store_hits = Metrics.find_counter "provider.store.hit" in
+  let store_misses = Metrics.find_counter "provider.store.miss" in
+  let warm_frac = warm_s /. Float.max 1e-9 cold_s in
+  Printf.printf
+    "  provider store: cold %.2fs, warm %.3fs (%.1f%% of cold; %d hits, %d \
+     misses)\n%!"
+    cold_s warm_s (pct warm_frac) store_hits store_misses;
+  let t0 = Unix.gettimeofday () in
+  let inc = Incremental.init tech handle design in
+  let init_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "  initial full pass: %.2fs\n%!" init_s;
+  (* Per edit: incremental apply vs an honest from-scratch re-analysis —
+     fresh provider with the store disabled (cold regressions) plus a
+     full pass — on a twin design receiving the same edit sequence. *)
+  let n_edits = List.length edits in
+  let speedups = Array.make n_edits 0.0 in
+  let all_identical = ref true in
+  let total_dirty = ref 0 and total_cutoffs = ref 0 and total_inval = ref 0 in
+  List.iteri
+    (fun i edit ->
+      (* Describe before applying: a swap reads the current cell. *)
+      let described = Edit.describe nl edit in
+      let stats = Incremental.apply inc edit in
+      let inc_report = Incremental.report inc in
+      ignore (Design.apply_edit twin edit);
+      let t0 = Unix.gettimeofday () in
+      let scratch_provider =
+        Ssta.lvf_provider ~frac_samples:incr_frac ~store_dir:None tech lib twin
+      in
+      let scratch = Ssta.analyze tech scratch_provider twin in
+      let scratch_s = Unix.gettimeofday () -. t0 in
+      let identical = Incremental.reports_bit_identical inc_report scratch in
+      if not identical then all_identical := false;
+      let sp = scratch_s /. Float.max 1e-9 stats.Incremental.st_seconds in
+      speedups.(i) <- sp;
+      total_dirty := !total_dirty + stats.Incremental.st_dirty;
+      total_cutoffs := !total_cutoffs + stats.Incremental.st_cutoffs;
+      total_inval := !total_inval + stats.Incremental.st_invalidated;
+      Printf.printf
+        "  edit %2d: %-44s %7.1f ms vs %5.2f s scratch (%6.1fx, %d dirty, %d \
+         cutoffs%s)\n%!"
+        (i + 1) described
+        (stats.Incremental.st_seconds *. 1e3)
+        scratch_s sp stats.Incremental.st_dirty stats.Incremental.st_cutoffs
+        (if identical then "" else ", NOT BIT-IDENTICAL"))
+    edits;
+  Metrics.set_enabled was_enabled;
+  let sorted = Array.copy speedups in
+  Array.sort compare sorted;
+  let median =
+    if n_edits = 0 then 0.0
+    else if n_edits mod 2 = 1 then sorted.(n_edits / 2)
+    else 0.5 *. (sorted.((n_edits / 2) - 1) +. sorted.(n_edits / 2))
+  in
+  let pass =
+    median >= incr_min_speedup
+    && !all_identical
+    && warm_frac <= incr_max_warm_frac
+  in
+  Printf.printf
+    "  median speedup %.1fx (min %.1fx, max %.1fx); bit-identical %b; warm \
+     store %.1f%% of cold (max %.1f%%)\n"
+    median sorted.(0)
+    sorted.(n_edits - 1)
+    !all_identical (pct warm_frac) (pct incr_max_warm_frac);
+  let speedups_json =
+    String.concat ", "
+      (Array.to_list (Array.map (Printf.sprintf "%.2f") speedups))
+  in
+  let json =
+    Printf.sprintf
+      {|{"experiment": "incr", "circuit": "%s", "gates": %d, "nets": %d, "edits": %d, "init_seconds": %.3f, "median_speedup": %.2f, "min_edit_speedup": %.2f, "max_edit_speedup": %.2f, "speedups": [%s], "min_speedup": %.1f, "bit_identical": %b, "store_cold_seconds": %.3f, "store_warm_seconds": %.4f, "warm_frac": %.4f, "max_warm_frac": %.3f, "store_hits": %d, "store_misses": %d, "dirty_gates": %d, "cutoff_hits": %d, "invalidated_nets": %d, "pass": %b}|}
+      incr_circuit
+      (Array.length nl.N.gates)
+      nl.N.n_nets n_edits init_s median sorted.(0)
+      sorted.(n_edits - 1)
+      speedups_json incr_min_speedup !all_identical cold_s warm_s warm_frac
+      incr_max_warm_frac store_hits store_misses !total_dirty !total_cutoffs
+      !total_inval pass
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_incr.json" in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Printf.printf "  appended to BENCH_incr.json\n";
+  (* The store was scratch space for the cold/warm measurement. *)
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat store_dir f))
+    (Sys.readdir store_dir);
+  (try Unix.rmdir store_dir with Unix.Unix_error _ -> ());
+  if not pass then begin
+    Printf.eprintf
+      "incr bench FAILED: median speedup %.1fx (need >= %.1fx), bit-identical \
+       %b, warm store %.1f%% of cold (need <= %.1f%%)\n"
+      median incr_min_speedup !all_identical (pct warm_frac)
+      (pct incr_max_warm_frac);
+    exit 1
+  end
+
 (* Every experiment the dispatch below accepts, in menu order — the
    single source for both the usage line and the unknown-name error. *)
 let experiments =
   [ "fig2"; "fig3"; "fig4"; "table1"; "table2"; "fig7"; "fig8"; "fig9";
     "fig10"; "fig11"; "table3"; "speedup"; "exec"; "kernel"; "obs"; "trace";
-    "plan"; "sampling"; "batch"; "ssta"; "ablation"; "highsigma"; "micro";
-    "all" ]
+    "plan"; "sampling"; "batch"; "ssta"; "incr"; "ablation"; "highsigma";
+    "micro"; "all" ]
 
 let usage () =
   Printf.printf
@@ -2078,6 +2361,7 @@ let () =
   | "sampling" :: _ -> sampling_bench ()
   | "batch" :: _ -> batch_bench ()
   | "ssta" :: _ -> ssta_bench ()
+  | "incr" :: _ -> incr_bench ()
   | "ablation" :: _ -> ablation ()
   | "highsigma" :: _ -> highsigma ()
   | "micro" :: _ -> micro ()

@@ -27,6 +27,8 @@ module Provider = Nsigma_sta.Provider
 module Path = Nsigma_sta.Path
 module Path_mc = Nsigma_sta.Path_mc
 module Ssta = Nsigma_sta.Ssta
+module Incremental = Nsigma_sta.Incremental
+module Edit = Nsigma_netlist.Edit
 module Stat_max = Nsigma_stats.Stat_max
 module Moments = Nsigma_stats.Moments
 module Sampler = Nsigma_stats.Sampler
@@ -159,6 +161,24 @@ let sampling_of_flags sampling rtol =
   Obs_report.set_context "rtol"
     (match rtol with None -> "off" | Some r -> Printf.sprintf "%.9g" r);
   (backend, rtol)
+
+let provider_cache_arg =
+  let doc =
+    "On-disk store for the SSTA provider's per-(cell, edge) moment \
+     regressions: artifacts are content-addressed by the library \
+     fingerprint and provider knobs, so a warm start is bitwise \
+     identical to a cold one.  Pass a directory to pin it, $(b,off) to \
+     disable.  Defaults to $(b,NSIGMA_PROVIDER_CACHE) (unset: no \
+     store)."
+  in
+  Arg.(value & opt (some string) None & info [ "provider-cache" ] ~docv:"DIR" ~doc)
+
+(* None → omit the argument (env default applies); "off" → explicitly
+   disabled; anything else → pinned directory. *)
+let store_dir_of = function
+  | None -> None
+  | Some "off" -> Some None
+  | Some dir -> Some (Some dir)
 
 let metrics_arg =
   let doc =
@@ -380,7 +400,8 @@ let analyze_cmd =
     Arg.(value & opt (some float) None & info [ "period" ] ~docv:"PS" ~doc)
   in
   let run vdd library circuit verilog sigma mc coeffs jobs kernel sampling rtol
-      batch no_bit_identical engine maxop period metrics trace progress =
+      batch no_bit_identical engine maxop period provider_cache metrics trace
+      progress =
     setup_obs ~metrics ~trace ~progress ();
     check_mc ~allow_zero:true mc;
     (match period with
@@ -451,7 +472,8 @@ let analyze_cmd =
         (Stat_max.operator_name maxop);
       let provider =
         Metrics.span "cli.ssta_provider" (fun () ->
-            Ssta.lvf_provider ~exec ~batch ~approx tech lib design)
+            Ssta.lvf_provider ~exec ~batch ~approx
+              ?store_dir:(store_dir_of provider_cache) tech lib design)
       in
       let report = Ssta.analyze ~config tech provider design in
       let worst = Ssta.circuit_dist report in
@@ -486,12 +508,176 @@ let analyze_cmd =
       const run $ vdd_arg $ library_arg $ circuit_arg $ verilog_arg $ sigma_arg
       $ mc_arg 0 $ coeffs_arg $ jobs_arg $ kernel_arg $ sampling_arg $ rtol_arg
       $ batch_arg $ no_bit_identical_arg $ engine_arg $ max_arg $ period_arg
-      $ metrics_arg $ trace_arg $ progress_arg)
+      $ provider_cache_arg $ metrics_arg $ trace_arg $ progress_arg)
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Statistical path analysis of a circuit with the N-sigma model \
              (optionally verified by path Monte-Carlo).")
+    term
+
+(* ---- retime ---- *)
+
+let retime_cmd =
+  let circuit_arg =
+    let doc = "Built-in benchmark circuit name (c432..c7552, ADD, SUB, MUL, DIV)." in
+    Arg.(value & opt (some string) None & info [ "circuit"; "c" ] ~docv:"NAME" ~doc)
+  in
+  let verilog_arg =
+    let doc = "Verilog-lite netlist file to analyse instead of a benchmark." in
+    Arg.(value & opt (some string) None & info [ "verilog" ] ~docv:"FILE" ~doc)
+  in
+  let edits_arg =
+    let doc =
+      "JSON-lines edit script: one edit object per line, e.g. \
+       {\"op\": \"swap_cell\", \"gate\": \"g42\", \"cell\": \"NAND2X4\"}, \
+       {\"op\": \"scale_wire\", \"net\": \"n17\", \"r\": 1.25, \"c\": 0.8} or \
+       {\"op\": \"bump_sink_load\", \"net\": \"n17\", \"sink\": 0, \
+       \"delta_ff\": 1.5}.  Blank lines and lines starting with $(b,#) are \
+       skipped."
+    in
+    Arg.(required & opt (some string) None & info [ "edits" ] ~docv:"FILE" ~doc)
+  in
+  let max_arg =
+    let doc = "Statistical max operator: $(b,clark) or $(b,moment)." in
+    Arg.(
+      value
+      & opt (enum [ ("clark", Stat_max.Clark); ("moment", Stat_max.Moment) ])
+          Stat_max.Clark
+      & info [ "max" ] ~docv:"NAME" ~doc)
+  in
+  let period_arg =
+    let doc =
+      "Clock period (ps) for the slack report.  Default: the baseline's \
+       worst +3$(b,σ) arrival, so deltas read against a zero-WNS start."
+    in
+    Arg.(value & opt (some float) None & info [ "period" ] ~docv:"PS" ~doc)
+  in
+  (* Read the JSON-lines edit script, keeping source line numbers for
+     error messages; validation errors surface as path:lineno: msg. *)
+  let read_edits nl path =
+    let ic =
+      try open_in path
+      with Sys_error msg ->
+        raise (Cli_error (Printf.sprintf "cannot read edit script: %s" msg))
+    in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let edits = ref [] in
+    let lineno = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         incr lineno;
+         let t = String.trim line in
+         if t <> "" && t.[0] <> '#' then
+           match Edit.of_json nl t with
+           | e -> edits := (!lineno, e) :: !edits
+           | exception Edit.Edit_error msg ->
+             raise (Cli_error (Printf.sprintf "%s:%d: %s" path !lineno msg))
+       done
+     with End_of_file -> ());
+    List.rev !edits
+  in
+  let run vdd library circuit verilog edits_file jobs maxop period
+      provider_cache metrics trace progress =
+    setup_obs ~metrics ~trace ~progress ();
+    (match period with
+    | Some p when p <= 0.0 ->
+      failwith (Printf.sprintf "--period must be positive (got %g ps)" p)
+    | _ -> ());
+    let tech = tech_of_vdd vdd in
+    let exec = exec_of_jobs jobs in
+    let lib =
+      Metrics.span "cli.load_library" (fun () -> Library.load tech library)
+    in
+    let nl =
+      match (circuit, verilog) with
+      | Some name, _ -> (
+        match Bm.find name with
+        | bm -> bm.Bm.generate ()
+        | exception Not_found ->
+          failwith
+            (Printf.sprintf "unknown circuit %S (available: %s)" name
+               (String.concat ", " (List.map (fun b -> b.Bm.name) Bm.all))))
+      | None, Some file -> V.read_file file
+      | None, None -> failwith "pass --circuit or --verilog"
+    in
+    Printf.printf "%s\n%!" (N.stats nl);
+    let edits = read_edits nl edits_file in
+    let design = Design.attach_parasitics tech nl in
+    let config = { Ssta.op = maxop; corr = Ssta.Tracked } in
+    let handle =
+      Metrics.span "cli.ssta_provider" (fun () ->
+          Ssta.lvf_handle ~exec ?store_dir:(store_dir_of provider_cache) tech
+            lib design)
+    in
+    let inc = Incremental.init ~config tech handle design in
+    let summary report period =
+      let worst = Ssta.circuit_dist report in
+      let slack = Timing_report.of_ssta ~period report in
+      ( worst.Ssta.d_mean,
+        Ssta.quantile worst ~sigma:3.0,
+        slack.Timing_report.s_wns,
+        slack.Timing_report.s_tns )
+    in
+    let base = Incremental.report inc in
+    let base_q3 = Ssta.quantile (Ssta.circuit_dist base) ~sigma:3.0 in
+    let period =
+      match period with Some ps -> ps *. 1e-12 | None -> base_q3
+    in
+    let mu0, q30, wns0, tns0 = summary base period in
+    Printf.printf
+      "baseline (%s max): mu=%.1f ps, +3σ=%.1f ps, WNS=%.1f ps, TNS=%.1f ps\n%!"
+      (Stat_max.operator_name maxop) (mu0 *. 1e12) (q30 *. 1e12)
+      (wns0 *. 1e12) (tns0 *. 1e12);
+    let prev = ref (mu0, q30, wns0, tns0) in
+    List.iteri
+      (fun i (lineno, edit) ->
+        (* Describe before applying: a swap reads the current cell. *)
+        let described = Edit.describe nl edit in
+        let stats =
+          match Incremental.apply inc edit with
+          | s -> s
+          | exception Edit.Edit_error msg ->
+            raise
+              (Cli_error (Printf.sprintf "%s:%d: %s" edits_file lineno msg))
+        in
+        let mu, q3, wns, tns = summary (Incremental.report inc) period in
+        let pmu, pq3, pwns, ptns = !prev in
+        prev := (mu, q3, wns, tns);
+        Printf.printf
+          "edit %d: %s\n  Δmu=%+.2f ps  Δ+3σ=%+.2f ps  ΔWNS=%+.2f ps  \
+           ΔTNS=%+.2f ps  (%d nets invalidated, %d gates re-timed, %d \
+           cutoffs, %.2f ms)\n%!"
+          (i + 1) described
+          ((mu -. pmu) *. 1e12)
+          ((q3 -. pq3) *. 1e12)
+          ((wns -. pwns) *. 1e12)
+          ((tns -. ptns) *. 1e12)
+          stats.Incremental.st_invalidated stats.Incremental.st_dirty
+          stats.Incremental.st_cutoffs
+          (stats.Incremental.st_seconds *. 1e3))
+      edits;
+    let mu, q3, wns, tns = summary (Incremental.report inc) period in
+    Printf.printf
+      "after %d edits: mu=%.1f ps (%+.2f), +3σ=%.1f ps (%+.2f), WNS=%.1f \
+       ps, TNS=%.1f ps\n"
+      (List.length edits) (mu *. 1e12)
+      ((mu -. mu0) *. 1e12)
+      (q3 *. 1e12)
+      ((q3 -. q30) *. 1e12)
+      (wns *. 1e12) (tns *. 1e12)
+  in
+  let term =
+    Term.(
+      const run $ vdd_arg $ library_arg $ circuit_arg $ verilog_arg $ edits_arg
+      $ jobs_arg $ max_arg $ period_arg $ provider_cache_arg $ metrics_arg
+      $ trace_arg $ progress_arg)
+  in
+  Cmd.v
+    (Cmd.info "retime"
+       ~doc:"Apply a JSON-lines edit script to a circuit, re-timing only each \
+             edit's fan-out cone (bitwise identical to from-scratch SSTA).")
     term
 
 (* ---- report ---- *)
@@ -528,7 +714,7 @@ let report_cmd =
 let main_cmd =
   let doc = "N-sigma statistical delay calibration (DATE 2023 reproduction)" in
   let info = Cmd.info "nsigma" ~version:"1.0.0" ~doc in
-  Cmd.group info [ characterize_cmd; fit_cmd; analyze_cmd; report_cmd ]
+  Cmd.group info [ characterize_cmd; fit_cmd; analyze_cmd; retime_cmd; report_cmd ]
 
 let () =
   match Cmd.eval ~catch:false main_cmd with

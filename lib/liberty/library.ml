@@ -126,6 +126,14 @@ let library_sampling t =
       rest;
     s
 
+(* The fingerprint an in-memory library would carry if saved: the key
+   under which derived artifacts (provider regressions in {!Store}) are
+   content-addressed. *)
+let fingerprint t =
+  let kernel = library_kernel t in
+  let sampling, rtol = library_sampling t in
+  cache_fingerprint t.tech ~kernel ~sampling ~rtol
+
 let save t path =
   let oc = open_out path in
   Fun.protect

@@ -54,6 +54,14 @@ val cache_fingerprint :
     the same for populations drawn from different deviate streams or
     stopped adaptively. *)
 
+val fingerprint : t -> string
+(** The {!cache_fingerprint} this library would carry if saved — its
+    kernel, sampling configuration and technology digested into the key
+    under which derived artifacts (e.g. the statistical provider's
+    moment regressions in {!Store}) are content-addressed.
+    @raise Failure under the same mixed-configuration rules as
+    {!save}. *)
+
 val save : t -> string -> unit
 (** Write the library to a text file (format version 4, carrying the
     kernel name, the sampling backend, the rtol token and

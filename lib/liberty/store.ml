@@ -1,0 +1,100 @@
+(* Content-addressed on-disk store for derived characterisation
+   artifacts (per-(cell, edge) moment regressions and similar).
+
+   One artifact per file, named by the digest of its key; the full key
+   is echoed in the header so digest collisions and format drift are
+   detected as staleness rather than silently served.  Writes go
+   through a temp file + rename so a crashed producer never leaves a
+   half-written artifact, and concurrent producers of the same key
+   (which by construction write identical bytes) at worst race to an
+   identical result. *)
+
+module Metrics = Nsigma_obs.Metrics
+module Log = Nsigma_obs.Log
+
+(* Registered at module init so run reports always carry the
+   provider-store keys, zero-valued when no store was consulted. *)
+let m_hit = Metrics.counter "provider.store.hit"
+let m_miss = Metrics.counter "provider.store.miss"
+let m_stale = Metrics.counter "provider.store.stale"
+
+let magic = "NSIGMA_STORE 1"
+
+let default_dir () =
+  match Sys.getenv_opt "NSIGMA_PROVIDER_CACHE" with
+  | Some s when String.trim s <> "" -> Some (String.trim s)
+  | _ -> None
+
+let check_key key =
+  if key = "" then invalid_arg "Store: empty key";
+  String.iter
+    (fun c ->
+      if c = '\n' || c = '\r' || c = ' ' || c = '\t' then
+        invalid_arg "Store: key must not contain whitespace")
+    key
+
+let path_of ~dir ~key =
+  check_key key;
+  Filename.concat dir (Digest.to_hex (Digest.string key) ^ ".nps")
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let find ~dir ~key ~decode =
+  let path = path_of ~dir ~key in
+  if not (Sys.file_exists path) then begin
+    Metrics.incr m_miss;
+    None
+  end
+  else begin
+    let contents =
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Some (really_input_string ic (in_channel_length ic)))
+      with Sys_error _ | End_of_file -> None
+    in
+    let payload =
+      match contents with
+      | None -> None
+      | Some s -> (
+        match String.index_opt s '\n' with
+        | Some nl when String.sub s 0 nl = magic ^ " " ^ key ->
+          Some (String.sub s (nl + 1) (String.length s - nl - 1))
+        | _ -> None)
+    in
+    match Option.bind payload decode with
+    | Some v ->
+      Metrics.incr m_hit;
+      Some v
+    | None ->
+      (* Present but unreadable, differently-keyed (digest collision or
+         format drift) or undecodable: a stale artifact, distinct from a
+         plain miss in run reports. *)
+      Metrics.incr m_stale;
+      Log.info "stale provider-store artifact %s; recomputing" path;
+      None
+  end
+
+let save ~dir ~key payload =
+  let path = path_of ~dir ~key in
+  try
+    mkdir_p dir;
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (magic ^ " " ^ key ^ "\n");
+        output_string oc payload);
+    Sys.rename tmp path
+  with Sys_error msg ->
+    (* A read-only or full store directory degrades to in-memory-only
+       operation; it must never fail the analysis that produced the
+       artifact. *)
+    Log.info "cannot write provider-store artifact %s (%s)" path msg

@@ -1,0 +1,37 @@
+(** Content-addressed on-disk store for derived characterisation
+    artifacts.
+
+    A store is a directory of single-artifact files, each named by the
+    digest of its key with the full key echoed in a one-line header —
+    the same fingerprint-guarded shape as the v4 [.lvf] cache, scaled
+    down to one artifact per file so producers can populate it
+    incrementally.  The statistical provider uses it to persist its
+    per-(cell, edge) moment regressions across processes (keyed by the
+    library fingerprint), turning the cold mini-MC warm-up into a
+    near-zero disk load on every later run.
+
+    Outcomes are counted in the metrics registry as
+    [provider.store.hit] / [provider.store.miss] / [provider.store.stale]
+    (registered at module init, so run reports always carry the keys). *)
+
+val default_dir : unit -> string option
+(** The [NSIGMA_PROVIDER_CACHE] environment directory, if set and
+    non-empty — the conventional default for [?store_dir] parameters. *)
+
+val path_of : dir:string -> key:string -> string
+(** The artifact file backing [key] (exposed for tests and debugging).
+    @raise Invalid_argument if the key is empty or contains
+    whitespace. *)
+
+val find : dir:string -> key:string -> decode:(string -> 'a option) -> 'a option
+(** Look up an artifact: [Some v] when the file exists, its header
+    matches [key] exactly and [decode] accepts the payload (counted as
+    a hit).  A missing file is a miss; a present-but-mismatched or
+    undecodable file is stale — both return [None] and the caller
+    recomputes (and typically {!save}s, healing the stale entry). *)
+
+val save : dir:string -> key:string -> string -> unit
+(** Write an artifact atomically (temp file + rename), creating the
+    directory if needed.  An unwritable store degrades to a logged
+    no-op — persisting an artifact must never fail the run that
+    produced it. *)

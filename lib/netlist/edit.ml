@@ -1,0 +1,270 @@
+module Cell = Nsigma_liberty.Cell
+
+type t =
+  | Swap_cell of { gate : int; cell : Cell.t }
+  | Scale_wire of { net : int; r_scale : float; c_scale : float }
+  | Bump_sink_load of { net : int; sink : int; delta_cap : float }
+
+exception Edit_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Edit_error s)) fmt
+
+let check_net (nl : Netlist.t) net =
+  if net < 0 || net >= nl.n_nets then
+    fail "net %d out of range for circuit %S (%d nets)" net nl.name nl.n_nets
+
+let check_finite what v =
+  if not (Float.is_finite v) then fail "%s must be finite, got %g" what v
+
+let validate (nl : Netlist.t) = function
+  | Swap_cell { gate; cell } ->
+    if gate < 0 || gate >= Array.length nl.gates then
+      fail "gate %d out of range for circuit %S (%d gates)" gate nl.name
+        (Array.length nl.gates);
+    let old = nl.gates.(gate).Netlist.cell in
+    if cell.Cell.kind <> old.Cell.kind then
+      fail
+        "cell %s does not fit the footprint of gate %S (%s): swaps must \
+         preserve the logic kind"
+        (Cell.name cell) nl.gates.(gate).Netlist.g_name (Cell.name old)
+  | Scale_wire { net; r_scale; c_scale } ->
+    check_net nl net;
+    check_finite "r scale" r_scale;
+    check_finite "c scale" c_scale;
+    if r_scale <= 0. || c_scale < 0. then
+      fail
+        "wire scales must satisfy r > 0 and c >= 0 (segment resistances \
+         stay positive), got r=%g c=%g"
+        r_scale c_scale
+  | Bump_sink_load { net; sink; delta_cap } ->
+    check_net nl net;
+    if sink < 0 then fail "sink index must be non-negative, got %d" sink;
+    check_finite "load delta" delta_cap
+
+let invalidated (nl : Netlist.t) = function
+  | Swap_cell { gate; _ } ->
+    (* The new pin caps reload every input wire, and the new drive
+       re-times the output arc: all adjacent nets are dirty. *)
+    let g = nl.gates.(gate) in
+    List.sort_uniq compare (g.Netlist.output :: Array.to_list g.Netlist.inputs)
+  | Scale_wire { net; _ } | Bump_sink_load { net; _ } -> [ net ]
+
+let apply_netlist (nl : Netlist.t) = function
+  | Swap_cell { gate; cell } ->
+    nl.gates.(gate) <- { (nl.gates.(gate)) with Netlist.cell }
+  | Scale_wire _ | Bump_sink_load _ -> ()
+
+let describe (nl : Netlist.t) = function
+  | Swap_cell { gate; cell } ->
+    Printf.sprintf "swap %s: %s -> %s" nl.gates.(gate).Netlist.g_name
+      (Cell.name nl.gates.(gate).Netlist.cell)
+      (Cell.name cell)
+  | Scale_wire { net; r_scale; c_scale } ->
+    Printf.sprintf "scale wire %s: r*%g c*%g" nl.net_names.(net) r_scale c_scale
+  | Bump_sink_load { net; sink; delta_cap } ->
+    Printf.sprintf "bump load %s sink %d: %+g fF" nl.net_names.(net) sink
+      (delta_cap *. 1e15)
+
+(* --- JSON-lines codec ------------------------------------------------ *)
+
+(* The edit-script format is a flat object of string/number fields per
+   line; this hand-rolled parser covers exactly that (no nesting, no
+   arrays) so the library stays dependency-free. *)
+
+type jvalue = Jstr of string | Jnum of float
+
+let parse_flat_object line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match line.[!pos] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | _ -> fail "expected %C at column %d" c (!pos + 1)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match line.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          if !pos + 1 >= n then fail "unterminated escape";
+          (match line.[!pos + 1] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | c -> fail "unsupported escape \\%c" c);
+          pos := !pos + 2;
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match line.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected a value at column %d" (start + 1);
+    let tok = String.sub line start (!pos - start) in
+    match float_of_string_opt tok with
+    | Some f -> f
+    | None -> fail "malformed number %S" tok
+  in
+  expect '{';
+  skip_ws ();
+  let fields = ref [] in
+  (match peek () with
+  | Some '}' -> incr pos
+  | _ ->
+    let rec pairs () =
+      skip_ws ();
+      let k = parse_string () in
+      expect ':';
+      skip_ws ();
+      let v =
+        match peek () with
+        | Some '"' -> Jstr (parse_string ())
+        | _ -> Jnum (parse_number ())
+      in
+      if List.mem_assoc k !fields then fail "duplicate field %S" k;
+      fields := (k, v) :: !fields;
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+        incr pos;
+        pairs ()
+      | Some '}' -> incr pos
+      | _ -> fail "expected ',' or '}' at column %d" (!pos + 1)
+    in
+    pairs ());
+  skip_ws ();
+  if !pos <> n then fail "trailing characters at column %d" (!pos + 1);
+  List.rev !fields
+
+let field fields key =
+  match List.assoc_opt key fields with
+  | Some v -> v
+  | None -> fail "missing field %S" key
+
+let num_field fields key =
+  match field fields key with
+  | Jnum f -> f
+  | Jstr s -> fail "field %S must be a number, got %S" key s
+
+let opt_num_field fields key ~default =
+  match List.assoc_opt key fields with
+  | None -> default
+  | Some (Jnum f) -> f
+  | Some (Jstr s) -> fail "field %S must be a number, got %S" key s
+
+let int_field fields key =
+  let f = num_field fields key in
+  if Float.is_integer f then int_of_float f
+  else fail "field %S must be an integer, got %g" key f
+
+let str_field fields key =
+  match field fields key with
+  | Jstr s -> s
+  | Jnum f -> fail "field %S must be a string, got %g" key f
+
+(* Nets and gates are addressed by name or by numeric index; names are
+   resolved with a linear scan, which is fine at edit-script scale. *)
+let net_of_value (nl : Netlist.t) = function
+  | Jnum f ->
+    if not (Float.is_integer f) then fail "net index must be an integer";
+    let net = int_of_float f in
+    check_net nl net;
+    net
+  | Jstr name -> (
+    let found = ref (-1) in
+    Array.iteri (fun i n -> if n = name then found := i) nl.net_names;
+    match !found with
+    | -1 -> fail "unknown net %S in circuit %S" name nl.name
+    | net -> net)
+
+let gate_of_value (nl : Netlist.t) = function
+  | Jnum f ->
+    if not (Float.is_integer f) then fail "gate index must be an integer";
+    let gate = int_of_float f in
+    if gate < 0 || gate >= Array.length nl.gates then
+      fail "gate %d out of range for circuit %S (%d gates)" gate nl.name
+        (Array.length nl.gates);
+    gate
+  | Jstr name -> (
+    let found = ref (-1) in
+    Array.iteri
+      (fun i (g : Netlist.gate) -> if g.Netlist.g_name = name then found := i)
+      nl.gates;
+    match !found with
+    | -1 -> fail "unknown gate %S in circuit %S" name nl.name
+    | gate -> gate)
+
+let of_json (nl : Netlist.t) line =
+  let fields = parse_flat_object line in
+  let edit =
+    match str_field fields "op" with
+    | "swap_cell" ->
+      let gate = gate_of_value nl (field fields "gate") in
+      let cell_name = str_field fields "cell" in
+      let cell =
+        try Cell.of_name cell_name
+        with Failure _ | Invalid_argument _ ->
+          fail "unknown cell %S (names look like INVX2, NAND2X4)" cell_name
+      in
+      Swap_cell { gate; cell }
+    | "scale_wire" ->
+      Scale_wire
+        {
+          net = net_of_value nl (field fields "net");
+          r_scale = opt_num_field fields "r" ~default:1.;
+          c_scale = opt_num_field fields "c" ~default:1.;
+        }
+    | "bump_sink_load" ->
+      Bump_sink_load
+        {
+          net = net_of_value nl (field fields "net");
+          sink = int_field fields "sink";
+          delta_cap = num_field fields "delta_ff" *. 1e-15;
+        }
+    | op ->
+      fail "unknown op %S (available: swap_cell, scale_wire, bump_sink_load)"
+        op
+  in
+  validate nl edit;
+  edit
+
+let to_json (nl : Netlist.t) = function
+  | Swap_cell { gate; cell } ->
+    Printf.sprintf {|{"op": "swap_cell", "gate": %S, "cell": %S}|}
+      nl.gates.(gate).Netlist.g_name (Cell.name cell)
+  | Scale_wire { net; r_scale; c_scale } ->
+    Printf.sprintf {|{"op": "scale_wire", "net": %S, "r": %.17g, "c": %.17g}|}
+      nl.net_names.(net) r_scale c_scale
+  | Bump_sink_load { net; sink; delta_cap } ->
+    Printf.sprintf {|{"op": "bump_sink_load", "net": %S, "sink": %d, "delta_ff": %.17g}|}
+      nl.net_names.(net) sink (delta_cap *. 1e15)

@@ -1,0 +1,69 @@
+(** Typed netlist edits — the unit of incremental re-timing.
+
+    An edit is a small local change to an elaborated design: resizing a
+    gate to another drive strength of the same logic kind, scaling a
+    wire's R/C geometry (a routing change), or bumping the capacitance
+    at one sink pin (an ECO load change).  Each edit knows exactly
+    which nets it invalidates, which is what lets the incremental
+    engine re-time only the affected fan-out cone.
+
+    Edits are validated against a netlist before application; malformed
+    or dangling edits raise {!Edit_error} with a human-readable message
+    (the CLI maps these to exit 2).  The JSON-lines codec below is the
+    on-disk edit-script format consumed by [nsigma retime]. *)
+
+type t =
+  | Swap_cell of { gate : int; cell : Nsigma_liberty.Cell.t }
+      (** Replace [gate]'s cell with another cell of the {e same logic
+          kind} (same footprint: pin count and function are preserved,
+          only the drive strength and pin caps change). *)
+  | Scale_wire of { net : int; r_scale : float; c_scale : float }
+      (** Multiply every segment resistance of [net]'s RC tree by
+          [r_scale] (> 0, resistances must stay positive) and every node
+          capacitance by [c_scale] (>= 0). *)
+  | Bump_sink_load of { net : int; sink : int; delta_cap : float }
+      (** Add [delta_cap] farads at the tap of [net]'s [sink]-th fanout
+          (gate pins first, then primary-output loads, in
+          {!Netlist.fanouts_of} order).  Negative deltas are legal as
+          long as the tap capacitance stays non-negative. *)
+
+exception Edit_error of string
+(** Malformed edit: unknown net/gate/cell, footprint mismatch,
+    non-finite or out-of-domain numbers, or unparseable JSON. *)
+
+val validate : Netlist.t -> t -> unit
+(** Check an edit against the netlist it will be applied to.
+    @raise Edit_error if the edit is ill-formed. *)
+
+val invalidated : Netlist.t -> t -> int list
+(** The nets whose arrival times (and cached parasitics) the edit
+    invalidates, sorted and deduplicated: a cell swap invalidates its
+    output net {e and} every input net (pin caps load the input wires);
+    wire and sink-load edits invalidate just their net.  Downstream
+    cone expansion is the incremental engine's job, not the edit's. *)
+
+val apply_netlist : Netlist.t -> t -> unit
+(** Apply the netlist-structural part of a {e validated} edit in place
+    (only {!Swap_cell} mutates the netlist; parasitic edits are applied
+    by the design layer). *)
+
+val describe : Netlist.t -> t -> string
+(** One-line human-readable rendering, using net/gate names. *)
+
+(** {2 JSON-lines codec}
+
+    One flat JSON object per line.  Nets and gates may be referenced by
+    name or by numeric index; capacitances are in femtofarads:
+
+    {v
+    {"op": "swap_cell", "gate": "g42", "cell": "NAND2X4"}
+    {"op": "scale_wire", "net": "n17", "r": 1.25, "c": 0.8}
+    {"op": "bump_sink_load", "net": "n17", "sink": 0, "delta_ff": 1.5}
+    v} *)
+
+val of_json : Netlist.t -> string -> t
+(** Parse one edit-script line (resolving names against the netlist).
+    @raise Edit_error on malformed JSON or unknown references. *)
+
+val to_json : Netlist.t -> t -> string
+(** Render an edit as one edit-script line (inverse of {!of_json}). *)

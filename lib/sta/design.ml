@@ -85,6 +85,39 @@ let total_load tech t ~net =
   Rctree.total_cap t.parasitics.(net)
   +. List.fold_left (fun acc (_, c) -> acc +. c) 0.0 (sink_caps tech t ~net)
 
+let apply_edit t edit =
+  let module Edit = Nsigma_netlist.Edit in
+  Edit.validate t.netlist edit;
+  let invalidated = Edit.invalidated t.netlist edit in
+  (match edit with
+  | Edit.Swap_cell _ -> Edit.apply_netlist t.netlist edit
+  | Edit.Scale_wire { net; r_scale; c_scale } ->
+    t.parasitics.(net) <-
+      Rctree.scale t.parasitics.(net) ~res_factor:r_scale ~cap_factor:c_scale
+  | Edit.Bump_sink_load { net; sink; delta_cap } ->
+    let n_sinks = List.length t.fanouts.(net) in
+    if sink >= n_sinks then
+      raise
+        (Edit.Edit_error
+           (Printf.sprintf "net %s has %d sinks, no sink %d"
+              t.netlist.Netlist.net_names.(net) n_sinks sink));
+    let tap = tap_of_sink t ~net ~sink_index:sink in
+    let cap = t.parasitics.(net).Rctree.nodes.(tap).Rctree.cap in
+    if cap +. delta_cap < 0. then
+      raise
+        (Edit.Edit_error
+           (Printf.sprintf
+              "load delta %+g fF would make the tap capacitance of net %s \
+               negative (%g fF there)"
+              (delta_cap *. 1e15)
+              t.netlist.Netlist.net_names.(net) (cap *. 1e15)));
+    t.parasitics.(net) <- Rctree.add_cap t.parasitics.(net) tap delta_cap);
+  (* The loaded trees of every invalidated net embed the old pin caps /
+     geometry; drop them so the next query rebuilds from the edited
+     state. *)
+  List.iter (fun net -> t.loaded_cache.(net) <- None) invalidated;
+  invalidated
+
 let effective_load tech t ~net ~driver =
   let r_drv = Cell.drive_resistance tech driver in
   Nsigma_rcnet.Ceff.effective ~driver_resistance:r_drv t.parasitics.(net)

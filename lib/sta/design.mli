@@ -61,3 +61,13 @@ val effective_load :
 
 val tap_of_sink : t -> net:int -> sink_index:int -> int
 (** Tree node index of the k-th sink's tap. *)
+
+val apply_edit : t -> Nsigma_netlist.Edit.t -> int list
+(** Validate and apply one edit in place — swap the gate's cell, scale
+    the net's RC tree, or bump a sink tap's capacitance — dropping the
+    cached loaded trees of every invalidated net.  Returns the
+    invalidated nets ({!Nsigma_netlist.Edit.invalidated}), the seed of
+    the incremental engine's dirty frontier.
+    @raise Nsigma_netlist.Edit.Edit_error on an ill-formed edit (also
+    when the sink index exceeds the net's fanout or a negative load
+    delta would drive a tap capacitance negative). *)

@@ -88,18 +88,24 @@ let in_edges_for kind out_edge =
   | _ ->
     if Cell.inverting kind then [ Provider.flip out_edge ] else [ out_edge ]
 
-let analyze ?(span = "sta.analyze") ?(input_slew = Provider.input_slew_default)
+(* Everything the per-gate evaluation step needs, precomputed once per
+   analysis and retained by the incremental engine so a re-timing pass
+   replays the exact computation [analyze] would have performed. *)
+type ('d, 'a) ctx = {
+  c_alg : ('d, 'a) algebra;
+  c_model : ('d, 'a) model;
+  c_tech : Nsigma_process.Technology.t;
+  c_design : Design.t;
+  c_input_slew : float;
+  c_load_model : [ `Total | `Effective ];
+  c_sink_index : int array array;  (* gate -> pin -> fanout position *)
+  c_order : int array;
+}
+
+let make_ctx ?(input_slew = Provider.input_slew_default)
     ?(load_model = `Total) (alg : ('d, 'a) algebra) (model : ('d, 'a) model)
-    tech (design : Design.t) : ('d, 'a) report =
-  Metrics.span span @@ fun () ->
+    tech (design : Design.t) : ('d, 'a) ctx =
   let nl = design.Design.netlist in
-  let slots = Array.make_matrix nl.Netlist.n_nets 2 None in
-  Array.iter
-    (fun pi ->
-      let slot = Some { arr = { value = alg.source; slew = input_slew }; pred = None } in
-      slots.(pi).(0) <- slot;
-      slots.(pi).(1) <- slot)
-    nl.Netlist.primary_inputs;
   (* Sink index of each gate pin within its input net's fanout list —
      each (gate, pin) pair appears in exactly one net's sink list. *)
   let sink_index =
@@ -111,133 +117,184 @@ let analyze ?(span = "sta.analyze") ?(input_slew = Provider.input_slew_default)
         (fun k (gate, pin) -> if gate >= 0 then sink_index.(gate).(pin) <- k)
         sinks)
     design.Design.fanouts;
-  let order = Netlist.topo_order nl in
-  let cell_of_driver net =
-    let d = design.Design.drivers.(net) in
-    if d < 0 then None else Some nl.Netlist.gates.(d).Netlist.cell
-  in
+  {
+    c_alg = alg;
+    c_model = model;
+    c_tech = tech;
+    c_design = design;
+    c_input_slew = input_slew;
+    c_load_model = load_model;
+    c_sink_index = sink_index;
+    c_order = Netlist.topo_order nl;
+  }
+
+let init_sources (ctx : ('d, 'a) ctx) slots =
   Array.iter
-    (fun gi ->
-      let gate = nl.Netlist.gates.(gi) in
-      let out_net = gate.Netlist.output in
-      let load =
-        match load_model with
-        | `Total -> Design.total_load tech design ~net:out_net
-        | `Effective ->
-          Design.effective_load tech design ~net:out_net ~driver:gate.Netlist.cell
+    (fun pi ->
+      let slot =
+        Some
+          {
+            arr = { value = ctx.c_alg.source; slew = ctx.c_input_slew };
+            pred = None;
+          }
       in
-      List.iter
-        (fun out_edge ->
-          let best = ref None in
-          Array.iteri
-            (fun pin in_net ->
-              List.iter
-                (fun in_edge ->
-                  match slots.(in_net).(edge_index in_edge) with
-                  | None -> ()
-                  | Some { arr; _ } ->
-                    let driven_by_pi = design.Design.drivers.(in_net) < 0 in
-                    let k = sink_index.(gi).(pin) in
-                    let tap = Design.tap_of_sink design ~net:in_net ~sink_index:k in
-                    let wire_delay =
-                      if driven_by_pi then alg.no_delay
-                      else
-                        model.m_wire_delay ~net:in_net
-                          ~driver:(cell_of_driver in_net)
-                          ~sink:(Some gate.Netlist.cell)
-                          ~tree:(Design.loaded_parasitic tech design ~net:in_net)
-                          ~tap
-                    in
-                    let pin_slew =
-                      if driven_by_pi then arr.slew
-                      else
-                        model.m_wire_slew_degrade ~wire_delay
-                          ~slew_at_root:arr.slew
-                    in
-                    let cell_delay =
-                      model.m_cell_delay gate ~edge:out_edge ~in_net ~in_edge
-                        ~input_slew:pin_slew ~load_cap:load
-                    in
-                    let value = alg.add (alg.add arr.value wire_delay) cell_delay in
-                    let pred =
-                      {
-                        p_gate = gi;
-                        p_in_net = in_net;
-                        p_in_edge = in_edge;
-                        p_tap = tap;
-                        p_wire_delay = wire_delay;
-                        p_pin_slew = pin_slew;
-                        p_cell_delay = cell_delay;
-                        p_load = load;
-                      }
-                    in
-                    (match !best with
-                    | None -> best := Some (value, pred)
-                    | Some (old_value, old_pred) ->
-                      (* Merge arrivals through [join]; the recorded
-                         predecessor is the argmax of [key] — for the
-                         scalar algebra this reproduces the strict
-                         [time > t] keep-new rule exactly. *)
-                      let keep_new = alg.key value > alg.key old_value in
-                      best :=
-                        Some
-                          ( alg.join old_value value,
-                            if keep_new then pred else old_pred )))
-                (in_edges_for gate.Netlist.cell.Cell.kind out_edge))
-            gate.Netlist.inputs;
-          match !best with
-          | None -> ()
-          | Some (value, pred) ->
-            let out_slew =
-              model.m_cell_out_slew gate ~edge:out_edge ~in_net:pred.p_in_net
-                ~in_edge:pred.p_in_edge ~input_slew:pred.p_pin_slew
-                ~load_cap:load
-            in
-            slots.(out_net).(edge_index out_edge) <-
-              Some { arr = { value; slew = out_slew }; pred = Some pred })
-        [ Provider.Rise; Provider.Fall ])
-    order;
+      slots.(pi).(0) <- slot;
+      slots.(pi).(1) <- slot)
+    ctx.c_design.Design.netlist.Netlist.primary_inputs
+
+let cell_of_driver (ctx : ('d, 'a) ctx) net =
+  let d = ctx.c_design.Design.drivers.(net) in
+  if d < 0 then None
+  else Some ctx.c_design.Design.netlist.Netlist.gates.(d).Netlist.cell
+
+let eval_gate (ctx : ('d, 'a) ctx) slots gi =
+  let alg = ctx.c_alg and model = ctx.c_model in
+  let design = ctx.c_design and tech = ctx.c_tech in
+  let gate = design.Design.netlist.Netlist.gates.(gi) in
+  let out_net = gate.Netlist.output in
+  let load =
+    match ctx.c_load_model with
+    | `Total -> Design.total_load tech design ~net:out_net
+    | `Effective ->
+      Design.effective_load tech design ~net:out_net ~driver:gate.Netlist.cell
+  in
+  List.iter
+    (fun out_edge ->
+      let best = ref None in
+      Array.iteri
+        (fun pin in_net ->
+          List.iter
+            (fun in_edge ->
+              match slots.(in_net).(edge_index in_edge) with
+              | None -> ()
+              | Some { arr; _ } ->
+                let driven_by_pi = design.Design.drivers.(in_net) < 0 in
+                let k = ctx.c_sink_index.(gi).(pin) in
+                let tap = Design.tap_of_sink design ~net:in_net ~sink_index:k in
+                let wire_delay =
+                  if driven_by_pi then alg.no_delay
+                  else
+                    model.m_wire_delay ~net:in_net
+                      ~driver:(cell_of_driver ctx in_net)
+                      ~sink:(Some gate.Netlist.cell)
+                      ~tree:(Design.loaded_parasitic tech design ~net:in_net)
+                      ~tap
+                in
+                let pin_slew =
+                  if driven_by_pi then arr.slew
+                  else
+                    model.m_wire_slew_degrade ~wire_delay
+                      ~slew_at_root:arr.slew
+                in
+                let cell_delay =
+                  model.m_cell_delay gate ~edge:out_edge ~in_net ~in_edge
+                    ~input_slew:pin_slew ~load_cap:load
+                in
+                let value = alg.add (alg.add arr.value wire_delay) cell_delay in
+                let pred =
+                  {
+                    p_gate = gi;
+                    p_in_net = in_net;
+                    p_in_edge = in_edge;
+                    p_tap = tap;
+                    p_wire_delay = wire_delay;
+                    p_pin_slew = pin_slew;
+                    p_cell_delay = cell_delay;
+                    p_load = load;
+                  }
+                in
+                (match !best with
+                | None -> best := Some (value, pred)
+                | Some (old_value, old_pred) ->
+                  (* Merge arrivals through [join]; the recorded
+                     predecessor is the argmax of [key] — for the
+                     scalar algebra this reproduces the strict
+                     [time > t] keep-new rule exactly. *)
+                  let keep_new = alg.key value > alg.key old_value in
+                  best :=
+                    Some
+                      ( alg.join old_value value,
+                        if keep_new then pred else old_pred )))
+            (in_edges_for gate.Netlist.cell.Cell.kind out_edge))
+        gate.Netlist.inputs;
+      match !best with
+      | None -> ()
+      | Some (value, pred) ->
+        let out_slew =
+          model.m_cell_out_slew gate ~edge:out_edge ~in_net:pred.p_in_net
+            ~in_edge:pred.p_in_edge ~input_slew:pred.p_pin_slew
+            ~load_cap:load
+        in
+        slots.(out_net).(edge_index out_edge) <-
+          Some { arr = { value; slew = out_slew }; pred = Some pred })
+    [ Provider.Rise; Provider.Fall ]
+
+(* Per-net PO results in the exact order the full pass conses them
+   (Rise pushed first), so that rebuilding the PO list net-by-net and
+   re-sorting reproduces [analyze]'s output bitwise even through the
+   unstable sort. *)
+let po_results_of (ctx : ('d, 'a) ctx) slots ~net:po =
+  let alg = ctx.c_alg and model = ctx.c_model in
+  let design = ctx.c_design in
+  let sinks = design.Design.fanouts.(po) in
+  let po_sink_index =
+    match List.find_index (fun (gate, _) -> gate = -1) sinks with
+    | Some k -> k
+    | None -> 0
+  in
+  let driven_by_pi = design.Design.drivers.(po) < 0 in
+  let results = ref [] in
+  List.iter
+    (fun edge ->
+      match slots.(po).(edge_index edge) with
+      | None -> ()
+      | Some { arr; _ } ->
+        let tap = Design.tap_of_sink design ~net:po ~sink_index:po_sink_index in
+        let wire =
+          if driven_by_pi then alg.no_delay
+          else
+            model.m_wire_delay ~net:po ~driver:(cell_of_driver ctx po)
+              ~sink:None
+              ~tree:(Design.loaded_parasitic ctx.c_tech design ~net:po)
+              ~tap
+        in
+        results :=
+          {
+            po_net = po;
+            po_edge = edge;
+            po_tap = tap;
+            po_wire = wire;
+            po_value = alg.add arr.value wire;
+          }
+          :: !results)
+    [ Provider.Rise; Provider.Fall ];
+  List.rev !results
+
+let sort_pos (alg : ('d, 'a) algebra) pos =
+  List.sort
+    (fun a b -> Float.compare (alg.key b.po_value) (alg.key a.po_value))
+    pos
+
+let analyze_ctx ?(span = "sta.analyze") (ctx : ('d, 'a) ctx) :
+    ('d, 'a) report =
+  Metrics.span span @@ fun () ->
+  let nl = ctx.c_design.Design.netlist in
+  let slots = Array.make_matrix nl.Netlist.n_nets 2 None in
+  init_sources ctx slots;
+  Array.iter (fun gi -> eval_gate ctx slots gi) ctx.c_order;
   (* Primary-output arrivals through their final wire segment. *)
   let pos = ref [] in
   Array.iter
     (fun po ->
-      let sinks = design.Design.fanouts.(po) in
-      let po_sink_index =
-        match List.find_index (fun (gate, _) -> gate = -1) sinks with
-        | Some k -> k
-        | None -> 0
-      in
-      let driven_by_pi = design.Design.drivers.(po) < 0 in
       List.iter
-        (fun edge ->
-          match slots.(po).(edge_index edge) with
-          | None -> ()
-          | Some { arr; _ } ->
-            let tap = Design.tap_of_sink design ~net:po ~sink_index:po_sink_index in
-            let wire =
-              if driven_by_pi then alg.no_delay
-              else
-                model.m_wire_delay ~net:po ~driver:(cell_of_driver po) ~sink:None
-                  ~tree:(Design.loaded_parasitic tech design ~net:po)
-                  ~tap
-            in
-            pos :=
-              {
-                po_net = po;
-                po_edge = edge;
-                po_tap = tap;
-                po_wire = wire;
-                po_value = alg.add arr.value wire;
-              }
-              :: !pos)
-        [ Provider.Rise; Provider.Fall ])
+        (fun r -> pos := r :: !pos)
+        (po_results_of ctx slots ~net:po))
     nl.Netlist.primary_outputs;
-  let pos =
-    List.sort
-      (fun a b -> Float.compare (alg.key b.po_value) (alg.key a.po_value))
-      !pos
-  in
-  { design; slots; pos }
+  { design = ctx.c_design; slots; pos = sort_pos ctx.c_alg !pos }
+
+let analyze ?span ?input_slew ?load_model (alg : ('d, 'a) algebra)
+    (model : ('d, 'a) model) tech (design : Design.t) : ('d, 'a) report =
+  analyze_ctx ?span (make_ctx ?input_slew ?load_model alg model tech design)
 
 let arrival report ~net ~edge =
   Option.map (fun s -> s.arr) report.slots.(net).(edge_index edge)

@@ -97,6 +97,54 @@ val in_edges_for : Cell.kind -> Provider.edge -> Provider.edge list
 (** Input-edge candidates that can cause the given output edge:
     XOR-class cells consider both polarities, inverting cells flip. *)
 
+type ('d, 'a) ctx = {
+  c_alg : ('d, 'a) algebra;
+  c_model : ('d, 'a) model;
+  c_tech : Nsigma_process.Technology.t;
+  c_design : Design.t;
+  c_input_slew : float;
+  c_load_model : [ `Total | `Effective ];
+  c_sink_index : int array array;
+      (** per gate, per pin: position in the input net's fanout list *)
+  c_order : int array;  (** {!Netlist.topo_order} of the netlist *)
+}
+(** Everything the per-gate evaluation step needs, precomputed once.
+    The incremental engine ({!Incremental}) retains a ctx across edits
+    so that re-evaluating a single gate replays the exact computation
+    the full pass would have performed — the foundation of its bitwise
+    early-cutoff rule. *)
+
+val make_ctx :
+  ?input_slew:float ->
+  ?load_model:[ `Total | `Effective ] ->
+  ('d, 'a) algebra ->
+  ('d, 'a) model ->
+  Nsigma_process.Technology.t ->
+  Design.t ->
+  ('d, 'a) ctx
+(** @raise Invalid_argument on a cyclic netlist. *)
+
+val init_sources : ('d, 'a) ctx -> ('d, 'a) slot option array array -> unit
+(** Write the primary-input source slots (both edges). *)
+
+val eval_gate : ('d, 'a) ctx -> ('d, 'a) slot option array array -> int -> unit
+(** Evaluate one gate from its input slots and write its output net's
+    slots — exactly the per-gate step of the full topological pass. *)
+
+val po_results_of :
+  ('d, 'a) ctx -> ('d, 'a) slot option array array -> net:int ->
+  ('d, 'a) po_result list
+(** The PO results of one primary-output net, in the full pass's
+    internal cons order — rebuilding the PO list net-by-net in
+    [primary_outputs] order and applying {!sort_pos} reproduces
+    [analyze]'s [pos] bitwise. *)
+
+val sort_pos : ('d, 'a) algebra -> ('d, 'a) po_result list -> ('d, 'a) po_result list
+(** Worst-first ordering by [key] (the full pass's exact sort). *)
+
+val analyze_ctx : ?span:string -> ('d, 'a) ctx -> ('d, 'a) report
+(** One topological pass over a prebuilt ctx. *)
+
 val analyze :
   ?span:string ->
   ?input_slew:float ->

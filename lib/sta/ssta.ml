@@ -24,6 +24,7 @@ module Netlist = Nsigma_netlist.Netlist
 module Cell = Nsigma_liberty.Cell
 module Library = Nsigma_liberty.Library
 module Characterize = Nsigma_liberty.Characterize
+module Store = Nsigma_liberty.Store
 module Rctree = Nsigma_rcnet.Rctree
 module Elmore = Nsigma_rcnet.Elmore
 module Wire_gen = Nsigma_rcnet.Wire_gen
@@ -344,9 +345,62 @@ type slew_sens = {
   ss_root : float;  (* the mean slew these sensitivities describe (s) *)
 }
 
-let lvf_provider ?(seed = 421) ?(wire_samples = 96) ?(frac_samples = 128)
-    ?(exec = Executor.default ()) ?(batch = false) ?(approx = false) tech
-    (lib : Library.t) (design : Design.t) : provider =
+(* Exact round-trip serialisation of an arc regression for the on-disk
+   store: hex float literals ("%h") survive printf/float_of_string
+   bit-for-bit, so a warm load reproduces the cold computation
+   exactly. *)
+let arc_response_to_string (r : arc_response) =
+  let b = Buffer.create 256 in
+  let add f = Buffer.add_string b (Printf.sprintf "%h " f) in
+  Array.iter add r.ar_a;
+  Array.iter add r.ar_b;
+  add r.ar_frac;
+  Array.iter add r.ar_sa;
+  Array.iter add r.ar_sb;
+  add r.ar_sl;
+  add r.ar_slew_mean;
+  Buffer.contents b
+
+let arc_response_of_string s =
+  let toks =
+    List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.trim s))
+  in
+  let opts = List.map float_of_string_opt toks in
+  if List.length opts <> (4 * ng) + 3 || List.exists Option.is_none opts then
+    None
+  else begin
+    let a = Array.of_list (List.map Option.get opts) in
+    Some
+      {
+        ar_a = Array.sub a 0 ng;
+        ar_b = Array.sub a ng ng;
+        ar_frac = a.(2 * ng);
+        ar_sa = Array.sub a ((2 * ng) + 1) ng;
+        ar_sb = Array.sub a ((3 * ng) + 1) ng;
+        ar_sl = a.((4 * ng) + 1);
+        ar_slew_mean = a.((4 * ng) + 2);
+      }
+  end
+
+type handle = {
+  h_provider : provider;
+  h_invalidate_net : int -> unit;
+  h_slew_sig : int -> int64 array;
+  h_prewarm : unit -> unit;
+}
+
+let handle_of_provider p =
+  {
+    h_provider = p;
+    h_invalidate_net = (fun _ -> ());
+    h_slew_sig = (fun _ -> [||]);
+    h_prewarm = (fun () -> ());
+  }
+
+let lvf_handle ?(seed = 421) ?(wire_samples = 96) ?(frac_samples = 128)
+    ?(exec = Executor.default ()) ?(batch = false) ?(approx = false)
+    ?(store_dir = Store.default_dir ()) tech (lib : Library.t)
+    (design : Design.t) : handle =
   let use_batch = batch || approx in
   let master = Rng.create ~seed in
   let wire_rng = Rng.derive master ~index:1 in
@@ -364,11 +418,31 @@ let lvf_provider ?(seed = 421) ?(wire_samples = 96) ?(frac_samples = 128)
      of a handful of cell types this collapses the regression cost to
      one run per type. *)
   let frac_cache : (string * int, arc_response) Hashtbl.t = Hashtbl.create 32 in
-  let arc_response (cell : Cell.t) edge =
+  (* The store key pins everything the regression depends on: the
+     library fingerprint covers technology, grid, kernel and sampling;
+     the remaining knobs are this provider's own.  [wire_samples], the
+     executor and [batch] do not enter — they don't change the result
+     (the batched kernel is bit-identical unless [approx]). *)
+  let lib_fp = lazy (Library.fingerprint lib) in
+  let store_key (cell_name, edge_ix) =
+    Printf.sprintf "frac-v1|%s|%s|e%d|n%d|s%d|approx=%b" (Lazy.force lib_fp)
+      cell_name edge_ix frac_samples seed approx
+  in
+  let rec arc_response (cell : Cell.t) edge =
     let cache_key = (Cell.name cell, Engine_core.edge_index edge) in
     match Hashtbl.find_opt frac_cache cache_key with
     | Some r -> r
-    | None ->
+    | None -> (
+      match
+        Option.bind store_dir (fun dir ->
+            Store.find ~dir ~key:(store_key cache_key)
+              ~decode:arc_response_of_string)
+      with
+      | Some resp ->
+        Hashtbl.add frac_cache cache_key resp;
+        resp
+      | None -> compute_arc_response cache_key cell edge)
+  and compute_arc_response cache_key (cell : Cell.t) edge =
       let resp =
         Metrics.span "sta.ssta.cell_frac" @@ fun () ->
         let sk = Cell.plan tech cell ~output_edge:(edge_of edge) in
@@ -493,6 +567,11 @@ let lvf_provider ?(seed = 421) ?(wire_samples = 96) ?(frac_samples = 128)
         }
       in
       Hashtbl.add frac_cache cache_key resp;
+      Option.iter
+        (fun dir ->
+          Store.save ~dir ~key:(store_key cache_key)
+            (arc_response_to_string resp))
+        store_dir;
       resp
   in
   (* An arc's distribution at its operating point: total moments from
@@ -660,6 +739,7 @@ let lvf_provider ?(seed = 421) ?(wire_samples = 96) ?(frac_samples = 128)
       /. (s.(j + 1) -. s.(j - 1))
     end
   in
+  let provider =
   {
     Engine_core.m_label = "ssta-lvf";
     m_cell_delay =
@@ -748,6 +828,58 @@ let lvf_provider ?(seed = 421) ?(wire_samples = 96) ?(frac_samples = 128)
         let ws = peri_slew_factor *. wire_delay.d_slew_tc in
         sqrt ((slew_at_root *. slew_at_root) +. (ws *. ws)));
   }
+  in
+  (* Edited nets must recompute their wire mini-MC (new geometry / pin
+     caps) and forget their slew sensitivities; both rebuild
+     deterministically from per-net derived streams, so recomputing an
+     unedited net would reproduce its old entry bit for bit — which is
+     what makes clearing only the invalidated nets sound. *)
+  let invalidate_net net =
+    Hashtbl.remove wire_cache net;
+    Hashtbl.remove slew_tab (net, 0);
+    Hashtbl.remove slew_tab (net, 1)
+  in
+  (* Bitwise signature of a net's slew-sensitivity state (both edges,
+     presence-tagged): the part of the provider's retained state that
+     feeds downstream delays but is invisible in the arrival slot, so
+     the incremental engine must include it in its cutoff equality. *)
+  let slew_sig net =
+    let buf = ref [] in
+    for e = 1 downto 0 do
+      match Hashtbl.find_opt slew_tab (net, e) with
+      | None -> buf := 0L :: !buf
+      | Some ss ->
+        let fs =
+          Array.to_list ss.ss_a @ Array.to_list ss.ss_b
+          @ [ ss.ss_l; ss.ss_root ]
+        in
+        buf := (1L :: List.map Int64.bits_of_float fs) @ !buf
+    done;
+    Array.of_list !buf
+  in
+  (* Force every (cell, edge) regression the design can demand — the
+     provider's whole cold cost, so timing this isolates the store's
+     cold/warm behaviour. *)
+  let prewarm () =
+    Array.iter
+      (fun (g : Netlist.gate) ->
+        List.iter
+          (fun e -> ignore (arc_response g.Netlist.cell e))
+          [ Provider.Rise; Provider.Fall ])
+      design.Design.netlist.Netlist.gates
+  in
+  {
+    h_provider = provider;
+    h_invalidate_net = invalidate_net;
+    h_slew_sig = slew_sig;
+    h_prewarm = prewarm;
+  }
+
+let lvf_provider ?seed ?wire_samples ?frac_samples ?exec ?batch ?approx
+    ?store_dir tech lib design =
+  (lvf_handle ?seed ?wire_samples ?frac_samples ?exec ?batch ?approx
+     ?store_dir tech lib design)
+    .h_provider
 
 (* ---------------------------------------------------------------- *)
 (* Analysis.                                                        *)

@@ -93,6 +93,60 @@ val algebra : config -> (delay, dist) Engine_core.algebra
 
 type provider = (delay, dist) Engine_core.model
 
+type handle = {
+  h_provider : provider;
+  h_invalidate_net : int -> unit;
+      (** Drop the provider's per-net retained state (wire mini-MC
+          results, slew sensitivities) so the next query recomputes it
+          from the edited design.  Per-net derived RNG streams make the
+          recomputation of {e unedited} nets reproduce their old
+          entries bit for bit, which is what makes selective
+          invalidation sound. *)
+  h_slew_sig : int -> int64 array;
+      (** Bitwise signature of the provider's slew-sensitivity state
+          for a net (both edges, presence-tagged float bits).  Slew
+          sensitivities feed downstream delay coupling without being
+          visible in the arrival slot, so the incremental engine's
+          cutoff equality must include this signature.  A provider with
+          no such state returns a constant (e.g. [[||]]). *)
+  h_prewarm : unit -> unit;
+      (** Force every per-(cell, edge) regression the design can
+          demand — the provider's whole cold cost, isolated so callers
+          can time cold vs store-warm startup. *)
+}
+(** A provider plus the invalidation hooks the incremental engine
+    ({!Incremental}) needs.  {!lvf_handle} builds the real one;
+    {!handle_of_provider} wraps a stateless provider with no-op
+    hooks. *)
+
+val handle_of_provider : provider -> handle
+(** No-op hooks — correct for providers that retain no per-net state
+    (e.g. synthetic test providers or the scalar engine's models). *)
+
+val lvf_handle :
+  ?seed:int ->
+  ?wire_samples:int ->
+  ?frac_samples:int ->
+  ?exec:Nsigma_exec.Executor.t ->
+  ?batch:bool ->
+  ?approx:bool ->
+  ?store_dir:string option ->
+  Nsigma_process.Technology.t ->
+  Nsigma_liberty.Library.t ->
+  Design.t ->
+  handle
+(** {!lvf_provider} plus incremental hooks.  [store_dir] selects the
+    content-addressed on-disk store for the per-(cell, edge) moment
+    regressions ({!Nsigma_liberty.Store}): keys are derived from the
+    library's v4 fingerprint plus the provider knobs that shape the
+    result ([frac_samples], [seed], [approx]), and payloads round-trip
+    exactly (hex float literals), so a store-warm provider is bitwise
+    identical to a cold one.  Default {!Nsigma_liberty.Store.default_dir}
+    (the [NSIGMA_PROVIDER_CACHE] environment directory); pass
+    [~store_dir:None] to disable, [~store_dir:(Some dir)] to pin a
+    directory.  Hits/misses/stale artifacts tick the
+    [provider.store.*] counters. *)
+
 val lvf_provider :
   ?seed:int ->
   ?wire_samples:int ->
@@ -100,6 +154,7 @@ val lvf_provider :
   ?exec:Nsigma_exec.Executor.t ->
   ?batch:bool ->
   ?approx:bool ->
+  ?store_dir:string option ->
   Nsigma_process.Technology.t ->
   Nsigma_liberty.Library.t ->
   Design.t ->

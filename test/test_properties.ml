@@ -18,6 +18,11 @@ module Design = Nsigma_sta.Design
 module Engine = Nsigma_sta.Engine
 module Provider = Nsigma_sta.Provider
 module Path = Nsigma_sta.Path
+module Ssta = Nsigma_sta.Ssta
+module Incremental = Nsigma_sta.Incremental
+module Edit = Nsigma_netlist.Edit
+module Library = Nsigma_liberty.Library
+module Executor = Nsigma_exec.Executor
 
 let tech = T.with_vdd T.default_28nm 0.6
 
@@ -271,6 +276,111 @@ let prop_fanout_sizing_monotone =
           b.N.cell.Cell.strength >= a.N.cell.Cell.strength)
         nl.N.gates sized.N.gates)
 
+(* ---- incremental re-timing ---- *)
+
+(* Same path and knobs as test_incremental, so the two binaries share
+   one characterisation cache. *)
+let ssta_library =
+  lazy
+    (let cells =
+       List.concat_map
+         (fun k ->
+           [ Cell.make k ~strength:1; Cell.make k ~strength:2;
+             Cell.make k ~strength:4; Cell.make k ~strength:8 ])
+         Cell.all_kinds
+     in
+     Library.load_or_characterize ~n_mc:250
+       ~slews:[| 10e-12; 50e-12; 150e-12; 300e-12 |]
+       ~path:
+         (Filename.concat (Filename.get_temp_dir_name ())
+            "nsigma_test_ssta.lvf")
+       tech cells)
+
+let pool2 = lazy (Executor.domain_pool ~jobs:2 ())
+
+(* One edit of each kind, derived from the pristine netlist (generated
+   before any apply, so the same sequence is legal on both copies). *)
+let edits_of_seed (nl : N.t) seed =
+  let g = Rng.create ~seed:(seed + 7919) in
+  let fanouts = N.fanouts_of nl in
+  let n_gates = Array.length nl.N.gates in
+  let swap () =
+    let gi = Rng.int g n_gates in
+    let cur = nl.N.gates.(gi).N.cell in
+    let choices =
+      List.filter (fun s -> s <> cur.Cell.strength) Cell.standard_strengths
+    in
+    Edit.Swap_cell
+      {
+        gate = gi;
+        cell =
+          Cell.make cur.Cell.kind
+            ~strength:(List.nth choices (Rng.int g (List.length choices)));
+      }
+  in
+  let scale () =
+    let net = Rng.int g nl.N.n_nets in
+    Edit.Scale_wire
+      {
+        net;
+        r_scale = 0.8 +. (0.7 *. Rng.uniform g);
+        c_scale = 0.8 +. (0.7 *. Rng.uniform g);
+      }
+  in
+  let rec bump () =
+    let net = Rng.int g nl.N.n_nets in
+    match List.length fanouts.(net) with
+    | 0 -> bump ()
+    | k ->
+      Edit.Bump_sink_load
+        {
+          net;
+          sink = Rng.int g k;
+          delta_cap = (0.2 +. (1.8 *. Rng.uniform g)) *. 1e-15;
+        }
+  in
+  [ swap (); scale (); bump () ]
+
+let prop_incremental_matches_scratch =
+  QCheck.Test.make ~count:4
+    ~name:"incremental re-timing = from-scratch (both operators x executors)"
+    seed_arb
+    (fun seed ->
+      let lib = Lazy.force ssta_library in
+      let execs = [ Executor.sequential; Lazy.force pool2 ] in
+      let ops = [ Nsigma_stats.Stat_max.Clark; Nsigma_stats.Stat_max.Moment ] in
+      List.for_all
+        (fun exec ->
+          List.for_all
+            (fun op ->
+              let config = { Ssta.op; corr = Ssta.Tracked } in
+              let nl = netlist_of_seed seed in
+              let nl_ref = netlist_of_seed seed in
+              let design = Design.attach_parasitics tech nl in
+              let design_ref = Design.attach_parasitics tech nl_ref in
+              let edits = edits_of_seed nl seed in
+              let handle =
+                Ssta.lvf_handle ~wire_samples:8 ~frac_samples:16 ~exec
+                  ~store_dir:None tech lib design
+              in
+              let inc = Incremental.init ~config tech handle design in
+              List.for_all
+                (fun edit ->
+                  ignore (Incremental.apply inc edit);
+                  ignore (Design.apply_edit design_ref edit);
+                  let provider =
+                    Ssta.lvf_provider ~wire_samples:8 ~frac_samples:16 ~exec
+                      ~store_dir:None tech lib design_ref
+                  in
+                  let scratch =
+                    Ssta.analyze ~config tech provider design_ref
+                  in
+                  Incremental.reports_bit_identical (Incremental.report inc)
+                    scratch)
+                edits)
+            ops)
+        execs)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "nsigma_properties"
@@ -297,4 +407,5 @@ let () =
           qt prop_quantile_bounds;
         ] );
       ( "netlist", [ qt prop_fanout_sizing_monotone ] );
+      ( "incremental", [ qt prop_incremental_matches_scratch ] );
     ]
