@@ -54,6 +54,9 @@ module Executor = Nsigma_exec.Executor
 module Metrics = Nsigma_obs.Metrics
 module Trace = Nsigma_obs.Trace
 module Obs_report = Nsigma_obs.Report
+module Server = Nsigma_server.Server
+module Sclient = Nsigma_server.Client
+module Sproto = Nsigma_server.Protocol
 module Lsn = Nsigma_baselines.Lsn_model
 module Burr = Nsigma_baselines.Burr_model
 module Pt = Nsigma_baselines.Primetime_like
@@ -2273,13 +2276,259 @@ let incr_bench () =
     exit 1
   end
 
+(* ---------------------------------------------------------------- *)
+(* server: warm-daemon throughput and tail latency against a cold
+   process per query, gated on bit-identity of every served response. *)
+
+let server_queries = env_int "NSIGMA_BENCH_SERVER_QUERIES" 120
+let server_path_n = env_int "NSIGMA_BENCH_SERVER_PATH_MC" 40
+let server_cold_n = env_int "NSIGMA_BENCH_SERVER_COLD" 3
+let server_window = env_int "NSIGMA_BENCH_SERVER_WINDOW" 16
+
+let server_min_speedup =
+  match Sys.getenv_opt "NSIGMA_BENCH_SERVER_MIN_SPEEDUP" with
+  | Some v -> ( try float_of_string v with _ -> 20.0)
+  | None -> 20.0
+
+let server_circuits = [| "c432"; "c5315" |]
+
+(* The replayed workload: (connection, request line) in issue order.
+   Retimes pin to connection 0 / c432 / clark so exactly one session
+   context exists and ssta analyzes on that connection exercise the
+   edited-context path.  The warmup prefix is part of the replay — the
+   bit-identity gate covers the full per-connection sequences — but
+   only the tail is timed, so the throughput number is the steady
+   state, not context builds. *)
+let server_workload () =
+  let nl = (Bm.find "c432").Bm.generate () in
+  let _, edits =
+    incr_workload (Random.State.make [| 7 |]) nl (server_queries + 1)
+  in
+  let edits = ref (List.map (Edit.to_json nl) edits) in
+  let next_edit () =
+    match !edits with
+    | e :: rest ->
+      edits := rest;
+      e
+    | [] -> assert false
+  in
+  let retime_line id =
+    Printf.sprintf
+      {|{"id": %d, "op": "retime", "circuit": "c432", "max": "clark", "edit": %S}|}
+      id (next_edit ())
+  in
+  let warmup =
+    (0, retime_line 9000)
+    :: List.concat_map
+         (fun c ->
+           [
+             ( 1,
+               Printf.sprintf
+                 {|{"id": 9001, "op": "analyze", "circuit": %S, "max": "clark"}|}
+                 c );
+             ( 1,
+               Printf.sprintf
+                 {|{"id": 9002, "op": "analyze", "circuit": %S, "max": "moment"}|}
+                 c );
+             ( 1,
+               Printf.sprintf
+                 {|{"id": 9003, "op": "analyze", "circuit": %S, "engine": "scalar"}|}
+                 c );
+             ( 1,
+               Printf.sprintf
+                 {|{"id": 9004, "op": "path_mc", "circuit": %S, "n": %d}|} c
+                 server_path_n );
+           ])
+         (Array.to_list server_circuits)
+  in
+  let st = Random.State.make [| 11; server_queries |] in
+  let timed =
+    List.init server_queries (fun i ->
+        let id = i + 1 in
+        let conn = i mod 3 in
+        let circuit = server_circuits.(Random.State.int st 2) in
+        let r = Random.State.int st 100 in
+        if r < 50 then
+          let op = if Random.State.bool st then "clark" else "moment" in
+          ( conn,
+            Printf.sprintf
+              {|{"id": %d, "op": "analyze", "circuit": %S, "max": %S}|} id
+              circuit op )
+        else if r < 65 then
+          ( conn,
+            Printf.sprintf
+              {|{"id": %d, "op": "analyze", "circuit": %S, "engine": "scalar"}|}
+              id circuit )
+        else if r < 85 then
+          ( conn,
+            Printf.sprintf
+              {|{"id": %d, "op": "path_mc", "circuit": %S, "n": %d}|} id
+              circuit server_path_n )
+        else (0, retime_line id))
+  in
+  (warmup, timed)
+
+let server_pct sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    sorted.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)))
+
+let server_bench () =
+  header "Timing server — warm daemon vs a cold process per query";
+  let lib = library () in
+  let lvf_path =
+    Printf.sprintf "bench_cache_%.2fV_mc%d.lvf" tech.T.vdd_nominal lib_mc
+  in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nsigma_bench_server_%d.sock" (Unix.getpid ()))
+  in
+  (try Sys.remove socket with Sys_error _ -> ());
+  let warmup, timed = server_workload () in
+  Printf.printf
+    "workload: %d warmup + %d timed queries over 3 connections (path_mc \
+     n=%d, window %d)\n\
+     %!"
+    (List.length warmup) (List.length timed) server_path_n server_window;
+  (* The daemon is this same binary re-executed in __serve mode —
+     fork+exec, never a bare fork: forking the bench process after a
+     domain pool has run can deadlock OCaml 5's stop-the-world
+     sections. *)
+  let t_spawn = Unix.gettimeofday () in
+  let pid =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; "__serve"; socket; lvf_path |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let conns =
+    Array.init 3 (fun _ -> Sclient.connect ~retries:1200 ~socket ())
+  in
+  let startup_s = Unix.gettimeofday () -. t_spawn in
+  Printf.printf "daemon pid %d ready in %.2fs on %s\n%!" pid startup_s socket;
+  let warm_resps =
+    List.map (fun (c, line) -> (c, line, Sclient.request conns.(c) line)) warmup
+  in
+  let timed_arr = Array.of_list timed in
+  let n_timed = Array.length timed_arr in
+  let resps = Array.make n_timed "" in
+  let lats = Array.make n_timed 0.0 in
+  let t0 = Unix.gettimeofday () in
+  let i = ref 0 in
+  while !i < n_timed do
+    let j = min n_timed (!i + server_window) in
+    let sent = Array.make (j - !i) 0.0 in
+    for k = !i to j - 1 do
+      let c, line = timed_arr.(k) in
+      sent.(k - !i) <- Unix.gettimeofday ();
+      Sclient.send conns.(c) line
+    done;
+    for k = !i to j - 1 do
+      let c, _ = timed_arr.(k) in
+      resps.(k) <- Sclient.recv conns.(c);
+      lats.(k) <- Unix.gettimeofday () -. sent.(k - !i)
+    done;
+    i := j
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let warm_qps = float_of_int n_timed /. wall in
+  let stats =
+    Sproto.parse_line (Sclient.request conns.(0) {|{"id": 0, "op": "stats"}|})
+  in
+  let stat name = int_of_float (Sproto.num_field stats name) in
+  let batched = stat "batched" in
+  let cache_hits = stat "cache_hits" in
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  Array.iter Sclient.close conns;
+  let clean_exit = status = Unix.WEXITED 0 in
+  (* Bit-identity: replay the exact per-connection sequences through a
+     fresh in-process server and compare every response line. *)
+  let replay = Server.create (Server.default_config tech lib) in
+  let identical = ref true in
+  let check c line daemon_resp =
+    let local = Server.handle replay ~session:c line in
+    if local <> daemon_resp then begin
+      identical := false;
+      Printf.printf "  MISMATCH (conn %d): %s\n    daemon: %s\n    local:  %s\n"
+        c line daemon_resp local
+    end
+  in
+  List.iter (fun (c, line, resp) -> check c line resp) warm_resps;
+  Array.iteri
+    (fun k resp ->
+      let c, line = timed_arr.(k) in
+      check c line resp)
+    resps;
+  (* Cold baseline: what one query costs when every process pays the
+     library load and context build — the one-shot CLI shape. *)
+  let cold_lines =
+    [
+      {|{"id": 1, "op": "analyze", "circuit": "c432", "max": "clark"}|};
+      {|{"id": 2, "op": "analyze", "circuit": "c5315", "max": "clark"}|};
+      Printf.sprintf {|{"id": 3, "op": "path_mc", "circuit": "c432", "n": %d}|}
+        server_path_n;
+    ]
+  in
+  let cold_samples =
+    List.init server_cold_n (fun k ->
+        let line = List.nth cold_lines (k mod List.length cold_lines) in
+        let t0 = Unix.gettimeofday () in
+        let lib_cold = Library.load tech lvf_path in
+        let srv = Server.create (Server.default_config tech lib_cold) in
+        let resp = Server.handle srv ~session:0 line in
+        assert (String.length resp > 0);
+        Unix.gettimeofday () -. t0)
+  in
+  let cold_mean = avg cold_samples in
+  let cold_qps = 1.0 /. cold_mean in
+  let speedup = warm_qps /. cold_qps in
+  let sorted_lats = Array.copy lats in
+  Array.sort Float.compare sorted_lats;
+  let p50 = server_pct sorted_lats 0.50 in
+  let p95 = server_pct sorted_lats 0.95 in
+  let p99 = server_pct sorted_lats 0.99 in
+  Printf.printf
+    "warm: %d queries in %.2fs = %.1f q/s; latency p50 %.2fms p95 %.2fms \
+     p99 %.2fms\n"
+    n_timed wall warm_qps (p50 *. 1e3) (p95 *. 1e3) (p99 *. 1e3);
+  Printf.printf
+    "cold: %.3fs per query (%d samples: library load + context + answer) = \
+     %.2f q/s\n"
+    cold_mean server_cold_n cold_qps;
+  Printf.printf
+    "speedup %.0fx (gate >= %.0fx); coalesced %d; context cache hits %d; \
+     bit-identical %b; clean exit %b\n"
+    speedup server_min_speedup batched cache_hits !identical clean_exit;
+  let pass = speedup >= server_min_speedup && !identical && clean_exit in
+  let json =
+    Printf.sprintf
+      {|{"experiment": "server", "queries": %d, "warmup": %d, "connections": 3, "window": %d, "path_mc_n": %d, "lib_mc": %d, "startup_seconds": %.2f, "wall_seconds": %.3f, "warm_qps": %.1f, "p50_ms": %.3f, "p95_ms": %.3f, "p99_ms": %.3f, "cold_samples": %d, "cold_seconds_mean": %.3f, "cold_qps": %.3f, "speedup": %.1f, "min_speedup": %.1f, "batched": %d, "cache_hits": %d, "bit_identical": %b, "clean_exit": %b, "pass": %b}|}
+      n_timed (List.length warmup) server_window server_path_n lib_mc
+      startup_s wall warm_qps (p50 *. 1e3) (p95 *. 1e3) (p99 *. 1e3)
+      server_cold_n cold_mean cold_qps speedup server_min_speedup batched
+      cache_hits !identical clean_exit pass
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_server.json" in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Printf.printf "  appended to BENCH_server.json\n";
+  if not pass then begin
+    Printf.eprintf
+      "server bench FAILED: speedup %.1fx (need >= %.1fx), bit-identical %b, \
+       clean exit %b\n"
+      speedup server_min_speedup !identical clean_exit;
+    exit 1
+  end
+
 (* Every experiment the dispatch below accepts, in menu order — the
    single source for both the usage line and the unknown-name error. *)
 let experiments =
   [ "fig2"; "fig3"; "fig4"; "table1"; "table2"; "fig7"; "fig8"; "fig9";
     "fig10"; "fig11"; "table3"; "speedup"; "exec"; "kernel"; "obs"; "trace";
-    "plan"; "sampling"; "batch"; "ssta"; "incr"; "ablation"; "highsigma";
-    "micro"; "all" ]
+    "plan"; "sampling"; "batch"; "ssta"; "incr"; "server"; "ablation";
+    "highsigma"; "micro"; "all" ]
 
 let usage () =
   Printf.printf
@@ -2303,6 +2552,20 @@ let rec extract_jobs acc = function
   | a :: rest when String.starts_with ~prefix:"--jobs=" a ->
     (List.rev_append acc rest, Some (String.sub a 7 (String.length a - 7)))
   | a :: rest -> extract_jobs (a :: acc) rest
+
+(* Hidden daemon mode for the server bench: [main.exe __serve SOCKET
+   LVF] re-executes this binary as the long-lived timing server.  The
+   bench spawns it with fork+exec ([Unix.create_process]) instead of
+   forking the already-running bench process, which could deadlock
+   OCaml 5's stop-the-world sections once a domain pool has run. *)
+let () =
+  if Array.length Sys.argv = 4 && Sys.argv.(1) = "__serve" then begin
+    let socket = Sys.argv.(2) and lvf = Sys.argv.(3) in
+    let lib = Library.load tech lvf in
+    let srv = Server.create (Server.default_config tech lib) in
+    Server.run srv ~socket ();
+    exit 0
+  end
 
 (* [--metrics FILE] enables the metrics registry and writes the JSON run
    report at exit (FILE = "-" prints a summary table to stderr). *)
@@ -2362,6 +2625,7 @@ let () =
   | "batch" :: _ -> batch_bench ()
   | "ssta" :: _ -> ssta_bench ()
   | "incr" :: _ -> incr_bench ()
+  | "server" :: _ -> server_bench ()
   | "ablation" :: _ -> ablation ()
   | "highsigma" :: _ -> highsigma ()
   | "micro" :: _ -> micro ()

@@ -35,6 +35,9 @@ module Sampler = Nsigma_stats.Sampler
 module Timing_report = Nsigma_sta.Timing_report
 module Executor = Nsigma_exec.Executor
 module Cell_sim = Nsigma_spice.Cell_sim
+module Server = Nsigma_server.Server
+module Sclient = Nsigma_server.Client
+module Sproto = Nsigma_server.Protocol
 module Metrics = Nsigma_obs.Metrics
 module Obs_report = Nsigma_obs.Report
 module Obs_trace = Nsigma_obs.Trace
@@ -80,11 +83,7 @@ let jobs_arg =
      auto-detects the core count.  Defaults to $(b,NSIGMA_JOBS) (unset: \
      sequential).  Results are bit-identical at every setting."
   in
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-
-let exec_of_jobs = function
-  | None -> Executor.default ()
-  | Some j -> Executor.domain_pool ~jobs:j ()
+  Arg.(value & opt (some string) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 (* Closed-choice flags go through Arg.enum so a typo is rejected at
    parse time with the valid spellings listed, instead of surfacing as
@@ -213,6 +212,37 @@ let progress_arg =
    2 and a one-line message — never a raw Sys_error backtrace from an
    at_exit writer hours into a run. *)
 exception Cli_error of string
+
+(* Validated at the CLI seam so a typo'd worker count surfaces as a
+   one-line exit-2 message naming the offending value, not as a raw
+   exception from the executor.  0 keeps its documented auto-detect
+   meaning; negative counts are rejected. *)
+let parse_jobs ~what value =
+  match int_of_string_opt (String.trim value) with
+  | Some j when j >= 0 -> j
+  | Some j ->
+    raise
+      (Cli_error
+         (Printf.sprintf
+            "%s must be a non-negative worker count (0 = auto-detect), got %d"
+            what j))
+  | None ->
+    raise
+      (Cli_error
+         (Printf.sprintf "%s must be an integer worker count, got %S" what
+            value))
+
+let exec_of_jobs = function
+  | Some v -> Executor.domain_pool ~jobs:(parse_jobs ~what:"--jobs" v) ()
+  | None ->
+    (* No flag: the executor reads NSIGMA_JOBS itself, but silently
+       ignores garbage — validate it here so a typo'd environment fails
+       loudly too. *)
+    (match Sys.getenv_opt "NSIGMA_JOBS" with
+    | Some v when String.trim v <> "" ->
+      ignore (parse_jobs ~what:"NSIGMA_JOBS" v : int)
+    | _ -> ());
+    Executor.default ()
 
 (* Probe the destination before the run starts.  Append mode neither
    truncates an existing file nor clobbers its contents; the at-exit
@@ -711,10 +741,197 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Print the reference-condition moments of a library.")
     term
 
+(* ---- serve / query ---- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path the server listens on." in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let framing_conv =
+  Arg.enum [ ("jsonl", Sproto.Jsonl); ("length", Sproto.Length_prefixed) ]
+
+let framing_arg =
+  let doc =
+    "Wire framing: $(b,jsonl) (newline-delimited JSON, the default) or \
+     $(b,length) (netstring-style length prefixes) — the same codec \
+     either way."
+  in
+  Arg.(value & opt framing_conv Sproto.Jsonl & info [ "framing" ] ~docv:"NAME" ~doc)
+
+let max_contexts_arg =
+  let doc =
+    "Retained per-(circuit, engine config) analysis contexts kept hot in \
+     the LRU cache.  Each SSTA context holds a full report plus the \
+     provider's per-net state, so size this to the working set."
+  in
+  Arg.(value & opt int 8 & info [ "max-contexts" ] ~docv:"N" ~doc)
+
+let store_max_mb_arg =
+  let doc =
+    "Prune the provider store to at most $(docv) megabytes after each \
+     context build (oldest artifacts evicted first), so a long-lived \
+     server's on-disk cache cannot grow without bound.  Off by default."
+  in
+  Arg.(value & opt (some int) None & info [ "store-max-mb" ] ~docv:"MB" ~doc)
+
+let server_config vdd library jobs max_contexts provider_cache store_max_mb =
+  if max_contexts < 1 then
+    raise
+      (Cli_error
+         (Printf.sprintf "--max-contexts must be positive (got %d)"
+            max_contexts));
+  (match store_max_mb with
+  | Some mb when mb < 0 ->
+    raise
+      (Cli_error
+         (Printf.sprintf "--store-max-mb must be non-negative (got %d)" mb))
+  | _ -> ());
+  let tech = tech_of_vdd vdd in
+  let exec = exec_of_jobs jobs in
+  let lib =
+    Metrics.span "cli.load_library" (fun () -> Library.load tech library)
+  in
+  {
+    (Server.default_config tech lib) with
+    Server.exec_provider = exec;
+    exec_mc = exec;
+    max_contexts;
+    store_dir = store_dir_of provider_cache;
+    store_max_bytes = Option.map (fun mb -> mb * 1024 * 1024) store_max_mb;
+  }
+
+let serve_cmd =
+  let run vdd library socket framing jobs max_contexts provider_cache
+      store_max_mb metrics trace progress =
+    setup_obs ~metrics ~trace ~progress ();
+    let cfg =
+      server_config vdd library jobs max_contexts provider_cache store_max_mb
+    in
+    let server = Server.create cfg in
+    Printf.printf "nsigma server: listening on %s (%s framing)\n%!" socket
+      (Sproto.framing_name framing);
+    Server.run server ~socket ~framing ();
+    Printf.printf "nsigma server: drained, bye\n%!"
+  in
+  let term =
+    Term.(
+      const run $ vdd_arg $ library_arg $ socket_arg $ framing_arg $ jobs_arg
+      $ max_contexts_arg $ provider_cache_arg $ store_max_mb_arg $ metrics_arg
+      $ trace_arg $ progress_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-lived timing server on a Unix-domain socket: characterized \
+             library, fitted model and per-circuit analysis contexts stay hot \
+             across JSON-lines queries; SIGTERM drains gracefully.")
+    term
+
+let query_cmd =
+  let socket_opt_arg =
+    let doc =
+      "Connect to a running server at $(docv) and replay the queries \
+       through it."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let oneshot_arg =
+    let doc =
+      "Answer the queries in-process instead of over a socket: load the \
+       library, build contexts, serve, exit.  Runs the exact server \
+       dispatch code, so its output is the cold-process reference a warm \
+       server must match byte for byte."
+    in
+    Arg.(value & flag & info [ "oneshot" ] ~doc)
+  in
+  let file_arg =
+    let doc =
+      "JSON-lines query file, one request object per line ($(b,-) or \
+       omitted: stdin).  Blank lines and lines starting with $(b,#) are \
+       skipped."
+    in
+    Arg.(value & opt string "-" & info [ "file"; "f" ] ~docv:"FILE" ~doc)
+  in
+  let read_queries spec =
+    let ic =
+      if spec = "-" then stdin
+      else
+        try open_in spec
+        with Sys_error msg ->
+          raise (Cli_error (Printf.sprintf "cannot read query file: %s" msg))
+    in
+    Fun.protect
+      ~finally:(fun () -> if spec <> "-" then close_in_noerr ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             let line = String.trim (input_line ic) in
+             if line <> "" && line.[0] <> '#' then lines := line :: !lines
+           done
+         with End_of_file -> ());
+        List.rev !lines)
+  in
+  let run vdd library socket oneshot file framing jobs max_contexts
+      provider_cache store_max_mb metrics trace progress =
+    setup_obs ~metrics ~trace ~progress ();
+    let queries = read_queries file in
+    match (socket, oneshot) with
+    | Some _, true ->
+      raise (Cli_error "--socket and --oneshot are mutually exclusive")
+    | None, false -> raise (Cli_error "pass --socket PATH or --oneshot")
+    | Some socket, false ->
+      let client =
+        try Sclient.connect ~framing ~retries:100 ~socket ()
+        with Unix.Unix_error (e, _, _) ->
+          raise
+            (Cli_error
+               (Printf.sprintf "cannot connect to %s: %s" socket
+                  (Unix.error_message e)))
+      in
+      Fun.protect
+        ~finally:(fun () -> Sclient.close client)
+        (fun () ->
+          List.iter
+            (fun q -> print_endline (Sclient.request client q))
+            queries)
+    | None, true ->
+      (match library with
+      | Some library ->
+        let cfg =
+          server_config vdd library jobs max_contexts provider_cache
+            store_max_mb
+        in
+        let server = Server.create cfg in
+        List.iter
+          (fun q -> print_endline (Server.handle server ~session:0 q))
+          queries
+      | None -> raise (Cli_error "--oneshot requires --library"))
+  in
+  let library_opt_arg =
+    let doc = "Characterised library file (.lvf), required with --oneshot." in
+    Arg.(
+      value & opt (some string) None & info [ "library"; "l" ] ~docv:"FILE" ~doc)
+  in
+  let term =
+    Term.(
+      const run $ vdd_arg $ library_opt_arg $ socket_opt_arg $ oneshot_arg
+      $ file_arg $ framing_arg $ jobs_arg $ max_contexts_arg
+      $ provider_cache_arg $ store_max_mb_arg $ metrics_arg $ trace_arg
+      $ progress_arg)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Send JSON-lines timing queries to a running server ($(b,--socket)) \
+             or answer them in a cold one-shot process ($(b,--oneshot)) — the \
+             bit-identity reference for served results.")
+    term
+
 let main_cmd =
   let doc = "N-sigma statistical delay calibration (DATE 2023 reproduction)" in
   let info = Cmd.info "nsigma" ~version:"1.0.0" ~doc in
-  Cmd.group info [ characterize_cmd; fit_cmd; analyze_cmd; retime_cmd; report_cmd ]
+  Cmd.group info
+    [ characterize_cmd; fit_cmd; analyze_cmd; retime_cmd; report_cmd;
+      serve_cmd; query_cmd ]
 
 let () =
   match Cmd.eval ~catch:false main_cmd with

@@ -17,6 +17,7 @@ module Log = Nsigma_obs.Log
 let m_hit = Metrics.counter "provider.store.hit"
 let m_miss = Metrics.counter "provider.store.miss"
 let m_stale = Metrics.counter "provider.store.stale"
+let m_evicted = Metrics.counter "provider.store.evicted"
 
 let magic = "NSIGMA_STORE 1"
 
@@ -98,3 +99,51 @@ let save ~dir ~key payload =
        operation; it must never fail the analysis that produced the
        artifact. *)
     Log.info "cannot write provider-store artifact %s (%s)" path msg
+
+let prune ~dir ~max_bytes =
+  if max_bytes < 0 then invalid_arg "Store.prune: negative max_bytes";
+  let entries =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> [||]
+    | names ->
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             if Filename.check_suffix name ".nps" then
+               let path = Filename.concat dir name in
+               match Unix.stat path with
+               | exception Unix.Unix_error _ -> None
+               | st when st.Unix.st_kind = Unix.S_REG ->
+                 Some (path, st.Unix.st_mtime, st.Unix.st_size)
+               | _ -> None
+             else None)
+      |> Array.of_list
+  in
+  let total = Array.fold_left (fun acc (_, _, sz) -> acc + sz) 0 entries in
+  if total <= max_bytes then 0
+  else begin
+    (* Oldest first; ties broken by path so concurrent pruners converge
+       on the same eviction order. *)
+    Array.sort
+      (fun (pa, ma, _) (pb, mb, _) ->
+        match compare (ma : float) mb with 0 -> compare pa pb | c -> c)
+      entries;
+    let remaining = ref total and evicted = ref 0 in
+    Array.iter
+      (fun (path, _, sz) ->
+        if !remaining > max_bytes then begin
+          (* unlink is atomic: a reader that already opened the file
+             keeps its descriptor; one that has not sees a plain miss.
+             A concurrently-deleted file just doesn't count. *)
+          match Sys.remove path with
+          | () ->
+            remaining := !remaining - sz;
+            incr evicted;
+            Metrics.incr m_evicted
+          | exception Sys_error _ -> ()
+        end)
+      entries;
+    if !evicted > 0 then
+      Log.info "pruned %d provider-store artifact(s) from %s (%d -> %d bytes)"
+        !evicted dir total !remaining;
+    !evicted
+  end

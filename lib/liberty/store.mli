@@ -12,7 +12,8 @@
 
     Outcomes are counted in the metrics registry as
     [provider.store.hit] / [provider.store.miss] / [provider.store.stale]
-    (registered at module init, so run reports always carry the keys). *)
+    / [provider.store.evicted] (registered at module init, so run
+    reports always carry the keys). *)
 
 val default_dir : unit -> string option
 (** The [NSIGMA_PROVIDER_CACHE] environment directory, if set and
@@ -35,3 +36,11 @@ val save : dir:string -> key:string -> string -> unit
     directory if needed.  An unwritable store degrades to a logged
     no-op — persisting an artifact must never fail the run that
     produced it. *)
+
+val prune : dir:string -> max_bytes:int -> int
+(** Evict artifacts, oldest mtime first, until the store's total size
+    is at most [max_bytes]; returns the number evicted (counted as
+    [provider.store.evicted]).  Eviction is a plain atomic unlink, so a
+    reader that already opened a victim keeps reading it and one that
+    has not sees an ordinary miss; a missing or unreadable directory is
+    an empty store.  @raise Invalid_argument on negative [max_bytes]. *)

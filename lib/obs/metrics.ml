@@ -171,7 +171,40 @@ type histogram_view = {
   h_count : int;
   h_sum : float;
   h_buckets : (float * int) list;
+  h_p50 : float;
+  h_p95 : float;
+  h_p99 : float;
 }
+
+(* Percentile estimate from the merged bucket counts: find the bucket
+   holding the target rank and interpolate linearly inside it (bucket i
+   spans (2^(i-1), 2^i] ns; bucket 0 starts at 0).  Log-scale buckets
+   bound the relative error of the estimate by the bucket width (a
+   factor of 2), which is plenty for latency reporting. *)
+let percentile_of_counts counts total q =
+  if total = 0 then 0.0
+  else begin
+    let rank = q *. float_of_int total in
+    let result = ref 0.0 in
+    let cum = ref 0 and found = ref false in
+    for i = 0 to n_buckets - 1 do
+      if not !found && counts.(i) > 0 then begin
+        let below = !cum in
+        cum := !cum + counts.(i);
+        if float_of_int !cum >= rank then begin
+          found := true;
+          let upper = bucket_upper_bound i in
+          let lower = if i = 0 then 0.0 else upper /. 2.0 in
+          let frac =
+            (rank -. float_of_int below) /. float_of_int counts.(i)
+          in
+          result := lower +. ((upper -. lower) *. Float.max 0.0 (Float.min 1.0 frac))
+        end
+      end
+      else if not !found then cum := !cum + counts.(i)
+    done;
+    if !found then !result else bucket_upper_bound (n_buckets - 1)
+  end
 
 type snapshot = {
   s_counters : (string * int) list;
@@ -225,7 +258,16 @@ let snapshot () =
               if merged.(i) > 0 then
                 buckets := (bucket_upper_bound i, merged.(i)) :: !buckets
             done;
-            (name, { h_count = !count; h_sum = !sum; h_buckets = !buckets }) :: acc)
+            ( name,
+              {
+                h_count = !count;
+                h_sum = !sum;
+                h_buckets = !buckets;
+                h_p50 = percentile_of_counts merged !count 0.50;
+                h_p95 = percentile_of_counts merged !count 0.95;
+                h_p99 = percentile_of_counts merged !count 0.99;
+              } )
+            :: acc)
           histogram_table []
         |> List.sort by_name
       in

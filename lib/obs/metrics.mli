@@ -95,6 +95,14 @@ type histogram_view = {
   h_sum : float;  (** total observed seconds *)
   h_buckets : (float * int) list;
       (** non-empty buckets as [(upper_bound_seconds, count)], ascending *)
+  h_p50 : float;  (** median estimate (seconds) — see below *)
+  h_p95 : float;
+  h_p99 : float;
+      (** Percentile estimates interpolated linearly inside the
+          power-of-two bucket holding the target rank, so latency
+          histograms read directly as p50/p95/p99 without
+          post-processing.  Accurate to the bucket width (a factor of
+          2); [0.] when the histogram is empty. *)
 }
 
 type snapshot = {

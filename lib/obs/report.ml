@@ -72,8 +72,12 @@ let to_json ?(elapsed = 0.0) () =
   obj "timers" snap.Metrics.s_timers (fun (count, seconds) ->
       Printf.sprintf "{\"count\": %d, \"seconds\": %s}" count (json_float seconds));
   obj "histograms" snap.Metrics.s_histograms (fun h ->
-      Printf.sprintf "{\"count\": %d, \"sum_seconds\": %s, \"buckets\": [%s]}"
+      Printf.sprintf
+        "{\"count\": %d, \"sum_seconds\": %s, \"p50\": %s, \"p95\": %s, \
+         \"p99\": %s, \"buckets\": [%s]}"
         h.Metrics.h_count (json_float h.Metrics.h_sum)
+        (json_float h.Metrics.h_p50) (json_float h.Metrics.h_p95)
+        (json_float h.Metrics.h_p99)
         (String.concat ", "
            (List.map
               (fun (ub, n) -> Printf.sprintf "[%s, %d]" (json_float ub) n)
@@ -134,8 +138,10 @@ let summary ?(elapsed = 0.0) () =
     line "histograms:";
     List.iter
       (fun (k, h) ->
-        line "  %-34s n=%d mean=%.3gs" k h.Metrics.h_count
-          (h.Metrics.h_sum /. float_of_int (max 1 h.Metrics.h_count)))
+        line "  %-34s n=%d mean=%.3gs p50=%.3gs p95=%.3gs p99=%.3gs" k
+          h.Metrics.h_count
+          (h.Metrics.h_sum /. float_of_int (max 1 h.Metrics.h_count))
+          h.Metrics.h_p50 h.Metrics.h_p95 h.Metrics.h_p99)
       nonzero_histograms
   end;
   (match utilization snap with

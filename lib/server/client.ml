@@ -1,0 +1,49 @@
+module P = Protocol
+
+type t = { fd : Unix.file_descr; framing : P.framing; dec : P.decoder }
+
+let connect ?(framing = P.Jsonl) ?(retries = 0) ~socket () =
+  let rec attempt left =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> fd
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (match e with
+      | Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+        when left > 0 ->
+        Unix.sleepf 0.05;
+        attempt (left - 1)
+      | e -> raise e)
+  in
+  { fd = attempt retries; framing; dec = P.decoder framing }
+
+let send t line =
+  let s = P.encode t.framing line in
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring t.fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let buf = Bytes.create 65536
+
+let rec recv t =
+  match P.next t.dec with
+  | Some line -> line
+  | None -> (
+    match Unix.read t.fd buf 0 (Bytes.length buf) with
+    | 0 -> failwith "server closed the connection"
+    | n ->
+      P.feed t.dec buf n;
+      recv t
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv t)
+
+let request t line =
+  send t line;
+  recv t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

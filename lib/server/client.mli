@@ -1,0 +1,27 @@
+(** Blocking client for the timing server's Unix-domain socket.
+
+    Thin convenience over the {!Protocol} codec: connect, send request
+    lines (pipelining allowed), read de-framed response lines.  Used by
+    the CLI [query] subcommand, the server bench and the CI smoke. *)
+
+type t
+
+val connect :
+  ?framing:Protocol.framing -> ?retries:int -> socket:string -> unit -> t
+(** Connect to [socket].  [retries] (default 0) re-attempts at 50 ms
+    intervals while the socket is missing or refusing — for callers
+    racing a daemon's startup.
+    @raise Unix.Unix_error when connection ultimately fails. *)
+
+val send : t -> string -> unit
+(** Frame and send one request line.  Pipelining is fine: the server
+    answers in order per connection. *)
+
+val recv : t -> string
+(** Block for the next response line.
+    @raise Failure if the server closes the connection first. *)
+
+val request : t -> string -> string
+(** [send] then [recv]. *)
+
+val close : t -> unit

@@ -1,0 +1,52 @@
+type 'a entry = { mutable v : 'a; mutable stamp : int }
+
+type 'a t = {
+  max : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable clock : int;
+}
+
+let create ~max =
+  if max < 1 then invalid_arg "Lru.create: max must be >= 1";
+  { max; tbl = Hashtbl.create (2 * max); clock = 0 }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some e ->
+    e.stamp <- tick t;
+    Some e.v
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let length t = Hashtbl.length t.tbl
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, stamp) when stamp <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.tbl;
+  match !victim with
+  | Some (k, _) -> Hashtbl.remove t.tbl k
+  | None -> ()
+
+let add t key v =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+    e.v <- v;
+    e.stamp <- tick t
+  | None ->
+    if Hashtbl.length t.tbl >= t.max then evict_lru t;
+    Hashtbl.add t.tbl key { v; stamp = tick t }
+
+let keys t =
+  Hashtbl.fold (fun k e acc -> (k, e.stamp) :: acc) t.tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.map fst

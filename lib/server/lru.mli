@@ -1,0 +1,26 @@
+(** Least-recently-used cache of retained analysis contexts.
+
+    String-keyed, bounded; {!find} refreshes recency, {!add} evicts the
+    least recently touched entry once the bound is reached.  Sized for
+    a handful of heavyweight values (retained SSTA states, compiled
+    plans), so eviction scans linearly rather than maintaining an
+    intrusive list.  Not thread-safe — the server's event loop owns
+    it. *)
+
+type 'a t
+
+val create : max:int -> 'a t
+(** @raise Invalid_argument if [max < 1]. *)
+
+val find : 'a t -> string -> 'a option
+(** Look up and mark most-recently-used. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace; evicts the LRU entry if the cache is full. *)
+
+val mem : 'a t -> string -> bool
+(** Membership without touching recency. *)
+
+val length : 'a t -> int
+val keys : 'a t -> string list
+(** Current keys, most recently used first. *)

@@ -8,6 +8,8 @@ module Library = Nsigma_liberty.Library
 module Moments = Nsigma_stats.Moments
 module Sampler = Nsigma_stats.Sampler
 module Cell_sim = Nsigma_spice.Cell_sim
+module Store = Nsigma_liberty.Store
+module Metrics = Nsigma_obs.Metrics
 
 let check_close ?(eps = 1e-9) msg expected actual =
   if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
@@ -315,6 +317,129 @@ let test_library_load_rejects_wrong_vdd () =
        Sys.remove path;
        true)
 
+(* ---------- Store ---------- *)
+
+let fresh_store_dir name =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nsigma_test_store_%s_%d" name (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+  else Unix.mkdir dir 0o755;
+  dir
+
+let drop_store_dir dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+let test_store_prune_oldest_first () =
+  let dir = fresh_store_dir "prune" in
+  Fun.protect
+    ~finally:(fun () -> drop_store_dir dir)
+    (fun () ->
+      (try ignore (Store.prune ~dir ~max_bytes:(-1) : int) with
+      | Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "negative max_bytes must raise Invalid_argument");
+      let keys = [ "old"; "middle"; "new" ] in
+      List.iter (fun k -> Store.save ~dir ~key:k (String.make 1000 'x')) keys;
+      (* Stage mtimes so eviction order is deterministic regardless of
+         write timing granularity. *)
+      let now = Unix.gettimeofday () in
+      List.iteri
+        (fun i k ->
+          let age = float_of_int (List.length keys - i) *. 100.0 in
+          Unix.utimes (Store.path_of ~dir ~key:k) (now -. age) (now -. age))
+        keys;
+      let total =
+        List.fold_left
+          (fun acc k ->
+            acc + (Unix.stat (Store.path_of ~dir ~key:k)).Unix.st_size)
+          0 keys
+      in
+      let was = Metrics.enabled () in
+      Metrics.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> Metrics.set_enabled was)
+        (fun () ->
+          let evicted0 = Metrics.find_counter "provider.store.evicted" in
+          Alcotest.(check int) "within bound evicts nothing" 0
+            (Store.prune ~dir ~max_bytes:total);
+          Alcotest.(check int) "one over evicts exactly the oldest" 1
+            (Store.prune ~dir ~max_bytes:(total - 1));
+          Alcotest.(check bool) "oldest gone" true
+            (Store.find ~dir ~key:"old" ~decode:Option.some = None);
+          Alcotest.(check bool) "newer survive" true
+            (Store.find ~dir ~key:"middle" ~decode:Option.some <> None
+            && Store.find ~dir ~key:"new" ~decode:Option.some <> None);
+          Alcotest.(check int) "zero bound empties the store" 2
+            (Store.prune ~dir ~max_bytes:0);
+          Alcotest.(check int) "empty store is a no-op" 0
+            (Store.prune ~dir ~max_bytes:0);
+          Alcotest.(check int) "evictions counted" 3
+            (Metrics.find_counter "provider.store.evicted" - evicted0)))
+
+let test_store_concurrent_writers () =
+  (* Two domains race 50 atomic saves each onto one key: the survivor
+     must be one of the two payloads in full, never a splice. *)
+  let dir = fresh_store_dir "race" in
+  Fun.protect
+    ~finally:(fun () -> drop_store_dir dir)
+    (fun () ->
+      let key = "contended" in
+      let payload tag = String.init 4096 (fun i -> if i mod 2 = 0 then tag else 'x') in
+      let writer tag () =
+        for _ = 1 to 50 do
+          Store.save ~dir ~key (payload tag)
+        done
+      in
+      let d = Domain.spawn (writer 'a') in
+      writer 'b' ();
+      Domain.join d;
+      match Store.find ~dir ~key ~decode:Option.some with
+      | None -> Alcotest.fail "artifact missing after racing writers"
+      | Some p ->
+        Alcotest.(check bool)
+          "payload is one writer's, intact" true
+          (p = payload 'a' || p = payload 'b'))
+
+let test_store_reader_during_prune () =
+  (* A domain prunes and refills while the main domain reads: every
+     read is either a miss (pruned) or the exact payload — unlink is
+     atomic, so no torn reads. *)
+  let dir = fresh_store_dir "prune_race" in
+  Fun.protect
+    ~finally:(fun () -> drop_store_dir dir)
+    (fun () ->
+      let n = 16 in
+      let key i = Printf.sprintf "artifact-%d" i in
+      let payload i = Printf.sprintf "payload-%d-%s" i (String.make 300 'x') in
+      for i = 0 to n - 1 do
+        Store.save ~dir ~key:(key i) (payload i)
+      done;
+      let stop = Atomic.make false in
+      let pruner =
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              ignore (Store.prune ~dir ~max_bytes:1500 : int);
+              for i = 0 to n - 1 do
+                Store.save ~dir ~key:(key i) (payload i)
+              done
+            done)
+      in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        for i = 0 to n - 1 do
+          match Store.find ~dir ~key:(key i) ~decode:Option.some with
+          | None -> ()
+          | Some p -> if p <> payload i then ok := false
+        done
+      done;
+      Atomic.set stop true;
+      Domain.join pruner;
+      Alcotest.(check bool) "reads are all-or-nothing under prune" true !ok)
+
 let () =
   Alcotest.run "nsigma_liberty"
     [
@@ -350,5 +475,14 @@ let () =
           Alcotest.test_case "sampling roundtrip" `Slow test_library_sampling_roundtrip;
           Alcotest.test_case "sampling mismatch" `Slow test_library_load_rejects_sampling_mismatch;
           Alcotest.test_case "vdd check" `Slow test_library_load_rejects_wrong_vdd;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "prune oldest first" `Quick
+            test_store_prune_oldest_first;
+          Alcotest.test_case "racing writers" `Quick
+            test_store_concurrent_writers;
+          Alcotest.test_case "reader during prune" `Quick
+            test_store_reader_during_prune;
         ] );
     ]

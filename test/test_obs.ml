@@ -139,6 +139,37 @@ let test_gauge_max () =
       Metrics.max_gauge g 1.0;
       Alcotest.(check (float 1e-9)) "max wins" 2.0 (Metrics.gauge_value g))
 
+let test_histogram_percentiles () =
+  with_metrics (fun () ->
+      let h = Metrics.histogram "test.pct.hist" in
+      (* 90 ~1us observations and 10 ~1ms ones: p50 must land in the
+         fast bucket, p95/p99 in the slow one, and the order must
+         hold.  The log-scale buckets make these coarse bounds. *)
+      for _ = 1 to 90 do
+        Metrics.observe h 1e-6
+      done;
+      for _ = 1 to 10 do
+        Metrics.observe h 1e-3
+      done;
+      let snap = Metrics.snapshot () in
+      let v = List.assoc "test.pct.hist" snap.Metrics.s_histograms in
+      Alcotest.(check int) "count" 100 v.Metrics.h_count;
+      Alcotest.(check bool) "p50 in the fast bucket" true
+        (v.Metrics.h_p50 > 0.0 && v.Metrics.h_p50 < 1e-5);
+      Alcotest.(check bool) "p95 in the slow bucket" true
+        (v.Metrics.h_p95 > 1e-4);
+      Alcotest.(check bool) "percentiles ordered" true
+        (v.Metrics.h_p50 <= v.Metrics.h_p95
+        && v.Metrics.h_p95 <= v.Metrics.h_p99);
+      let json = Report.to_json () in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "report contains %S" needle)
+            true
+            (contains ~needle json))
+        [ "\"p50\":"; "\"p95\":"; "\"p99\":" ])
+
 (* ----- the zero-perturbation invariant ----- *)
 
 let mc_population () =
@@ -312,6 +343,8 @@ let () =
             test_snapshot_sorted_and_deterministic;
           Alcotest.test_case "timers and spans" `Quick test_timer_and_span;
           Alcotest.test_case "max gauge" `Quick test_gauge_max;
+          Alcotest.test_case "histogram percentiles" `Quick
+            test_histogram_percentiles;
         ] );
       ( "invariants",
         [
